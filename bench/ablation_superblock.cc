@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation: complex blocks as fetch units (the paper's future work,
+ * §7; §3.1 lays out the ground rules). Compares basic-block fetch
+ * against profile-formed superblock units for the Base and Compressed
+ * organisations: fewer ATT entries and predictions per delivered op,
+ * at the cost of side-exit mispredictions and over-fetch.
+ */
+
+#include "common.hh"
+
+#include "fetch/superblock.hh"
+
+namespace {
+
+using namespace tepic;
+using fetch::SchemeClass;
+using support::TextTable;
+
+void
+printAblation()
+{
+    std::printf("=== Ablation: basic-block vs complex (superblock) "
+                "fetch units ===\n\n");
+
+    TextTable table;
+    table.setHeader({"workload", "units/blocks", "avg blk/unit",
+                     "side exit%", "BB IPC", "unit IPC",
+                     "ATT entries saved", "pred lookups saved"});
+
+    std::vector<double> gains;
+    for (const auto &named : bench::allArtifacts()) {
+        const auto &a = named.artifacts;
+        const auto units = fetch::formFetchUnits(
+            a.compiled.program, a.execution.trace);
+        const auto config = fetch::FetchConfig::paper(
+            SchemeClass::kBase);
+        const auto plain = core::runFetch(a, SchemeClass::kBase);
+        const auto unit = fetch::simulateUnitFetch(
+            a.baseImage, a.compiled.program, a.execution.trace,
+            units, config);
+        gains.push_back(unit.fetch.ipc() / plain.ipc());
+
+        const std::uint64_t plain_preds =
+            plain.predictionsCorrect + plain.predictionsWrong;
+        const std::uint64_t unit_preds =
+            unit.fetch.predictionsCorrect +
+            unit.fetch.predictionsWrong;
+        table.addRow(
+            {named.name,
+             std::to_string(units.units) + "/" +
+                 std::to_string(units.headOf.size()),
+             TextTable::num(units.averageBlocksPerUnit(), 2),
+             TextTable::percent(unit.sideExitRate(), 1),
+             TextTable::num(plain.ipc(), 3),
+             TextTable::num(unit.fetch.ipc(), 3),
+             TextTable::percent(
+                 1.0 - double(units.units) /
+                           double(units.headOf.size())),
+             TextTable::percent(
+                 1.0 - double(unit_preds) / double(plain_preds))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("mean IPC effect of complex fetch units: %+.1f%%\n",
+                (support::mean(gains) - 1.0) * 100.0);
+    std::printf("(the paper's §3.1: complex blocks are \"a matter of "
+                "performance, not correctness\" as long as side exits "
+                "are rare)\n");
+}
+
+void
+BM_UnitFormation(benchmark::State &state)
+{
+    const auto &a = bench::allArtifacts().front().artifacts;
+    for (auto _ : state) {
+        auto units = fetch::formFetchUnits(a.compiled.program,
+                                           a.execution.trace);
+        benchmark::DoNotOptimize(units.units);
+    }
+}
+BENCHMARK(BM_UnitFormation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+TEPIC_BENCH_MAIN(printAblation)

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: build the
+ * full artefact set once per binary, cache it, and print paper-style
+ * tables. Every bench binary follows the same pattern:
+ *
+ *   1. print the reproduced table/figure rows (the deliverable),
+ *   2. hand control to google-benchmark for the timing section.
+ */
+
+#ifndef TEPIC_BENCH_COMMON_HH
+#define TEPIC_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+namespace tepic::bench {
+
+struct NamedArtifacts
+{
+    std::string name;
+    bool isDspKernel = false;
+    core::Artifacts artifacts;
+};
+
+/** Build (once) the artefacts for every workload in the suite. */
+inline const std::vector<NamedArtifacts> &
+allArtifacts()
+{
+    static const std::vector<NamedArtifacts> artifacts = [] {
+        std::vector<NamedArtifacts> list;
+        for (const auto &w : workloads::allWorkloads()) {
+            std::fprintf(stderr, "[bench] building artifacts for %s\n",
+                         w.name.c_str());
+            NamedArtifacts named;
+            named.name = w.name;
+            named.isDspKernel = w.isDspKernel;
+            named.artifacts = core::buildArtifacts(w.source);
+            list.push_back(std::move(named));
+        }
+        return list;
+    }();
+    return artifacts;
+}
+
+/** Standard bench main: print the table, then run timings. */
+#define TEPIC_BENCH_MAIN(print_fn)                                     \
+    int                                                                \
+    main(int argc, char **argv)                                        \
+    {                                                                  \
+        print_fn();                                                    \
+        ::benchmark::Initialize(&argc, argv);                          \
+        ::benchmark::RunSpecifiedBenchmarks();                         \
+        return 0;                                                      \
+    }
+
+} // namespace tepic::bench
+
+#endif // TEPIC_BENCH_COMMON_HH

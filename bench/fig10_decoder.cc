@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 10 reproduction: "Huffman Decoder Complexity" — the paper's
+ * worst-case transistor-count model
+ *
+ *     T = 2m(2^n − 1) + 4m(2^n − 2^(n−1) − 1) + 2n
+ *
+ * evaluated over every scheme's dictionaries, next to the tailored
+ * ISA's PLA cost. Paper reference shape: Full largest, byte smallest
+ * among Huffman (limited input width and dictionary), tailored far
+ * below all of them — this is what makes Tailored attractive despite
+ * its weaker compression (§5 discussion).
+ */
+
+#include "common.hh"
+
+#include "decoder/complexity.hh"
+
+namespace {
+
+using namespace tepic;
+using support::TextTable;
+
+void
+printFigure10()
+{
+    std::printf("=== Figure 10: decoder complexity "
+                "(transistor-count model of Section 3.5) ===\n\n");
+
+    TextTable table;
+    table.setHeader({"workload", "byte kT", "stream kT",
+                     "stream_1 kT", "full kT", "tailored kT"});
+
+    std::vector<double> byte_t;
+    std::vector<double> stream_t;
+    std::vector<double> stream1_t;
+    std::vector<double> full_t;
+    std::vector<double> tail_t;
+    for (const auto &named : bench::allArtifacts()) {
+        const auto &a = named.artifacts;
+        const auto kT = [](std::uint64_t t) {
+            return double(t) / 1000.0;
+        };
+        const double byte =
+            kT(decoder::decoderTransistors(a.byteImage));
+        const double stream = kT(decoder::decoderTransistors(
+            a.streamImages[a.bestStreamByDecoder()]));
+        const double stream1 = kT(decoder::decoderTransistors(
+            a.streamImages[a.bestStreamBySize()]));
+        const double full =
+            kT(decoder::decoderTransistors(a.fullImage));
+        const double tailored =
+            kT(decoder::tailoredDecoderTransistors(a.tailoredIsa));
+        byte_t.push_back(byte);
+        stream_t.push_back(stream);
+        stream1_t.push_back(stream1);
+        full_t.push_back(full);
+        tail_t.push_back(tailored);
+        table.addRow({named.name, TextTable::num(byte, 0),
+                      TextTable::num(stream, 0),
+                      TextTable::num(stream1, 0),
+                      TextTable::num(full, 0),
+                      TextTable::num(tailored, 1)});
+    }
+    table.addRow({"average", TextTable::num(support::mean(byte_t), 0),
+                  TextTable::num(support::mean(stream_t), 0),
+                  TextTable::num(support::mean(stream1_t), 0),
+                  TextTable::num(support::mean(full_t), 0),
+                  TextTable::num(support::mean(tail_t), 1)});
+    std::printf("%s\n", table.render().c_str());
+
+    // Dictionary shapes behind the model, for the largest workload.
+    const auto &gcc = bench::allArtifacts()[1].artifacts;
+    TextTable dict;
+    dict.setHeader({"scheme (gcc)", "tables", "max n", "entries k",
+                    "m bits"});
+    auto row = [&](const std::string &name,
+                   const schemes::CompressedImage &img) {
+        unsigned max_n = 0;
+        std::size_t k = 0;
+        unsigned max_m = 0;
+        for (std::size_t t = 0; t < img.tables.size(); ++t) {
+            max_n = std::max(max_n, img.tables[t].maxCodeLength());
+            k += img.tables[t].size();
+            max_m = std::max(max_m, img.symbolBits[t]);
+        }
+        dict.addRow({name, std::to_string(img.tables.size()),
+                     std::to_string(max_n), std::to_string(k),
+                     std::to_string(max_m)});
+    };
+    row("byte", gcc.byteImage);
+    row("stream_1", gcc.streamImages[gcc.bestStreamBySize()]);
+    row("full", gcc.fullImage);
+    std::printf("%s\n", dict.render().c_str());
+    std::printf("(reference hardware, Section 3.5: 114-entry decoder "
+                "with 1-16 bit codes = 10k-28k transistors)\n");
+}
+
+void
+BM_DecoderCostModel(benchmark::State &state)
+{
+    const auto &a = bench::allArtifacts().front().artifacts;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            decoder::decoderTransistors(a.fullImage));
+    }
+}
+BENCHMARK(BM_DecoderCostModel);
+
+void
+BM_VerilogEmission(benchmark::State &state)
+{
+    const auto &a = bench::allArtifacts().front().artifacts;
+    for (auto _ : state) {
+        auto text = a.tailoredIsa.emitVerilog("decoder");
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_VerilogEmission)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+TEPIC_BENCH_MAIN(printFigure10)

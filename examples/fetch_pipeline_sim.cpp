@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fetch-pipeline simulator: run the paper's three IFetch
+ * organisations over one workload and break the cycles down.
+ *
+ *   $ ./fetch_pipeline_sim m88ksim
+ *   $ ./fetch_pipeline_sim gcc --cache-kb 8     # shrink the caches
+ *   $ ./fetch_pipeline_sim perl --atb 16        # starve the ATB
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using tepic::fetch::SchemeClass;
+    using tepic::support::TextTable;
+
+    std::string name = "m88ksim";
+    unsigned cache_kb = 0;  // 0 = paper default
+    unsigned atb = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cache-kb") == 0 && i + 1 < argc)
+            cache_kb = unsigned(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--atb") == 0 && i + 1 < argc)
+            atb = unsigned(std::atoi(argv[++i]));
+        else
+            name = argv[i];
+    }
+
+    const auto &workload = tepic::workloads::workloadByName(name);
+    std::printf("workload: %s — %s\n", workload.name.c_str(),
+                workload.description.c_str());
+
+    const auto artifacts = tepic::core::buildArtifacts(workload.source);
+    std::printf("trace: %zu block fetches, %lu dynamic ops\n\n",
+                artifacts.execution.trace.events.size(),
+                (unsigned long)artifacts.execution.dynamicOps);
+
+    TextTable table;
+    table.setHeader({"scheme", "image KB", "cycles", "IPC",
+                     "vs ideal", "L1 hit", "L0 hit", "pred acc",
+                     "ATB hit", "Mbit flips"});
+    for (auto scheme : {SchemeClass::kBase, SchemeClass::kCompressed,
+                        SchemeClass::kTailored}) {
+        auto config = tepic::fetch::FetchConfig::paper(scheme);
+        if (cache_kb) {
+            config.cache.sets =
+                cache_kb * 1024 /
+                (config.cache.ways * config.cache.lineBytes);
+        }
+        if (atb)
+            config.atbEntries = atb;
+        const auto stats =
+            tepic::core::runFetch(artifacts, scheme, config);
+        const auto &image = tepic::core::imageFor(artifacts, scheme);
+        const double l0 = stats.l0Hits + stats.l0Misses
+            ? double(stats.l0Hits) /
+                  double(stats.l0Hits + stats.l0Misses)
+            : 0.0;
+        table.addRow(
+            {tepic::fetch::schemeClassName(scheme),
+             TextTable::num(double(image.bitSize) / 8.0 / 1024.0, 1),
+             std::to_string(stats.cycles),
+             TextTable::num(stats.ipc(), 3),
+             TextTable::percent(stats.ipc() / stats.idealIpc()),
+             TextTable::percent(stats.l1HitRate(), 2),
+             TextTable::percent(l0, 1),
+             TextTable::percent(stats.predictionAccuracy(), 1),
+             TextTable::percent(
+                 double(stats.atbHits) /
+                     double(stats.atbHits + stats.atbMisses), 1),
+             TextTable::num(double(stats.busBitFlips) / 1e6, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n(ideal = perfect cache + perfect prediction: "
+                "IPC %.3f)\n",
+                double(artifacts.execution.dynamicOps) /
+                    double(artifacts.execution.dynamicMops));
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tailored-decoder generator: the compiler-emits-the-decoder story of
+ * the paper (§2.3: "the Verilog code for the decoder is produced by
+ * the compiler and used to configure the PLA").
+ *
+ *   $ ./tailored_decoder_gen matmul            # print to stdout
+ *   $ ./tailored_decoder_gen gcc decoder.v     # write to a file
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pipeline.hh"
+#include "decoder/complexity.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "matmul";
+    const auto &workload = tepic::workloads::workloadByName(name);
+
+    tepic::core::PipelineConfig config;
+    config.buildAllStreamConfigs = false;
+    const auto artifacts =
+        tepic::core::buildArtifacts(workload.source, config);
+
+    const auto &isa = artifacts.tailoredIsa;
+    std::fprintf(stderr,
+                 "tailored ISA for %s: header %u bits, %u opcodes, "
+                 "image %.1f%% of baseline, PLA estimate %lu "
+                 "transistors\n",
+                 name.c_str(), isa.headerBits(),
+                 isa.distinctOpcodes(),
+                 100.0 * artifacts.ratio(artifacts.tailoredImage),
+                 (unsigned long)
+                     tepic::decoder::tailoredDecoderTransistors(isa));
+
+    const std::string verilog =
+        isa.emitVerilog(name + "_tailored_decoder");
+    if (argc > 2) {
+        std::ofstream out(argv[2]);
+        out << verilog;
+        std::fprintf(stderr, "wrote %zu bytes to %s\n",
+                     verilog.size(), argv[2]);
+    } else {
+        std::fputs(verilog.c_str(), stdout);
+    }
+    return 0;
+}

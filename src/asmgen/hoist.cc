@@ -1,0 +1,192 @@
+#include "asmgen/hoist.hh"
+
+#include <bitset>
+#include <vector>
+
+#include "isa/dataflow.hh"
+#include "support/logging.hh"
+
+namespace tepic::asmgen {
+
+namespace {
+
+using isa::Opcode;
+using isa::Operation;
+using LiveSet = std::bitset<isa::kNumRegRefs>;
+
+/** Control-flow facts about a laid-out block. */
+struct BlockInfo
+{
+    bool endsInCall = false;
+    bool endsInRet = false;
+    bool conditional = false;  ///< ends in brct/brcf
+    std::vector<isa::BlockId> successors;
+};
+
+BlockInfo
+analyse(const LayoutBlock &blk)
+{
+    BlockInfo info;
+    const bool has_branch =
+        !blk.ops.empty() && blk.ops.back().isBranch();
+    if (!has_branch) {
+        if (blk.fallthrough != isa::kNoBlock)
+            info.successors.push_back(blk.fallthrough);
+        return info;
+    }
+    switch (blk.ops.back().opcode()) {
+      case Opcode::kBr:
+        info.successors.push_back(blk.branchTarget);
+        break;
+      case Opcode::kBrct:
+      case Opcode::kBrcf:
+      case Opcode::kBrlc:
+        info.conditional = true;
+        info.successors.push_back(blk.branchTarget);
+        if (blk.fallthrough != isa::kNoBlock)
+            info.successors.push_back(blk.fallthrough);
+        break;
+      case Opcode::kCall:
+        // Control enters the callee; the continuation is reached via
+        // the matching return. Treated as a liveness barrier.
+        info.endsInCall = true;
+        info.successors.push_back(blk.branchTarget);
+        break;
+      case Opcode::kRet:
+        info.endsInRet = true;
+        break;
+      default:
+        TEPIC_PANIC("unexpected control opcode");
+    }
+    return info;
+}
+
+/** Per-block upward-exposed uses and defs. */
+void
+genKill(const LayoutBlock &blk, LiveSet &gen, LiveSet &kill)
+{
+    for (const auto &op : blk.ops) {
+        for (const auto &use : isa::operationUses(op)) {
+            const unsigned idx = isa::regRefIndex(use);
+            if (!kill.test(idx))
+                gen.set(idx);
+        }
+        for (const auto &def : isa::operationDefs(op))
+            kill.set(isa::regRefIndex(def));
+    }
+}
+
+} // namespace
+
+HoistStats
+hoistSpeculatively(LaidOutProgram &laid, const HoistOptions &options)
+{
+    HoistStats stats;
+    if (!options.enabled)
+        return stats;
+
+    const std::size_t n = laid.blocks.size();
+    std::vector<BlockInfo> info(n);
+    for (std::size_t b = 0; b < n; ++b)
+        info[b] = analyse(laid.blocks[b]);
+
+    // Predecessor counts (for the single-entry child condition).
+    std::vector<unsigned> pred_count(n, 0);
+    for (std::size_t b = 0; b < n; ++b)
+        for (auto succ : info[b].successors)
+            ++pred_count[succ];
+
+    // Physical-register liveness. Call boundaries and returns are
+    // all-live (interprocedural effects are not tracked).
+    std::vector<LiveSet> gen(n);
+    std::vector<LiveSet> kill(n);
+    for (std::size_t b = 0; b < n; ++b)
+        genKill(laid.blocks[b], gen[b], kill[b]);
+
+    std::vector<LiveSet> live_in(n);
+    std::vector<LiveSet> live_out(n);
+    const LiveSet all = LiveSet().set();
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = n; b-- > 0;) {
+            LiveSet out;
+            if (info[b].endsInRet || info[b].endsInCall) {
+                out = all;
+            } else {
+                for (auto succ : info[b].successors)
+                    out |= live_in[succ];
+            }
+            LiveSet in = gen[b] | (out & ~kill[b]);
+            if (in != live_in[b] || out != live_out[b]) {
+                live_in[b] = in;
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // Hoist over every conditional edge with a single-entry child.
+    for (std::size_t p = 0; p < n; ++p) {
+        if (!info[p].conditional)
+            continue;
+        const isa::BlockId child = laid.blocks[p].fallthrough;
+        const isa::BlockId taken = laid.blocks[p].branchTarget;
+        if (child == isa::kNoBlock || taken == isa::kNoBlock ||
+            child == taken || child == isa::BlockId(p)) {
+            continue;
+        }
+        if (pred_count[child] != 1)
+            continue;
+        ++stats.edgesConsidered;
+
+        auto &parent_ops = laid.blocks[p].ops;
+        auto &child_ops = laid.blocks[child].ops;
+        const LiveSet &taken_live = live_in[taken];
+
+        unsigned moved = 0;
+        // Keep at least one op in the child (an atomic fetch block
+        // cannot be empty).
+        while (moved < options.maxOpsPerEdge && child_ops.size() > 1) {
+            const Operation &op = child_ops.front();
+            if (op.isBranch() || op.isMemory())
+                break;
+            if (op.pred() != isa::kPredTrue)
+                break;  // predicated: merge semantics block motion
+            // No division speculation (a hoisted div could fault on
+            // the taken path where its operands are arbitrary).
+            if (op.opType() == isa::OpType::kInt &&
+                (op.opcode() == Opcode::kDiv ||
+                 op.opcode() == Opcode::kRem)) {
+                break;
+            }
+            bool safe = true;
+            for (const auto &def : isa::operationDefs(op)) {
+                if (def.space == isa::RegSpace::kPred ||
+                    taken_live.test(isa::regRefIndex(def))) {
+                    safe = false;
+                    break;
+                }
+            }
+            if (!safe)
+                break;
+
+            Operation hoisted = op;
+            hoisted.setField(isa::FieldKind::kSpec, 1);
+            hoisted.setTail(false);
+            // Insert before the parent's control op.
+            parent_ops.insert(parent_ops.end() - 1,
+                              std::move(hoisted));
+            child_ops.erase(child_ops.begin());
+            ++moved;
+            ++stats.hoistedOps;
+        }
+        // The liveness sets are not recomputed between edges; the
+        // single-entry condition keeps this sound (the moved ops'
+        // dests were dead on every path that does not reach the
+        // child, and the child is reached only through the parent).
+    }
+    return stats;
+}
+
+} // namespace tepic::asmgen

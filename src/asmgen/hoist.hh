@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Treegion-style speculative code motion (§3.1 / §2.1 of the paper).
+ *
+ * The paper's LEGO compiler schedules *treegions* — trees of basic
+ * blocks — hoisting operations above conditional branches and marking
+ * them with the encoding's S (speculative) bit, then decomposes back
+ * into basic blocks. This pass reproduces that effect on the laid-out
+ * program: for a parent block P ending in a conditional branch whose
+ * fallthrough child C has P as its only predecessor, a prefix of C's
+ * operations moves up into P when provably safe:
+ *
+ *  - the op is not a memory access, control transfer or predicated op
+ *    (classic restrictions for safe speculation without recovery);
+ *  - it writes no predicate register (P's branch reads one);
+ *  - every destination is dead on P's taken path (computed from a
+ *    physical-register liveness fixpoint over the laid-out CFG; call
+ *    and return boundaries are treated as all-live).
+ *
+ * Hoisted ops get the S bit set — exactly what the TEPIC encoding
+ * reserves it for — so speculation is visible in the compressed
+ * images and the disassembly. The scheduler then fills P's issue
+ * slots with them, raising ILP on the fallthrough path at zero
+ * architectural cost on the taken path.
+ */
+
+#ifndef TEPIC_ASMGEN_HOIST_HH
+#define TEPIC_ASMGEN_HOIST_HH
+
+#include "asmgen/layout.hh"
+
+namespace tepic::asmgen {
+
+struct HoistOptions
+{
+    bool enabled = true;
+    unsigned maxOpsPerEdge = 4;  ///< hoist budget per branch
+};
+
+struct HoistStats
+{
+    unsigned hoistedOps = 0;
+    unsigned edgesConsidered = 0;
+};
+
+/** Run speculative hoisting over @p laid, in place. */
+HoistStats hoistSpeculatively(LaidOutProgram &laid,
+                              const HoistOptions &options = {});
+
+} // namespace tepic::asmgen
+
+#endif // TEPIC_ASMGEN_HOIST_HH

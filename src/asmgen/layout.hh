@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Final code layout: EmittedProgram -> ordered blocks with concrete
+ * control-transfer operations and global block ids.
+ *
+ * The layout is weight-driven (the paper's compiler is profile-driven):
+ * each function is laid out as greedy chains that keep the hottest
+ * successor as the fallthrough, so taken branches are rarer on hot
+ * paths. A call block's continuation is always placed immediately
+ * after it — the continuation *is* the architectural return address.
+ *
+ * Branch targets are recorded as global block ids in the Branch
+ * format's 16-bit target field (§3.3: the original address space is
+ * block-granular and translated through the ATB at run time; using the
+ * ATT entry index as the architectural target is equivalent and keeps
+ * the field within 16 bits).
+ */
+
+#ifndef TEPIC_ASMGEN_LAYOUT_HH
+#define TEPIC_ASMGEN_LAYOUT_HH
+
+#include "compiler/emit.hh"
+#include "isa/program.hh"
+
+namespace tepic::asmgen {
+
+/** One block in final layout order. */
+struct LayoutBlock
+{
+    std::vector<isa::Operation> ops;  ///< incl. trailing control op
+    isa::BlockId fallthrough = isa::kNoBlock;
+    isa::BlockId branchTarget = isa::kNoBlock;
+    double weight = 1.0;
+    std::string label;
+};
+
+/** A fully laid-out (but not yet scheduled) program. */
+struct LaidOutProgram
+{
+    std::vector<LayoutBlock> blocks;
+    isa::BlockId entry = 0;
+    compiler::DataSegment data;
+
+    /**
+     * Origin of each laid-out block: (function index, function-local
+     * emitted-block index). Synthetic jump stubs map to the branch
+     * block they serve. Used to fold dynamic profiles back into
+     * EmittedBlock weights.
+     */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> blockSource;
+};
+
+/** Lay out @p prog (main's entry becomes block 0). */
+LaidOutProgram layoutProgram(const compiler::EmittedProgram &prog);
+
+} // namespace tepic::asmgen
+
+#endif // TEPIC_ASMGEN_LAYOUT_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Abstract syntax tree for tinkerc.
+ *
+ * The grammar (informal):
+ *
+ *   program   := (global | function)*
+ *   global    := "var" ident (":" type)? ("[" intlit "]")?
+ *                ("=" intlit ("," intlit)*)? ";"
+ *   function  := "func" ident "(" params? ")" (":" type)? block
+ *   params    := ident (":" type)? ("," ident (":" type)?)*
+ *   block     := "{" stmt* "}"
+ *   stmt      := "var" ident (":" type)? ("=" expr)? ";"
+ *              | "var" ident (":" type)? "[" intlit "]" ";"
+ *              | ident "=" expr ";"
+ *              | ident "[" expr "]" "=" expr ";"
+ *              | "if" "(" expr ")" block ("else" (block | ifstmt))?
+ *              | "while" "(" expr ")" block
+ *              | "for" "(" simple? ";" expr? ";" simple? ")" block
+ *              | "return" expr? ";" | "break" ";" | "continue" ";"
+ *              | expr ";"
+ *   expr      := C-like precedence: || && | ^ & ==/!= relational
+ *                shifts additive multiplicative unary postfix primary
+ *   primary   := intlit | floatlit | ident | ident "(" args? ")"
+ *              | ident "[" expr "]" | "(" expr ")"
+ *              | ("int" | "float") "(" expr ")"        // casts
+ *
+ * Types default to int when the ":" type annotation is omitted.
+ */
+
+#ifndef TEPIC_COMPILER_AST_HH
+#define TEPIC_COMPILER_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tepic::compiler {
+
+/** Source-level value types. */
+enum class Type : std::uint8_t { kInt, kFloat };
+
+enum class BinOp : std::uint8_t {
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kLogAnd, kLogOr,
+};
+
+enum class UnOp : std::uint8_t {
+    kNeg,     ///< -x
+    kBitNot,  ///< ~x
+    kLogNot,  ///< !x
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+    kIntLit,
+    kFloatLit,
+    kVarRef,
+    kIndex,   ///< name[expr]
+    kCall,    ///< name(args)
+    kUnary,
+    kBinary,
+    kCast,    ///< int(expr) / float(expr)
+};
+
+struct Expr
+{
+    ExprKind kind;
+    unsigned line = 0;
+
+    std::int64_t intValue = 0;  ///< kIntLit
+    double floatValue = 0.0;    ///< kFloatLit
+    std::string name;           ///< kVarRef / kIndex / kCall
+    BinOp binOp = BinOp::kAdd;  ///< kBinary
+    UnOp unOp = UnOp::kNeg;     ///< kUnary
+    Type castTo = Type::kInt;   ///< kCast
+    ExprPtr lhs;                ///< kBinary lhs / kUnary,kCast,kIndex operand
+    ExprPtr rhs;                ///< kBinary rhs
+    std::vector<ExprPtr> args;  ///< kCall
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+    kVarDecl,     ///< var name = init?
+    kArrayDecl,   ///< var name[size]
+    kAssign,      ///< name = expr
+    kIndexAssign, ///< name[index] = expr
+    kIf,
+    kWhile,
+    kFor,
+    kReturn,
+    kBreak,
+    kContinue,
+    kExprStmt,    ///< expression evaluated for side effects
+    kBlock,
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    unsigned line = 0;
+
+    std::string name;            ///< decl/assign target
+    Type type = Type::kInt;      ///< decl type
+    std::uint32_t arraySize = 0; ///< kArrayDecl
+    ExprPtr value;               ///< init / RHS / condition / return value
+    ExprPtr index;               ///< kIndexAssign subscript
+    StmtPtr init;                ///< kFor initialiser
+    StmtPtr step;                ///< kFor step
+    StmtPtr body;                ///< if-then / loop body (kBlock)
+    StmtPtr elseBody;            ///< kIf else branch
+    std::vector<StmtPtr> stmts;  ///< kBlock
+};
+
+struct Param
+{
+    std::string name;
+    Type type = Type::kInt;
+};
+
+struct FuncDecl
+{
+    std::string name;
+    std::vector<Param> params;
+    bool hasReturn = false;
+    Type returnType = Type::kInt;
+    StmtPtr body;  ///< kBlock
+    unsigned line = 0;
+};
+
+struct GlobalDecl
+{
+    std::string name;
+    Type type = Type::kInt;
+    std::uint32_t arraySize = 0;  ///< 0 for scalars
+    std::vector<std::int64_t> intInit;
+    std::vector<double> floatInit;
+    unsigned line = 0;
+};
+
+struct AstProgram
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_AST_HH

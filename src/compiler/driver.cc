@@ -1,0 +1,70 @@
+#include "compiler/driver.hh"
+
+#include "asmgen/layout.hh"
+#include "compiler/irgen.hh"
+#include "compiler/lower.hh"
+#include "compiler/parser.hh"
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+/** Layout + schedule one EmittedProgram into a CompiledProgram. */
+void
+layoutAndSchedule(CompiledProgram &out,
+                  const isa::MachineConfig &machine)
+{
+    asmgen::LaidOutProgram laid = asmgen::layoutProgram(out.emitted);
+    out.hoistStats =
+        asmgen::hoistSpeculatively(laid, out.hoistOptions);
+    out.blockSource = laid.blockSource;
+    out.schedStats = ScheduleStats{};
+    out.program = scheduleProgram(laid, machine, &out.schedStats);
+    out.data = laid.data;
+}
+
+} // namespace
+
+CompiledProgram
+compileSource(const std::string &source, const CompileOptions &options)
+{
+    AstProgram ast = parse(source);
+    ir::IrModule module = generateIr(ast);
+    optimise(module, options.opt);
+    for (auto &fn : module.functions)
+        ir::estimateWeights(fn, options.loopWeightFactor);
+
+    LirProgram lir = lower(module);
+    CompiledProgram out;
+    out.hoistOptions = options.hoist;
+    out.raStats = allocateRegisters(lir);
+    out.emitted = emit(lir);
+    layoutAndSchedule(out, options.machine);
+    return out;
+}
+
+void
+applyProfileAndRelayout(CompiledProgram &compiled,
+                        const std::vector<std::uint64_t> &counts,
+                        const isa::MachineConfig &machine)
+{
+    TEPIC_ASSERT(counts.size() == compiled.blockSource.size(),
+                 "profile size mismatch: ", counts.size(), " vs ",
+                 compiled.blockSource.size());
+
+    // Reset weights, then accumulate measured counts (stubs fold into
+    // the branch block they serve).
+    for (auto &fn : compiled.emitted.functions)
+        for (auto &blk : fn.blocks)
+            blk.weight = 0.0;
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+        const auto [f, l] = compiled.blockSource[g];
+        compiled.emitted.functions[f].blocks[l].weight +=
+            double(counts[g]);
+    }
+    layoutAndSchedule(compiled, machine);
+}
+
+} // namespace tepic::compiler

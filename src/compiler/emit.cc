@@ -1,0 +1,525 @@
+#include "compiler/emit.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+using isa::Opcode;
+using isa::Operation;
+using isa::OpType;
+
+constexpr std::int32_t kImmMin = -(1 << 19);
+constexpr std::int32_t kImmMax = (1 << 19) - 1;
+
+/** BHWX encodings: word for 32-bit ints, xword for 64-bit floats. */
+constexpr unsigned kBhwxWord = 2;
+constexpr unsigned kBhwxXword = 3;
+
+/** Byte offsets of everything in a frame. */
+struct FrameLayout
+{
+    bool hasFrame = false;
+    bool savesLink = false;
+    std::uint32_t linkOffset = 0;
+    std::vector<std::pair<unsigned, std::uint32_t>> savedGpr;
+    std::vector<std::pair<unsigned, std::uint32_t>> savedFpr;
+    std::vector<std::uint32_t> slotOffset;
+    std::uint32_t frameBytes = 0;
+
+    static FrameLayout
+    compute(const LirFunction &fn)
+    {
+        FrameLayout fl;
+        std::uint32_t cursor = 0;
+        if (!fn.isLeaf) {
+            fl.savesLink = true;
+            fl.linkOffset = cursor;
+            cursor += 8;
+        }
+        for (unsigned r : fn.usedCalleeSavedGpr) {
+            fl.savedGpr.emplace_back(r, cursor);
+            cursor += 8;
+        }
+        for (unsigned r : fn.usedCalleeSavedFpr) {
+            fl.savedFpr.emplace_back(r, cursor);
+            cursor += 8;
+        }
+        for (const auto &slot : fn.frame) {
+            fl.slotOffset.push_back(cursor);
+            cursor += (slot.sizeBytes + 7) & ~7u;
+        }
+        fl.frameBytes = cursor;
+        fl.hasFrame = cursor > 0;
+        return fl;
+    }
+};
+
+/** One pending register-to-register move for the parallel resolver. */
+struct Move
+{
+    RegClass cls;
+    unsigned src;
+    unsigned dst;
+};
+
+class FunctionEmitter
+{
+  public:
+    FunctionEmitter(const LirProgram &prog, const LirFunction &fn)
+        : prog_(prog), fn_(fn), frame_(FrameLayout::compute(fn)) {}
+
+    EmittedFunction
+    run()
+    {
+        EmittedFunction out;
+        out.name = fn_.name;
+        for (std::size_t b = 0; b < fn_.blocks.size(); ++b)
+            out.blocks.push_back(emitBlock(std::uint32_t(b)));
+        return out;
+    }
+
+  private:
+    const LirProgram &prog_;
+    const LirFunction &fn_;
+    FrameLayout frame_;
+    std::vector<Operation> *ops_ = nullptr;
+
+    // ---- tiny op builders ----
+
+    void push(Operation op) { ops_->push_back(std::move(op)); }
+
+    void
+    ldi(unsigned dest, std::int32_t value,
+        unsigned pred = isa::kPredTrue)
+    {
+        TEPIC_ASSERT(value >= kImmMin && value <= kImmMax,
+                     "immediate out of range at emission: ", value);
+        Operation op = Operation::make(OpType::kInt, Opcode::kLdi);
+        op.setDest(dest);
+        op.setImm(std::uint32_t(value) & 0xfffff);
+        op.setPred(pred);
+        push(std::move(op));
+    }
+
+    void
+    alu(Opcode opcode, unsigned dest, unsigned src1, unsigned src2,
+        unsigned pred = isa::kPredTrue)
+    {
+        Operation op = Operation::make(OpType::kInt, opcode);
+        op.setDest(dest);
+        op.setSrc1(src1);
+        op.setSrc2(src2);
+        op.setField(isa::FieldKind::kBhwx, kBhwxWord);
+        op.setPred(pred);
+        push(std::move(op));
+    }
+
+    void
+    movReg(RegClass cls, unsigned dest, unsigned src)
+    {
+        if (dest == src)
+            return;
+        if (cls == RegClass::kFloat) {
+            Operation op = Operation::make(OpType::kFloat, Opcode::kFmov);
+            op.setDest(dest);
+            op.setSrc1(src);
+            push(std::move(op));
+        } else {
+            alu(Opcode::kMov, dest, src, 0);
+        }
+    }
+
+    /** dest(reg) <- r30 + byte offset; clobbers r1 when offset != 0. */
+    void
+    spAddr(unsigned dest, std::uint32_t offset)
+    {
+        if (offset == 0) {
+            alu(Opcode::kAdd, dest, RegConv::kSp, RegConv::kZero);
+            return;
+        }
+        ldi(RegConv::kAddrTemp, std::int32_t(offset));
+        alu(Opcode::kAdd, dest, RegConv::kSp, RegConv::kAddrTemp);
+    }
+
+    void
+    loadOp(RegClass cls, unsigned dest, unsigned addr_reg)
+    {
+        Operation op = Operation::make(
+            OpType::kMemory,
+            cls == RegClass::kFloat ? Opcode::kFload : Opcode::kLoad);
+        op.setDest(dest);
+        op.setSrc1(addr_reg);
+        op.setField(isa::FieldKind::kBhwx,
+                    cls == RegClass::kFloat ? kBhwxXword : kBhwxWord);
+        op.setField(isa::FieldKind::kLat, 2);
+        push(std::move(op));
+    }
+
+    void
+    storeOp(RegClass cls, unsigned addr_reg, unsigned value_reg)
+    {
+        Operation op = Operation::make(
+            OpType::kMemory,
+            cls == RegClass::kFloat ? Opcode::kFstore : Opcode::kStore);
+        op.setSrc1(addr_reg);
+        op.setSrc2(value_reg);
+        op.setField(isa::FieldKind::kBhwx,
+                    cls == RegClass::kFloat ? kBhwxXword : kBhwxWord);
+        push(std::move(op));
+    }
+
+    /** Load/store a register to a frame slot (clobbers r1). */
+    void
+    slotLoad(RegClass cls, unsigned dest, std::uint32_t slot)
+    {
+        spAddr(RegConv::kAddrTemp, frame_.slotOffset[slot]);
+        loadOp(cls, dest, RegConv::kAddrTemp);
+    }
+
+    void
+    slotStore(RegClass cls, unsigned src, std::uint32_t slot)
+    {
+        spAddr(RegConv::kAddrTemp, frame_.slotOffset[slot]);
+        storeOp(cls, RegConv::kAddrTemp, src);
+    }
+
+    /** Store/load at a raw frame offset (for link/callee saves). */
+    void
+    frameStore(RegClass cls, unsigned src, std::uint32_t offset)
+    {
+        spAddr(RegConv::kAddrTemp, offset);
+        storeOp(cls, RegConv::kAddrTemp, src);
+    }
+
+    void
+    frameLoad(RegClass cls, unsigned dest, std::uint32_t offset)
+    {
+        spAddr(RegConv::kAddrTemp, offset);
+        loadOp(cls, dest, RegConv::kAddrTemp);
+    }
+
+    // ---- parallel moves ----
+
+    /**
+     * Emit reg-to-reg moves that behave as if simultaneous. Cycles are
+     * broken through the class's reserved spill temp A (free at the
+     * points where parallel moves occur).
+     */
+    void
+    parallelMoves(std::vector<Move> moves)
+    {
+        moves.erase(std::remove_if(moves.begin(), moves.end(),
+                                   [](const Move &m) {
+                                       return m.src == m.dst;
+                                   }),
+                    moves.end());
+        while (!moves.empty()) {
+            bool progress = false;
+            for (std::size_t i = 0; i < moves.size(); ++i) {
+                const Move m = moves[i];
+                // Safe if no remaining move reads m.dst (same class).
+                bool blocked = false;
+                for (std::size_t j = 0; j < moves.size(); ++j) {
+                    if (j != i && moves[j].cls == m.cls &&
+                        moves[j].src == m.dst) {
+                        blocked = true;
+                        break;
+                    }
+                }
+                if (!blocked) {
+                    movReg(m.cls, m.dst, m.src);
+                    moves.erase(moves.begin() + std::ptrdiff_t(i));
+                    progress = true;
+                    break;
+                }
+            }
+            if (progress)
+                continue;
+            // Pure cycle: rotate through the reserved temp.
+            Move m = moves.front();
+            const unsigned temp = m.cls == RegClass::kFloat
+                ? RegConv::kFSpillTempA : RegConv::kSpillTempA;
+            movReg(m.cls, temp, m.src);
+            for (auto &other : moves)
+                if (other.cls == m.cls && other.src == m.src)
+                    other.src = temp;
+        }
+    }
+
+    // ---- block pieces ----
+
+    void
+    emitPrologue()
+    {
+        if (frame_.hasFrame) {
+            ldi(RegConv::kAddrTemp, std::int32_t(frame_.frameBytes));
+            alu(Opcode::kSub, RegConv::kSp, RegConv::kSp,
+                RegConv::kAddrTemp);
+            if (frame_.savesLink)
+                frameStore(RegClass::kInt, RegConv::kLink,
+                           frame_.linkOffset);
+            for (const auto &[reg, off] : frame_.savedGpr)
+                frameStore(RegClass::kInt, reg, off);
+            for (const auto &[reg, off] : frame_.savedFpr)
+                frameStore(RegClass::kFloat, reg, off);
+        }
+
+        // Move parameters from the argument registers to their homes.
+        std::vector<Move> moves;
+        std::vector<std::pair<Loc, unsigned>> to_slots;  // (loc, argreg)
+        std::vector<RegClass> slot_cls;
+        unsigned next_int = 0;
+        unsigned next_float = 0;
+        for (std::size_t i = 0; i < fn_.paramClasses.size(); ++i) {
+            const RegClass cls = fn_.paramClasses[i];
+            const unsigned arg_reg = cls == RegClass::kFloat
+                ? RegConv::kFFirstArg + next_float++
+                : RegConv::kFirstArg + next_int++;
+            const Loc loc = fn_.paramLocs[i];
+            if (loc.kind == Loc::kReg) {
+                moves.push_back({cls, arg_reg, loc.reg});
+            } else if (loc.kind == Loc::kSlot) {
+                to_slots.push_back({loc, arg_reg});
+                slot_cls.push_back(cls);
+            }
+            // Loc::kNone: parameter never used; drop it.
+        }
+        // Stores first (they only read argument registers), then the
+        // register permutation.
+        for (std::size_t i = 0; i < to_slots.size(); ++i)
+            slotStore(slot_cls[i], to_slots[i].second,
+                      to_slots[i].first.slot);
+        parallelMoves(std::move(moves));
+    }
+
+    void
+    emitEpilogue(const LirTerm &term)
+    {
+        // Return value into r3/f0 before restores (it may live in a
+        // callee-saved register about to be reloaded).
+        if (term.valueVreg != ir::kNoVreg) {
+            const unsigned ret_reg = term.valueCls == RegClass::kFloat
+                ? RegConv::kFRetVal : RegConv::kRetVal;
+            movReg(term.valueCls, ret_reg, unsigned(term.valueVreg));
+        }
+        if (frame_.hasFrame) {
+            for (const auto &[reg, off] : frame_.savedGpr)
+                frameLoad(RegClass::kInt, reg, off);
+            for (const auto &[reg, off] : frame_.savedFpr)
+                frameLoad(RegClass::kFloat, reg, off);
+            if (frame_.savesLink)
+                frameLoad(RegClass::kInt, RegConv::kLink,
+                          frame_.linkOffset);
+            ldi(RegConv::kAddrTemp, std::int32_t(frame_.frameBytes));
+            alu(Opcode::kAdd, RegConv::kSp, RegConv::kSp,
+                RegConv::kAddrTemp);
+        }
+    }
+
+    void
+    emitCallSequence(const LirTerm &term)
+    {
+        // Register args as a parallel move; spilled args loaded
+        // directly into their argument register afterwards.
+        std::vector<Move> moves;
+        std::vector<std::pair<std::uint32_t, unsigned>> from_slots;
+        std::vector<RegClass> slot_cls;
+        unsigned next_int = 0;
+        unsigned next_float = 0;
+        for (std::size_t i = 0; i < term.args.size(); ++i) {
+            const RegClass cls = term.argClasses[i];
+            const unsigned arg_reg = cls == RegClass::kFloat
+                ? RegConv::kFFirstArg + next_float++
+                : RegConv::kFirstArg + next_int++;
+            const Loc loc = term.argLocs[i];
+            TEPIC_ASSERT(loc.kind != Loc::kNone, "missing arg location");
+            if (loc.kind == Loc::kReg) {
+                moves.push_back({cls, loc.reg, arg_reg});
+            } else {
+                from_slots.push_back({loc.slot, arg_reg});
+                slot_cls.push_back(cls);
+            }
+        }
+        parallelMoves(std::move(moves));
+        for (std::size_t i = 0; i < from_slots.size(); ++i)
+            slotLoad(slot_cls[i], from_slots[i].second,
+                     from_slots[i].first);
+    }
+
+    void
+    expandPseudo(const LirOp &op)
+    {
+        switch (op.pseudo) {
+          case LirPseudo::kFrameAddr:
+            spAddr(unsigned(op.dest),
+                   frame_.slotOffset[std::uint32_t(op.imm)]);
+            break;
+          case LirPseudo::kSpillLoad:
+            slotLoad(op.destCls, unsigned(op.dest),
+                     std::uint32_t(op.imm));
+            break;
+          case LirPseudo::kSpillStore:
+            slotStore(op.src1Cls, unsigned(op.src1),
+                      std::uint32_t(op.imm));
+            break;
+          case LirPseudo::kNone:
+            TEPIC_PANIC("not a pseudo");
+        }
+    }
+
+    void
+    emitBody(const LirOp &op)
+    {
+        if (op.pseudo != LirPseudo::kNone) {
+            expandPseudo(op);
+            return;
+        }
+        // Compare-to-predicate: the predicate number travels in imm.
+        const bool is_cmpp =
+            (op.type == OpType::kInt &&
+             op.opcode >= Opcode::kCmppEq &&
+             op.opcode <= Opcode::kCmppGe) ||
+            (op.type == OpType::kFloat &&
+             (op.opcode == Opcode::kFcmppEq ||
+              op.opcode == Opcode::kFcmppLt ||
+              op.opcode == Opcode::kFcmppLe));
+
+        Operation out = Operation::make(op.type, op.opcode);
+        out.setPred(op.pred);
+        if (is_cmpp) {
+            out.setDest(unsigned(op.imm));  // predicate register
+            out.setSrc1(unsigned(op.src1));
+            out.setSrc2(unsigned(op.src2));
+            if (op.type == OpType::kInt)
+                out.setField(isa::FieldKind::kBhwx, kBhwxWord);
+            push(std::move(out));
+            return;
+        }
+        switch (out.format()) {
+          case isa::Format::kLoadImm:
+            out.setDest(unsigned(op.dest));
+            out.setImm(std::uint32_t(op.imm) & 0xfffff);
+            TEPIC_ASSERT(op.imm >= kImmMin && op.imm <= kImmMax,
+                         "ldi immediate out of range: ", op.imm);
+            break;
+          case isa::Format::kIntAlu:
+            out.setDest(unsigned(op.dest));
+            out.setSrc1(unsigned(op.src1));
+            if (op.src2 != ir::kNoVreg)
+                out.setSrc2(unsigned(op.src2));
+            out.setField(isa::FieldKind::kBhwx, kBhwxWord);
+            break;
+          case isa::Format::kFloatAlu:
+            out.setDest(unsigned(op.dest));
+            out.setSrc1(unsigned(op.src1));
+            if (op.src2 != ir::kNoVreg)
+                out.setSrc2(unsigned(op.src2));
+            out.setField(isa::FieldKind::kSd, 1);  // double precision
+            break;
+          case isa::Format::kLoad:
+            out.setDest(unsigned(op.dest));
+            out.setSrc1(unsigned(op.src1));
+            out.setField(isa::FieldKind::kBhwx,
+                         op.opcode == Opcode::kFload ? kBhwxXword
+                                                     : kBhwxWord);
+            out.setField(isa::FieldKind::kLat, 2);
+            break;
+          case isa::Format::kStore:
+            out.setSrc1(unsigned(op.src1));
+            out.setSrc2(unsigned(op.src2));
+            out.setField(isa::FieldKind::kBhwx,
+                         op.opcode == Opcode::kFstore ? kBhwxXword
+                                                      : kBhwxWord);
+            break;
+          default:
+            TEPIC_PANIC("unexpected format in emitBody: ",
+                        isa::formatName(out.format()));
+        }
+        push(std::move(out));
+    }
+
+    EmittedBlock
+    emitBlock(std::uint32_t b)
+    {
+        const LirBlock &blk = fn_.blocks[b];
+        EmittedBlock out;
+        out.weight = blk.weight;
+        out.label = blk.label;
+        ops_ = &out.ops;
+
+        if (b == 0)
+            emitPrologue();
+
+        if (blk.receivesCallResult) {
+            const unsigned ret_reg = blk.resultCls == RegClass::kFloat
+                ? RegConv::kFRetVal : RegConv::kRetVal;
+            if (blk.resultLoc.kind == Loc::kReg)
+                movReg(blk.resultCls, blk.resultLoc.reg, ret_reg);
+            else if (blk.resultLoc.kind == Loc::kSlot)
+                slotStore(blk.resultCls, ret_reg, blk.resultLoc.slot);
+        }
+
+        for (const auto &op : blk.body)
+            emitBody(op);
+
+        switch (blk.term.kind) {
+          case LirTerm::kJmp:
+            out.term = EmittedBlock::Term::kJmp;
+            out.thenTarget = blk.term.thenTarget;
+            break;
+          case LirTerm::kBr:
+            out.term = EmittedBlock::Term::kBr;
+            out.thenTarget = blk.term.thenTarget;
+            out.elseTarget = blk.term.elseTarget;
+            if (blk.term.onPred) {
+                out.predReg = blk.term.predReg;
+                out.senseTrue = blk.term.senseTrue;
+            } else {
+                // cond != 0 ? then : else
+                Operation cmp =
+                    Operation::make(OpType::kInt, Opcode::kCmppNe);
+                cmp.setDest(kEmitPred);
+                cmp.setSrc1(unsigned(blk.term.cond));
+                cmp.setSrc2(RegConv::kZero);
+                cmp.setField(isa::FieldKind::kBhwx, kBhwxWord);
+                push(std::move(cmp));
+                out.predReg = kEmitPred;
+                out.senseTrue = true;
+            }
+            break;
+          case LirTerm::kRet:
+            emitEpilogue(blk.term);
+            out.term = EmittedBlock::Term::kRet;
+            break;
+          case LirTerm::kCall:
+            emitCallSequence(blk.term);
+            out.term = EmittedBlock::Term::kCall;
+            out.thenTarget = blk.term.thenTarget;
+            out.calleeFunc = blk.term.callee;
+            break;
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+EmittedProgram
+emit(const LirProgram &prog)
+{
+    EmittedProgram out;
+    out.data = prog.data;
+    out.mainIndex = prog.mainIndex;
+    for (const auto &fn : prog.functions) {
+        TEPIC_ASSERT(fn.allocated, "emit before register allocation");
+        FunctionEmitter emitter(prog, fn);
+        out.functions.push_back(emitter.run());
+    }
+    return out;
+}
+
+} // namespace tepic::compiler

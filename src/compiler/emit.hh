@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Final code emission: allocated LIR -> sequential TEPIC operations.
+ *
+ * Responsibilities:
+ *  - frame layout (saved link, saved callee-saved registers, spill
+ *    slots and local arrays) and prologue/epilogue synthesis;
+ *  - pseudo-op expansion (frame addressing and spill traffic through
+ *    the reserved temporaries r1/r2/r29, f1/f31);
+ *  - calling sequence: argument parallel moves into r4..r11 / f2..f9
+ *    (cycle-safe), result capture from r3/f0 in the continuation block;
+ *  - compare-to-predicate synthesis for unfused conditional branches
+ *    (reserved predicate p31).
+ *
+ * Control-transfer *operations* are not emitted here: which branch op a
+ * block needs (brct/brcf/br/none) depends on the final code layout, so
+ * asmgen/layout.cc appends them. Emission records the abstract
+ * terminator in EmittedBlock.
+ */
+
+#ifndef TEPIC_COMPILER_EMIT_HH
+#define TEPIC_COMPILER_EMIT_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/lir.hh"
+#include "isa/operation.hh"
+
+namespace tepic::compiler {
+
+/** Predicate register reserved for emission-synthesised compares. */
+constexpr unsigned kEmitPred = 31;
+
+/** Sentinel "return address" that halts the emulator (main's caller). */
+constexpr unsigned kHaltBlockId = 0xffff;
+
+/** A block of straight-line ops plus an abstract terminator. */
+struct EmittedBlock
+{
+    enum class Term : std::uint8_t { kJmp, kBr, kRet, kCall };
+
+    std::vector<isa::Operation> ops;  ///< body (no control transfer)
+    Term term = Term::kJmp;
+    std::uint32_t thenTarget = kNoTarget; ///< function-local index
+    std::uint32_t elseTarget = kNoTarget; ///< kBr fallthrough
+    std::uint32_t calleeFunc = kNoTarget; ///< kCall
+    unsigned predReg = 0;                 ///< kBr predicate
+    bool senseTrue = true;                ///< kBr: taken when pred true?
+    double weight = 1.0;
+    std::string label;
+};
+
+struct EmittedFunction
+{
+    std::string name;
+    std::vector<EmittedBlock> blocks;  ///< entry = 0
+};
+
+struct EmittedProgram
+{
+    std::vector<EmittedFunction> functions;
+    DataSegment data;
+    std::uint32_t mainIndex = 0;
+};
+
+/** Emit every function of an allocated LIR program. */
+EmittedProgram emit(const LirProgram &prog);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_EMIT_HH

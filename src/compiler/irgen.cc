@@ -1,0 +1,799 @@
+#include "compiler/irgen.hh"
+
+#include <unordered_map>
+
+#include "ir/analysis.hh"
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+using ir::IrFunction;
+using ir::IrInstr;
+using ir::IrModule;
+using ir::IrOp;
+using ir::RegClass;
+using ir::Vreg;
+
+RegClass
+classOf(Type type)
+{
+    return type == Type::kFloat ? RegClass::kFloat : RegClass::kInt;
+}
+
+/** What an identifier resolves to. */
+struct Symbol
+{
+    enum Kind { kScalar, kArray, kGlobalScalar, kGlobalArray } kind;
+    Type type = Type::kInt;
+    Vreg vreg = ir::kNoVreg;      ///< kScalar
+    std::uint32_t slot = 0;       ///< kArray: frame slot index
+    std::uint32_t globalIndex = 0;
+};
+
+/** A typed expression value: virtual register + source type. */
+struct Value
+{
+    Vreg vreg = ir::kNoVreg;
+    Type type = Type::kInt;
+};
+
+class IrGen
+{
+  public:
+    explicit IrGen(const AstProgram &ast) : ast_(ast) {}
+
+    IrModule
+    run()
+    {
+        // Globals first so GlobalAddr indices resolve.
+        for (const auto &g : ast_.globals)
+            declareGlobal(g);
+        // Pre-declare functions for forward calls.
+        for (const auto &fn : ast_.functions) {
+            if (funcIndex_.count(fn.name))
+                TEPIC_FATAL("duplicate function '", fn.name, "'");
+            funcIndex_[fn.name] = std::uint32_t(module_.functions.size());
+            IrFunction irfn;
+            irfn.name = fn.name;
+            for (const auto &p : fn.params) {
+                irfn.paramNames.push_back(p.name);
+                irfn.paramClasses.push_back(classOf(p.type));
+            }
+            irfn.returnClass =
+                fn.hasReturn ? classOf(fn.returnType) : RegClass::kNone;
+            module_.functions.push_back(std::move(irfn));
+        }
+        for (const auto &fn : ast_.functions)
+            lowerFunction(fn);
+        module_.validate();
+        return std::move(module_);
+    }
+
+  private:
+    // ---- module-level state ----
+    const AstProgram &ast_;
+    IrModule module_;
+    std::unordered_map<std::string, std::uint32_t> globalIndex_;
+    std::unordered_map<std::string, std::uint32_t> funcIndex_;
+
+    // ---- per-function state ----
+    IrFunction *fn_ = nullptr;
+    const FuncDecl *decl_ = nullptr;
+    std::uint32_t curBlock_ = 0;
+    std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+    std::vector<std::uint32_t> breakTargets_;
+    std::vector<std::uint32_t> continueTargets_;
+
+    void
+    declareGlobal(const GlobalDecl &g)
+    {
+        if (globalIndex_.count(g.name))
+            TEPIC_FATAL("duplicate global '", g.name, "'");
+        globalIndex_[g.name] = std::uint32_t(module_.globals.size());
+        ir::GlobalVar var;
+        var.name = g.name;
+        var.isFloat = g.type == Type::kFloat;
+        const std::uint32_t elems = g.arraySize ? g.arraySize : 1;
+        var.sizeBytes = elems * (var.isFloat ? 8 : 4);
+        if (var.isFloat) {
+            var.finit.assign(g.floatInit.begin(), g.floatInit.end());
+        } else {
+            for (auto v : g.intInit)
+                var.init.push_back(std::int32_t(v));
+        }
+        module_.globals.push_back(std::move(var));
+    }
+
+    // ---- CFG helpers ----
+
+    std::uint32_t
+    newBlock()
+    {
+        fn_->blocks.emplace_back();
+        return std::uint32_t(fn_->blocks.size() - 1);
+    }
+
+    void setBlock(std::uint32_t b) { curBlock_ = b; }
+
+    IrInstr &
+    emit(IrInstr instr)
+    {
+        auto &blk = fn_->blocks[curBlock_];
+        TEPIC_ASSERT(!blk.hasTerminator(),
+                     "emitting into terminated block in ", fn_->name);
+        blk.instrs.push_back(std::move(instr));
+        return blk.instrs.back();
+    }
+
+    bool
+    blockOpen() const
+    {
+        return !fn_->blocks[curBlock_].hasTerminator();
+    }
+
+    void
+    emitJmp(std::uint32_t target)
+    {
+        IrInstr instr;
+        instr.op = IrOp::kJmp;
+        instr.target0 = target;
+        emit(std::move(instr));
+    }
+
+    void
+    emitBr(Vreg cond, std::uint32_t then_b, std::uint32_t else_b)
+    {
+        IrInstr instr;
+        instr.op = IrOp::kBr;
+        instr.src1 = cond;
+        instr.target0 = then_b;
+        instr.target1 = else_b;
+        emit(std::move(instr));
+    }
+
+    // ---- value helpers ----
+
+    Vreg
+    emitSimple(IrOp op, Vreg src1 = ir::kNoVreg, Vreg src2 = ir::kNoVreg)
+    {
+        IrInstr instr;
+        instr.op = op;
+        instr.src1 = src1;
+        instr.src2 = src2;
+        instr.dest = fn_->newVreg(ir::destClass(op));
+        emit(std::move(instr));
+        return fn_->blocks[curBlock_].instrs.back().dest;
+    }
+
+    Vreg
+    emitConst(std::int64_t value)
+    {
+        IrInstr instr;
+        instr.op = IrOp::kConst;
+        instr.imm = value;
+        instr.dest = fn_->newVreg(RegClass::kInt);
+        const Vreg dest = instr.dest;
+        emit(std::move(instr));
+        return dest;
+    }
+
+    Vreg
+    emitFconst(double value)
+    {
+        IrInstr instr;
+        instr.op = IrOp::kFconst;
+        instr.fimm = value;
+        instr.dest = fn_->newVreg(RegClass::kFloat);
+        const Vreg dest = instr.dest;
+        emit(std::move(instr));
+        return dest;
+    }
+
+    /** Coerce @p v to @p want, inserting itof/ftoi if needed. */
+    Value
+    coerce(Value v, Type want)
+    {
+        if (v.type == want)
+            return v;
+        if (want == Type::kFloat)
+            return {emitSimple(IrOp::kItof, v.vreg), Type::kFloat};
+        return {emitSimple(IrOp::kFtoi, v.vreg), Type::kInt};
+    }
+
+    // ---- symbol handling ----
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    Symbol *
+    lookupLocal(const std::string &name)
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    Symbol
+    resolve(const std::string &name, unsigned line)
+    {
+        if (Symbol *sym = lookupLocal(name))
+            return *sym;
+        auto git = globalIndex_.find(name);
+        if (git != globalIndex_.end()) {
+            const auto &g = ast_.globals[git->second];
+            Symbol sym;
+            sym.kind = g.arraySize ? Symbol::kGlobalArray
+                                   : Symbol::kGlobalScalar;
+            sym.type = g.type;
+            sym.globalIndex = git->second;
+            return sym;
+        }
+        TEPIC_FATAL("line ", line, ": undefined identifier '", name, "'");
+    }
+
+    void
+    declareLocal(const std::string &name, Symbol sym, unsigned line)
+    {
+        auto &scope = scopes_.back();
+        if (scope.count(name))
+            TEPIC_FATAL("line ", line, ": redeclaration of '", name, "'");
+        scope[name] = sym;
+    }
+
+    // ---- addresses ----
+
+    /** Address of element @p index (a Value) of array symbol @p sym. */
+    Vreg
+    arrayElemAddr(const Symbol &sym, Value index, unsigned line)
+    {
+        Value idx = coerce(index, Type::kInt);
+        const unsigned elem_size = sym.type == Type::kFloat ? 8 : 4;
+        const Vreg scale = emitConst(elem_size);
+        const Vreg offset = emitSimple(IrOp::kMul, idx.vreg, scale);
+
+        Vreg base;
+        if (sym.kind == Symbol::kArray) {
+            IrInstr instr;
+            instr.op = IrOp::kFrameAddr;
+            instr.imm = sym.slot;
+            instr.dest = fn_->newVreg(RegClass::kInt);
+            base = instr.dest;
+            emit(std::move(instr));
+        } else if (sym.kind == Symbol::kGlobalArray ||
+                   sym.kind == Symbol::kGlobalScalar) {
+            IrInstr instr;
+            instr.op = IrOp::kGlobalAddr;
+            instr.imm = sym.globalIndex;
+            instr.dest = fn_->newVreg(RegClass::kInt);
+            base = instr.dest;
+            emit(std::move(instr));
+        } else {
+            TEPIC_FATAL("line ", line, ": subscript on scalar");
+        }
+        return emitSimple(IrOp::kAdd, base, offset);
+    }
+
+    /** Address of a global scalar. */
+    Vreg
+    globalScalarAddr(const Symbol &sym)
+    {
+        IrInstr instr;
+        instr.op = IrOp::kGlobalAddr;
+        instr.imm = sym.globalIndex;
+        instr.dest = fn_->newVreg(RegClass::kInt);
+        const Vreg dest = instr.dest;
+        emit(std::move(instr));
+        return dest;
+    }
+
+    // ---- expressions ----
+
+    Value
+    lowerExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::kIntLit:
+            return {emitConst(e.intValue), Type::kInt};
+          case ExprKind::kFloatLit:
+            return {emitFconst(e.floatValue), Type::kFloat};
+          case ExprKind::kVarRef: {
+            const Symbol sym = resolve(e.name, e.line);
+            switch (sym.kind) {
+              case Symbol::kScalar:
+                return {sym.vreg, sym.type};
+              case Symbol::kGlobalScalar: {
+                const Vreg addr = globalScalarAddr(sym);
+                const IrOp op = sym.type == Type::kFloat
+                    ? IrOp::kFload : IrOp::kLoad;
+                return {emitSimple(op, addr), sym.type};
+              }
+              default:
+                TEPIC_FATAL("line ", e.line, ": array '", e.name,
+                            "' used as a scalar");
+            }
+          }
+          case ExprKind::kIndex: {
+            const Symbol sym = resolve(e.name, e.line);
+            const Vreg addr =
+                arrayElemAddr(sym, lowerExpr(*e.lhs), e.line);
+            const IrOp op = sym.type == Type::kFloat
+                ? IrOp::kFload : IrOp::kLoad;
+            return {emitSimple(op, addr), sym.type};
+          }
+          case ExprKind::kCall:
+            return lowerCall(e);
+          case ExprKind::kCast: {
+            Value v = lowerExpr(*e.lhs);
+            return coerce(v, e.castTo);
+          }
+          case ExprKind::kUnary:
+            return lowerUnary(e);
+          case ExprKind::kBinary:
+            return lowerBinary(e);
+        }
+        TEPIC_PANIC("bad expr kind");
+    }
+
+    Value
+    lowerCall(const Expr &e)
+    {
+        auto it = funcIndex_.find(e.name);
+        if (it == funcIndex_.end())
+            TEPIC_FATAL("line ", e.line, ": call to undefined function '",
+                        e.name, "'");
+        const std::uint32_t callee = it->second;
+        const FuncDecl &target = ast_.functions[callee];
+        if (target.params.size() != e.args.size())
+            TEPIC_FATAL("line ", e.line, ": '", e.name, "' expects ",
+                        target.params.size(), " arguments, got ",
+                        e.args.size());
+        if (e.args.size() > 8)
+            TEPIC_FATAL("line ", e.line,
+                        ": more than 8 arguments unsupported");
+
+        IrInstr instr;
+        instr.op = IrOp::kCall;
+        instr.callee = callee;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            Value arg = coerce(lowerExpr(*e.args[i]),
+                               target.params[i].type);
+            instr.args.push_back(arg.vreg);
+            instr.argClasses.push_back(classOf(target.params[i].type));
+        }
+        Type ret_type = Type::kInt;
+        if (target.hasReturn) {
+            ret_type = target.returnType;
+            instr.valueClass = classOf(ret_type);
+            instr.dest = fn_->newVreg(instr.valueClass);
+        }
+        const Vreg dest = instr.dest;
+        emit(std::move(instr));
+        // Void calls used in expression position yield int 0.
+        if (!target.hasReturn)
+            return {emitConst(0), Type::kInt};
+        return {dest, ret_type};
+    }
+
+    Value
+    lowerUnary(const Expr &e)
+    {
+        Value v = lowerExpr(*e.lhs);
+        switch (e.unOp) {
+          case UnOp::kNeg:
+            if (v.type == Type::kFloat) {
+                const Vreg zero = emitFconst(0.0);
+                return {emitSimple(IrOp::kFsub, zero, v.vreg),
+                        Type::kFloat};
+            } else {
+                const Vreg zero = emitConst(0);
+                return {emitSimple(IrOp::kSub, zero, v.vreg), Type::kInt};
+            }
+          case UnOp::kBitNot: {
+            if (v.type != Type::kInt)
+                TEPIC_FATAL("line ", e.line, ": '~' requires int");
+            const Vreg ones = emitConst(-1);
+            return {emitSimple(IrOp::kXor, v.vreg, ones), Type::kInt};
+          }
+          case UnOp::kLogNot: {
+            Value iv = coerce(v, Type::kInt);
+            const Vreg zero = emitConst(0);
+            return {emitSimple(IrOp::kCmpEq, iv.vreg, zero), Type::kInt};
+          }
+        }
+        TEPIC_PANIC("bad unary op");
+    }
+
+    Value
+    lowerBinary(const Expr &e)
+    {
+        // Short-circuit forms lower to control flow.
+        if (e.binOp == BinOp::kLogAnd || e.binOp == BinOp::kLogOr)
+            return lowerShortCircuit(e);
+
+        Value lhs = lowerExpr(*e.lhs);
+        Value rhs = lowerExpr(*e.rhs);
+
+        const bool any_float =
+            lhs.type == Type::kFloat || rhs.type == Type::kFloat;
+
+        switch (e.binOp) {
+          case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul:
+          case BinOp::kDiv: {
+            if (any_float) {
+                lhs = coerce(lhs, Type::kFloat);
+                rhs = coerce(rhs, Type::kFloat);
+                static const IrOp fops[] = {IrOp::kFadd, IrOp::kFsub,
+                                            IrOp::kFmul, IrOp::kFdiv};
+                const IrOp op = fops[int(e.binOp) - int(BinOp::kAdd)];
+                return {emitSimple(op, lhs.vreg, rhs.vreg), Type::kFloat};
+            }
+            static const IrOp iops[] = {IrOp::kAdd, IrOp::kSub,
+                                        IrOp::kMul, IrOp::kDiv};
+            const IrOp op = iops[int(e.binOp) - int(BinOp::kAdd)];
+            return {emitSimple(op, lhs.vreg, rhs.vreg), Type::kInt};
+          }
+          case BinOp::kRem:
+          case BinOp::kAnd: case BinOp::kOr: case BinOp::kXor:
+          case BinOp::kShl: case BinOp::kShr: {
+            if (any_float)
+                TEPIC_FATAL("line ", e.line,
+                            ": integer operator on float operands");
+            static const IrOp iops[] = {IrOp::kRem, IrOp::kAnd, IrOp::kOr,
+                                        IrOp::kXor, IrOp::kShl,
+                                        IrOp::kShr};
+            const IrOp op = iops[int(e.binOp) - int(BinOp::kRem)];
+            return {emitSimple(op, lhs.vreg, rhs.vreg), Type::kInt};
+          }
+          case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+          case BinOp::kLe: case BinOp::kGt: case BinOp::kGe: {
+            if (any_float) {
+                lhs = coerce(lhs, Type::kFloat);
+                rhs = coerce(rhs, Type::kFloat);
+                return lowerFloatCompare(e.binOp, lhs.vreg, rhs.vreg);
+            }
+            static const IrOp iops[] = {IrOp::kCmpEq, IrOp::kCmpNe,
+                                        IrOp::kCmpLt, IrOp::kCmpLe,
+                                        IrOp::kCmpGt, IrOp::kCmpGe};
+            const IrOp op = iops[int(e.binOp) - int(BinOp::kEq)];
+            return {emitSimple(op, lhs.vreg, rhs.vreg), Type::kInt};
+          }
+          default:
+            TEPIC_PANIC("unhandled binop");
+        }
+    }
+
+    /** FP compares: only eq/lt/le exist; synthesise the rest. */
+    Value
+    lowerFloatCompare(BinOp op, Vreg lhs, Vreg rhs)
+    {
+        switch (op) {
+          case BinOp::kEq:
+            return {emitSimple(IrOp::kFcmpEq, lhs, rhs), Type::kInt};
+          case BinOp::kNe: {
+            const Vreg eq = emitSimple(IrOp::kFcmpEq, lhs, rhs);
+            const Vreg zero = emitConst(0);
+            return {emitSimple(IrOp::kCmpEq, eq, zero), Type::kInt};
+          }
+          case BinOp::kLt:
+            return {emitSimple(IrOp::kFcmpLt, lhs, rhs), Type::kInt};
+          case BinOp::kLe:
+            return {emitSimple(IrOp::kFcmpLe, lhs, rhs), Type::kInt};
+          case BinOp::kGt:
+            return {emitSimple(IrOp::kFcmpLt, rhs, lhs), Type::kInt};
+          case BinOp::kGe:
+            return {emitSimple(IrOp::kFcmpLe, rhs, lhs), Type::kInt};
+          default:
+            TEPIC_PANIC("not a compare");
+        }
+    }
+
+    Value
+    lowerShortCircuit(const Expr &e)
+    {
+        // result = lhs ? (rhs != 0) : 0     for &&
+        // result = lhs ? 1 : (rhs != 0)     for ||
+        //
+        // The result is carried through memory-free control flow by
+        // assigning the same destination vreg on both paths. This is
+        // legal in our non-SSA IR.
+        const Vreg result = fn_->newVreg(RegClass::kInt);
+
+        Value lhs = coerce(lowerExpr(*e.lhs), Type::kInt);
+        const std::uint32_t rhs_block = newBlock();
+        const std::uint32_t short_block = newBlock();
+        const std::uint32_t join_block = newBlock();
+
+        if (e.binOp == BinOp::kLogAnd)
+            emitBr(lhs.vreg, rhs_block, short_block);
+        else
+            emitBr(lhs.vreg, short_block, rhs_block);
+
+        // Short-circuit path: result = (op == &&) ? 0 : 1.
+        setBlock(short_block);
+        {
+            IrInstr instr;
+            instr.op = IrOp::kConst;
+            instr.imm = e.binOp == BinOp::kLogAnd ? 0 : 1;
+            instr.dest = result;
+            emit(std::move(instr));
+        }
+        emitJmp(join_block);
+
+        // Evaluate RHS and normalise to 0/1.
+        setBlock(rhs_block);
+        Value rhs = coerce(lowerExpr(*e.rhs), Type::kInt);
+        {
+            const Vreg zero = emitConst(0);
+            IrInstr instr;
+            instr.op = IrOp::kCmpNe;
+            instr.src1 = rhs.vreg;
+            instr.src2 = zero;
+            instr.dest = result;
+            emit(std::move(instr));
+        }
+        emitJmp(join_block);
+
+        setBlock(join_block);
+        return {result, Type::kInt};
+    }
+
+    // ---- statements ----
+
+    void
+    lowerStmt(const Stmt &s)
+    {
+        if (!blockOpen()) {
+            // Unreachable code after return/break; park it in a fresh
+            // block that removeUnreachable() will discard.
+            setBlock(newBlock());
+        }
+        switch (s.kind) {
+          case StmtKind::kBlock:
+            pushScope();
+            for (const auto &sub : s.stmts)
+                lowerStmt(*sub);
+            popScope();
+            break;
+          case StmtKind::kVarDecl: {
+            Symbol sym;
+            sym.kind = Symbol::kScalar;
+            sym.type = s.type;
+            sym.vreg = fn_->newVreg(classOf(s.type));
+            if (s.value) {
+                Value v = coerce(lowerExpr(*s.value), s.type);
+                IrInstr instr;
+                instr.op = s.type == Type::kFloat ? IrOp::kFmov
+                                                  : IrOp::kMov;
+                instr.src1 = v.vreg;
+                instr.dest = sym.vreg;
+                emit(std::move(instr));
+            } else {
+                IrInstr instr;
+                if (s.type == Type::kFloat) {
+                    instr.op = IrOp::kFconst;
+                    instr.fimm = 0.0;
+                } else {
+                    instr.op = IrOp::kConst;
+                    instr.imm = 0;
+                }
+                instr.dest = sym.vreg;
+                emit(std::move(instr));
+            }
+            declareLocal(s.name, sym, s.line);
+            break;
+          }
+          case StmtKind::kArrayDecl: {
+            Symbol sym;
+            sym.kind = Symbol::kArray;
+            sym.type = s.type;
+            sym.slot = std::uint32_t(fn_->frame.size());
+            ir::FrameObject obj;
+            obj.name = s.name;
+            obj.sizeBytes =
+                s.arraySize * (s.type == Type::kFloat ? 8 : 4);
+            fn_->frame.push_back(obj);
+            declareLocal(s.name, sym, s.line);
+            break;
+          }
+          case StmtKind::kAssign: {
+            const Symbol sym = resolve(s.name, s.line);
+            Value v = coerce(lowerExpr(*s.value), sym.type);
+            if (sym.kind == Symbol::kScalar) {
+                IrInstr instr;
+                instr.op = sym.type == Type::kFloat ? IrOp::kFmov
+                                                    : IrOp::kMov;
+                instr.src1 = v.vreg;
+                instr.dest = sym.vreg;
+                emit(std::move(instr));
+            } else if (sym.kind == Symbol::kGlobalScalar) {
+                const Vreg addr = globalScalarAddr(sym);
+                IrInstr instr;
+                instr.op = sym.type == Type::kFloat ? IrOp::kFstore
+                                                    : IrOp::kStore;
+                instr.src1 = addr;
+                instr.src2 = v.vreg;
+                emit(std::move(instr));
+            } else {
+                TEPIC_FATAL("line ", s.line, ": assignment to array '",
+                            s.name, "' without subscript");
+            }
+            break;
+          }
+          case StmtKind::kIndexAssign: {
+            const Symbol sym = resolve(s.name, s.line);
+            if (sym.kind != Symbol::kArray &&
+                sym.kind != Symbol::kGlobalArray)
+                TEPIC_FATAL("line ", s.line, ": '", s.name,
+                            "' is not an array");
+            const Vreg addr =
+                arrayElemAddr(sym, lowerExpr(*s.index), s.line);
+            Value v = coerce(lowerExpr(*s.value), sym.type);
+            IrInstr instr;
+            instr.op = sym.type == Type::kFloat ? IrOp::kFstore
+                                                : IrOp::kStore;
+            instr.src1 = addr;
+            instr.src2 = v.vreg;
+            emit(std::move(instr));
+            break;
+          }
+          case StmtKind::kIf: {
+            Value cond = coerce(lowerExpr(*s.value), Type::kInt);
+            const std::uint32_t then_b = newBlock();
+            const std::uint32_t else_b =
+                s.elseBody ? newBlock() : ir::kNoVreg;
+            const std::uint32_t join_b = newBlock();
+            emitBr(cond.vreg, then_b,
+                   s.elseBody ? else_b : join_b);
+            setBlock(then_b);
+            lowerStmt(*s.body);
+            if (blockOpen())
+                emitJmp(join_b);
+            if (s.elseBody) {
+                setBlock(else_b);
+                lowerStmt(*s.elseBody);
+                if (blockOpen())
+                    emitJmp(join_b);
+            }
+            setBlock(join_b);
+            break;
+          }
+          case StmtKind::kWhile: {
+            const std::uint32_t head_b = newBlock();
+            const std::uint32_t body_b = newBlock();
+            const std::uint32_t exit_b = newBlock();
+            emitJmp(head_b);
+            setBlock(head_b);
+            Value cond = coerce(lowerExpr(*s.value), Type::kInt);
+            emitBr(cond.vreg, body_b, exit_b);
+            breakTargets_.push_back(exit_b);
+            continueTargets_.push_back(head_b);
+            setBlock(body_b);
+            lowerStmt(*s.body);
+            if (blockOpen())
+                emitJmp(head_b);
+            breakTargets_.pop_back();
+            continueTargets_.pop_back();
+            setBlock(exit_b);
+            break;
+          }
+          case StmtKind::kFor: {
+            pushScope();  // for-initialiser scope
+            if (s.init)
+                lowerStmt(*s.init);
+            const std::uint32_t head_b = newBlock();
+            const std::uint32_t body_b = newBlock();
+            const std::uint32_t step_b = newBlock();
+            const std::uint32_t exit_b = newBlock();
+            emitJmp(head_b);
+            setBlock(head_b);
+            if (s.value) {
+                Value cond = coerce(lowerExpr(*s.value), Type::kInt);
+                emitBr(cond.vreg, body_b, exit_b);
+            } else {
+                emitJmp(body_b);
+            }
+            breakTargets_.push_back(exit_b);
+            continueTargets_.push_back(step_b);
+            setBlock(body_b);
+            lowerStmt(*s.body);
+            if (blockOpen())
+                emitJmp(step_b);
+            breakTargets_.pop_back();
+            continueTargets_.pop_back();
+            setBlock(step_b);
+            if (s.step)
+                lowerStmt(*s.step);
+            if (blockOpen())
+                emitJmp(head_b);
+            setBlock(exit_b);
+            popScope();
+            break;
+          }
+          case StmtKind::kReturn: {
+            IrInstr instr;
+            instr.op = IrOp::kRet;
+            if (decl_->hasReturn) {
+                if (!s.value)
+                    TEPIC_FATAL("line ", s.line, ": '", fn_->name,
+                                "' must return a value");
+                Value v =
+                    coerce(lowerExpr(*s.value), decl_->returnType);
+                instr.src1 = v.vreg;
+                instr.valueClass = classOf(decl_->returnType);
+            } else if (s.value) {
+                TEPIC_FATAL("line ", s.line, ": '", fn_->name,
+                            "' returns no value");
+            }
+            emit(std::move(instr));
+            break;
+          }
+          case StmtKind::kBreak:
+            if (breakTargets_.empty())
+                TEPIC_FATAL("line ", s.line, ": 'break' outside loop");
+            emitJmp(breakTargets_.back());
+            break;
+          case StmtKind::kContinue:
+            if (continueTargets_.empty())
+                TEPIC_FATAL("line ", s.line,
+                            ": 'continue' outside loop");
+            emitJmp(continueTargets_.back());
+            break;
+          case StmtKind::kExprStmt:
+            lowerExpr(*s.value);
+            break;
+        }
+    }
+
+    void
+    lowerFunction(const FuncDecl &decl)
+    {
+        fn_ = &module_.functions[funcIndex_[decl.name]];
+        decl_ = &decl;
+        curBlock_ = 0;
+        fn_->blocks.clear();
+        newBlock();  // entry
+
+        scopes_.clear();
+        pushScope();
+        // Parameters become scalar vregs (filled by the call sequence).
+        for (const auto &p : decl.params) {
+            Symbol sym;
+            sym.kind = Symbol::kScalar;
+            sym.type = p.type;
+            sym.vreg = fn_->newVreg(classOf(p.type));
+            declareLocal(p.name, sym, decl.line);
+        }
+
+        lowerStmt(*decl.body);
+
+        // Implicit return when control can fall off the end.
+        if (blockOpen()) {
+            IrInstr instr;
+            instr.op = IrOp::kRet;
+            if (decl.hasReturn) {
+                instr.src1 = decl.returnType == Type::kFloat
+                    ? emitFconst(0.0) : emitConst(0);
+                instr.valueClass = classOf(decl.returnType);
+            }
+            emit(std::move(instr));
+        }
+        popScope();
+        ir::removeUnreachable(*fn_);
+    }
+};
+
+} // namespace
+
+IrModule
+generateIr(const AstProgram &ast)
+{
+    IrGen gen(ast);
+    return gen.run();
+}
+
+} // namespace tepic::compiler

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * IR generation: lowers a type-checked tinkerc AST into IrModule CFGs.
+ *
+ * Semantics implemented here:
+ *  - int is 32-bit two's complement, float is 64-bit IEEE double;
+ *  - arrays live in memory (globals in the static data segment, locals
+ *    in the stack frame); scalars live in virtual registers;
+ *  - `&&` / `||` short-circuit via control flow;
+ *  - mixed int/float arithmetic promotes the int side (itof);
+ *    assignments coerce to the target's type;
+ *  - every function ends with an explicit return (an implicit
+ *    `return 0` / `return` is appended when control can fall off).
+ */
+
+#ifndef TEPIC_COMPILER_IRGEN_HH
+#define TEPIC_COMPILER_IRGEN_HH
+
+#include "compiler/ast.hh"
+#include "ir/ir.hh"
+
+namespace tepic::compiler {
+
+/** Lower @p ast to IR. Fatal error on semantic problems. */
+ir::IrModule generateIr(const AstProgram &ast);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_IRGEN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lexer for the tinkerc language.
+ *
+ * tinkerc is the small imperative language the workload programs are
+ * written in (DESIGN.md §2: it stands in for the C sources the paper
+ * compiled with LEGO). It has int (32-bit) and float (64-bit) scalars,
+ * fixed-size arrays, functions with up to 8 parameters, and C-like
+ * statements and expressions.
+ */
+
+#ifndef TEPIC_COMPILER_LEXER_HH
+#define TEPIC_COMPILER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tepic::compiler {
+
+enum class TokKind : std::uint8_t {
+    kEof,
+    kIdent,
+    kIntLit,
+    kFloatLit,
+    // keywords
+    kKwFunc, kKwVar, kKwIf, kKwElse, kKwWhile, kKwFor, kKwReturn,
+    kKwBreak, kKwContinue, kKwInt, kKwFloat,
+    // punctuation
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kComma, kSemi, kColon,
+    // operators
+    kAssign,     // =
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kAmp, kPipe, kCaret, kTilde, kBang,
+    kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kAndAnd, kOrOr,
+};
+
+/** One token with source position for diagnostics. */
+struct Token
+{
+    TokKind kind = TokKind::kEof;
+    std::string text;        ///< identifier spelling
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+    unsigned line = 0;
+    unsigned col = 0;
+};
+
+const char *tokKindName(TokKind kind);
+
+/**
+ * Tokenise @p source. Comments are `//` to end of line and `/ * ... * /`.
+ * Raises a fatal error (with line/column) on malformed input.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_LEXER_HH

@@ -1,0 +1,98 @@
+#include "compiler/lir.hh"
+
+#include <sstream>
+
+namespace tepic::compiler {
+
+namespace {
+
+std::string
+regStr(RegClass cls, Vreg v)
+{
+    if (v == ir::kNoVreg)
+        return "_";
+    const char prefix = cls == RegClass::kFloat ? 'F' : 'R';
+    return prefix + std::to_string(v);
+}
+
+} // namespace
+
+std::string
+LirOp::toString() const
+{
+    std::ostringstream os;
+    if (pseudo == LirPseudo::kFrameAddr) {
+        os << "frameaddr " << regStr(destCls, dest) << ", slot" << imm;
+    } else {
+        os << isa::opcodeName(type, opcode);
+        bool first = true;
+        auto emit = [&](RegClass cls, Vreg v) {
+            if (v == ir::kNoVreg)
+                return;
+            os << (first ? " " : ", ") << regStr(cls, v);
+            first = false;
+        };
+        emit(destCls, dest);
+        emit(src1Cls, src1);
+        emit(src2Cls, src2);
+        if (type == isa::OpType::kInt && opcode == isa::Opcode::kLdi)
+            os << (first ? " #" : ", #") << imm;
+    }
+    if (pred != isa::kPredTrue)
+        os << " if p" << pred;
+    return os.str();
+}
+
+std::string
+LirTerm::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case kJmp:
+        os << "jmp B" << thenTarget;
+        break;
+      case kBr:
+        if (onPred)
+            os << (senseTrue ? "brct p" : "brcf p") << predReg;
+        else
+            os << "br " << regStr(RegClass::kInt, cond);
+        os << ", B" << thenTarget << ", B" << elseTarget;
+        break;
+      case kRet:
+        os << "ret";
+        if (valueVreg != ir::kNoVreg)
+            os << " " << regStr(valueCls, valueVreg);
+        break;
+      case kCall:
+        os << "call fn" << callee << " -> B" << thenTarget;
+        if (callDest != ir::kNoVreg)
+            os << " (dest " << regStr(callDestCls, callDest) << ")";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+LirFunction::toString() const
+{
+    std::ostringstream os;
+    os << "lir func " << name << ":\n";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        os << "  B" << b << ":\n";
+        for (const auto &op : blocks[b].body)
+            os << "    " << op.toString() << '\n';
+        os << "    " << blocks[b].term.toString() << '\n';
+    }
+    return os.str();
+}
+
+std::string
+LirProgram::toString() const
+{
+    std::ostringstream os;
+    for (const auto &fn : functions)
+        os << fn.toString() << '\n';
+    return os.str();
+}
+
+} // namespace tepic::compiler

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * LIR: the machine-level IR between instruction selection and final
+ * VLIW emission.
+ *
+ * LIR operations are TEPIC operations over *virtual* registers, plus a
+ * few pseudo-ops that cannot be finalised until after register
+ * allocation (frame addressing, whose offsets depend on spill slots).
+ * Calls are block terminators here because a call ends an atomic fetch
+ * block (§3.1): the return address is the continuation block.
+ *
+ * Pipeline position:
+ *   IR --lower()--> LIR(vregs) --allocateRegisters()--> LIR(phys)
+ *      --emit()--> per-block isa::Operation lists
+ *      --schedule()--> MOPs --layoutProgram()--> isa::VliwProgram
+ */
+
+#ifndef TEPIC_COMPILER_LIR_HH
+#define TEPIC_COMPILER_LIR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hh"
+#include "isa/operation.hh"
+
+namespace tepic::compiler {
+
+using ir::RegClass;
+using ir::Vreg;
+
+constexpr std::uint32_t kNoTarget = 0xffffffffu;
+
+/** Physical GPR conventions (see DESIGN.md). */
+struct RegConv
+{
+    // GPRs
+    static constexpr unsigned kZero = 0;
+    static constexpr unsigned kAddrTemp = 1;   ///< reserved assembler temp
+    static constexpr unsigned kSpillTempA = 2; ///< reserved spill temp
+    static constexpr unsigned kSpillTempB = 29;
+    static constexpr unsigned kRetVal = 3;
+    static constexpr unsigned kFirstArg = 4;   ///< r4..r11
+    static constexpr unsigned kNumArgRegs = 8;
+    static constexpr unsigned kSp = isa::kRegSp;     // r30
+    static constexpr unsigned kLink = isa::kRegLink; // r31
+    // FPRs
+    static constexpr unsigned kFRetVal = 0;
+    static constexpr unsigned kFSpillTempA = 1;
+    static constexpr unsigned kFSpillTempB = 31;
+    static constexpr unsigned kFFirstArg = 2;  ///< f2..f9
+};
+
+/** Pseudo-op kinds that survive until post-RA expansion. */
+enum class LirPseudo : std::uint8_t {
+    kNone = 0,
+    kFrameAddr,   ///< dest <- SP + byteOffset(frame slot imm)
+    kSpillLoad,   ///< dest(reserved temp) <- frame slot imm
+    kSpillStore,  ///< frame slot imm <- src1(reserved temp)
+};
+
+/** Where a value lives after register allocation. */
+struct Loc
+{
+    enum Kind : std::uint8_t { kNone, kReg, kSlot } kind = kNone;
+    unsigned reg = 0;          ///< physical register (kReg)
+    std::uint32_t slot = 0;    ///< frame slot index (kSlot)
+
+    static Loc none() { return {}; }
+    static Loc inReg(unsigned r) { return {kReg, r, 0}; }
+    static Loc inSlot(std::uint32_t s) { return {kSlot, 0, s}; }
+};
+
+/**
+ * One LIR operation: a TEPIC op over virtual registers. After register
+ * allocation the same structure carries physical register numbers
+ * (isPhysical() tells which stage the containing function is in).
+ */
+struct LirOp
+{
+    isa::OpType type = isa::OpType::kInt;
+    isa::Opcode opcode = isa::Opcode::kAdd;
+    LirPseudo pseudo = LirPseudo::kNone;
+
+    Vreg dest = ir::kNoVreg;
+    Vreg src1 = ir::kNoVreg;
+    Vreg src2 = ir::kNoVreg;
+    RegClass destCls = RegClass::kNone;
+    RegClass src1Cls = RegClass::kNone;
+    RegClass src2Cls = RegClass::kNone;
+
+    std::int32_t imm = 0;      ///< kLdi value / frame slot index
+    unsigned pred = isa::kPredTrue; ///< guarding predicate register
+
+    /**
+     * A predicated op with pred != p0 merges into its destination
+     * (the old value survives when the guard is false), so its dest is
+     * also a *use* for dependence and liveness purposes.
+     */
+    bool
+    destIsAlsoUse() const
+    {
+        return pred != isa::kPredTrue && dest != ir::kNoVreg;
+    }
+
+    std::string toString() const;
+};
+
+/** Terminator of a LIR block. */
+struct LirTerm
+{
+    enum Kind : std::uint8_t {
+        kJmp,   ///< goto thenTarget
+        kBr,    ///< conditional: cond/pred decides then/else
+        kRet,   ///< return (value in valueVreg if any)
+        kCall,  ///< call func; continue at thenTarget
+    };
+    Kind kind = kJmp;
+
+    std::uint32_t thenTarget = kNoTarget; ///< jmp/call-cont/br-taken
+    std::uint32_t elseTarget = kNoTarget; ///< br fallthrough
+
+    // kBr condition: either a virtual int register to compare against
+    // zero, or (when a compare was fused during lowering) a physical
+    // predicate register already written by the block body.
+    bool onPred = false;
+    Vreg cond = ir::kNoVreg;   ///< int vreg (onPred == false)
+    unsigned predReg = 0;      ///< predicate reg (onPred == true)
+    bool senseTrue = true;     ///< branch taken when predicate true?
+
+    // kRet
+    Vreg valueVreg = ir::kNoVreg;
+    RegClass valueCls = RegClass::kNone;
+
+    // kCall
+    std::uint32_t callee = kNoTarget;
+    std::vector<Vreg> args;
+    std::vector<RegClass> argClasses;
+    Vreg callDest = ir::kNoVreg;     ///< result vreg (kNoVreg if unused)
+    RegClass callDestCls = RegClass::kNone;
+
+    /** Post-RA: where each argument lives (parallel to args). */
+    std::vector<Loc> argLocs;
+
+    std::string toString() const;
+};
+
+/** A LIR basic block (atomic fetch block candidate). */
+struct LirBlock
+{
+    std::vector<LirOp> body;
+    LirTerm term;
+    double weight = 1.0;
+    std::string label;
+
+    /**
+     * Post-RA: set when this block is the continuation of a call whose
+     * result must be captured here (moved out of the return-value
+     * register into `resultLoc` at block entry).
+     */
+    bool receivesCallResult = false;
+    RegClass resultCls = RegClass::kNone;
+    Loc resultLoc;
+};
+
+/** Frame slot descriptor (all slots 8 bytes for uniformity). */
+struct LirFrameSlot
+{
+    std::uint32_t sizeBytes = 8;
+    std::string name;
+};
+
+/** A lowered function. */
+struct LirFunction
+{
+    std::string name;
+    std::vector<LirBlock> blocks;      ///< entry is block 0
+    std::vector<LirFrameSlot> frame;   ///< arrays + spill slots
+    std::uint32_t numIntVregs = 0;
+    std::uint32_t numFloatVregs = 0;
+    std::vector<RegClass> paramClasses;
+    RegClass returnClass = RegClass::kNone;
+
+    /** Filled by register allocation. */
+    bool allocated = false;
+    std::vector<unsigned> usedCalleeSavedGpr;
+    std::vector<unsigned> usedCalleeSavedFpr;
+    bool isLeaf = false;  ///< no calls (set by lowering)
+
+    /** Post-RA: where each parameter lives (declaration order). */
+    std::vector<Loc> paramLocs;
+
+    Vreg
+    newVreg(RegClass cls)
+    {
+        return cls == RegClass::kFloat ? numFloatVregs++ : numIntVregs++;
+    }
+
+    std::string toString() const;
+};
+
+/** The static data segment image. */
+struct DataSegment
+{
+    std::vector<std::uint8_t> bytes;
+
+    /** Byte address of each module global, by index. */
+    std::vector<std::uint32_t> globalAddress;
+
+    /** Base address of the data segment in the flat address space. */
+    std::uint32_t base = 0;
+};
+
+/** A lowered module. */
+struct LirProgram
+{
+    std::vector<LirFunction> functions;
+    DataSegment data;
+    std::uint32_t mainIndex = 0;
+
+    std::string toString() const;
+};
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_LIR_HH

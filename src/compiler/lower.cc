@@ -1,0 +1,578 @@
+#include "compiler/lower.hh"
+
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+using ir::IrInstr;
+using ir::IrOp;
+using isa::Opcode;
+using isa::OpType;
+
+constexpr std::int32_t kImmMin = -(1 << 19);
+constexpr std::int32_t kImmMax = (1 << 19) - 1;
+
+/** Builds the data segment: globals then the float constant pool. */
+class DataBuilder
+{
+  public:
+    explicit DataBuilder(const ir::IrModule &module)
+    {
+        data_.base = kDataBase;
+        for (const auto &g : module.globals) {
+            data_.globalAddress.push_back(cursor());
+            if (g.isFloat) {
+                std::size_t i = 0;
+                for (; i < g.finit.size(); ++i)
+                    appendF64(g.finit[i]);
+                for (; i * 8 < g.sizeBytes; ++i)
+                    appendF64(0.0);
+            } else {
+                std::size_t i = 0;
+                for (; i < g.init.size(); ++i)
+                    appendI32(g.init[i]);
+                for (; i * 4 < g.sizeBytes; ++i)
+                    appendI32(0);
+            }
+            align(8);
+        }
+    }
+
+    /** Address of the pooled constant @p value (interned). */
+    std::uint32_t
+    poolConstant(double value)
+    {
+        auto it = pool_.find(value);
+        if (it != pool_.end())
+            return it->second;
+        const std::uint32_t addr = cursor();
+        appendF64(value);
+        pool_[value] = addr;
+        return addr;
+    }
+
+    DataSegment take() { return std::move(data_); }
+
+  private:
+    std::uint32_t
+    cursor() const
+    {
+        return data_.base + std::uint32_t(data_.bytes.size());
+    }
+
+    void
+    align(unsigned boundary)
+    {
+        while (data_.bytes.size() % boundary != 0)
+            data_.bytes.push_back(0);
+    }
+
+    void
+    appendI32(std::int32_t value)
+    {
+        std::uint8_t buf[4];
+        std::memcpy(buf, &value, 4);
+        data_.bytes.insert(data_.bytes.end(), buf, buf + 4);
+    }
+
+    void
+    appendF64(double value)
+    {
+        std::uint8_t buf[8];
+        std::memcpy(buf, &value, 8);
+        data_.bytes.insert(data_.bytes.end(), buf, buf + 8);
+    }
+
+    DataSegment data_;
+    std::map<double, std::uint32_t> pool_;
+};
+
+/** Lowers one function. */
+class FunctionLowerer
+{
+  public:
+    FunctionLowerer(const ir::IrFunction &irfn, DataBuilder &data)
+        : irfn_(irfn), data_(data)
+    {
+        out_.name = irfn.name;
+        out_.numIntVregs = irfn.numIntVregs;
+        out_.numFloatVregs = irfn.numFloatVregs;
+        out_.paramClasses = irfn.paramClasses;
+        out_.returnClass = irfn.returnClass;
+        for (const auto &obj : irfn.frame) {
+            LirFrameSlot slot;
+            slot.sizeBytes = (obj.sizeBytes + 7) & ~7u;
+            slot.name = obj.name;
+            out_.frame.push_back(slot);
+        }
+        countUses();
+    }
+
+    LirFunction
+    run()
+    {
+        // One LIR block per IR block up front so jump targets resolve;
+        // call continuations are appended past the end.
+        irToLir_.resize(irfn_.blocks.size());
+        for (std::uint32_t b = 0; b < irfn_.blocks.size(); ++b) {
+            irToLir_[b] = std::uint32_t(out_.blocks.size());
+            out_.blocks.emplace_back();
+            out_.blocks.back().weight = irfn_.blocks[b].weight;
+            out_.blocks.back().label =
+                irfn_.name + ".B" + std::to_string(b);
+        }
+        bool has_call = false;
+        for (std::uint32_t b = 0; b < irfn_.blocks.size(); ++b)
+            has_call |= lowerBlock(b);
+        out_.isLeaf = !has_call;
+        return std::move(out_);
+    }
+
+  private:
+    // ---- use counting (for compare fusion) ----
+
+    void
+    countUses()
+    {
+        auto add = [&](ir::RegClass cls, Vreg v) {
+            if (v != ir::kNoVreg && cls == ir::RegClass::kInt)
+                ++intUses_[v];
+        };
+        for (const auto &blk : irfn_.blocks) {
+            for (const auto &instr : blk.instrs) {
+                add(ir::src1Class(instr.op), instr.src1);
+                add(ir::src2Class(instr.op), instr.src2);
+                if (instr.op == IrOp::kCall)
+                    for (std::size_t i = 0; i < instr.args.size(); ++i)
+                        add(instr.argClasses[i], instr.args[i]);
+                if (instr.op == IrOp::kBr)
+                    add(ir::RegClass::kInt, instr.src1);
+                if (instr.op == IrOp::kRet)
+                    add(instr.valueClass, instr.src1);
+            }
+        }
+    }
+
+    // ---- emission helpers ----
+
+    LirBlock &cur() { return out_.blocks[curBlock_]; }
+
+    void
+    push(LirOp op)
+    {
+        cur().body.push_back(std::move(op));
+    }
+
+    LirOp
+    makeAlu(Opcode opcode, Vreg dest, Vreg src1, Vreg src2)
+    {
+        LirOp op;
+        op.type = OpType::kInt;
+        op.opcode = opcode;
+        op.dest = dest;
+        op.src1 = src1;
+        op.src2 = src2;
+        op.destCls = RegClass::kInt;
+        op.src1Cls = RegClass::kInt;
+        op.src2Cls = RegClass::kInt;
+        return op;
+    }
+
+    void
+    emitLdi(Vreg dest, std::int32_t value, unsigned pred = isa::kPredTrue)
+    {
+        if (value >= kImmMin && value <= kImmMax) {
+            LirOp op;
+            op.type = OpType::kInt;
+            op.opcode = Opcode::kLdi;
+            op.dest = dest;
+            op.destCls = RegClass::kInt;
+            op.imm = value;
+            op.pred = pred;
+            push(std::move(op));
+            return;
+        }
+        // Synthesise: dest = (hi << 12) | lo. Only used unpredicated.
+        TEPIC_ASSERT(pred == isa::kPredTrue,
+                     "large predicated constant unsupported");
+        const std::int32_t hi = value >> 12;
+        const std::int32_t lo = value & 0xfff;
+        emitLdi(dest, hi);
+        const Vreg shamt = out_.newVreg(RegClass::kInt);
+        emitLdi(shamt, 12);
+        push(makeAlu(Opcode::kShl, dest, dest, shamt));
+        const Vreg low = out_.newVreg(RegClass::kInt);
+        emitLdi(low, lo);
+        push(makeAlu(Opcode::kOr, dest, dest, low));
+    }
+
+    /** Allocate a predicate register in the current block. */
+    unsigned
+    newPred()
+    {
+        TEPIC_ASSERT(nextPred_ < isa::kNumPred,
+                     "out of predicate registers in ", irfn_.name);
+        return nextPred_++;
+    }
+
+    void
+    startBlock(std::uint32_t lir_block)
+    {
+        curBlock_ = lir_block;
+        nextPred_ = 1;  // p0 is hardwired true
+        fusedPred_.clear();
+    }
+
+    // ---- compares ----
+
+    static Opcode
+    cmppOpcode(IrOp op)
+    {
+        switch (op) {
+          case IrOp::kCmpEq: return Opcode::kCmppEq;
+          case IrOp::kCmpNe: return Opcode::kCmppNe;
+          case IrOp::kCmpLt: return Opcode::kCmppLt;
+          case IrOp::kCmpLe: return Opcode::kCmppLe;
+          case IrOp::kCmpGt: return Opcode::kCmppGt;
+          case IrOp::kCmpGe: return Opcode::kCmppGe;
+          case IrOp::kFcmpEq: return Opcode::kFcmppEq;
+          case IrOp::kFcmpLt: return Opcode::kFcmppLt;
+          case IrOp::kFcmpLe: return Opcode::kFcmppLe;
+          default: TEPIC_PANIC("not a compare");
+        }
+    }
+
+    static bool
+    isCompare(IrOp op)
+    {
+        switch (op) {
+          case IrOp::kCmpEq: case IrOp::kCmpNe: case IrOp::kCmpLt:
+          case IrOp::kCmpLe: case IrOp::kCmpGt: case IrOp::kCmpGe:
+          case IrOp::kFcmpEq: case IrOp::kFcmpLt: case IrOp::kFcmpLe:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static bool
+    isFloatCompare(IrOp op)
+    {
+        return op == IrOp::kFcmpEq || op == IrOp::kFcmpLt ||
+               op == IrOp::kFcmpLe;
+    }
+
+    /** Emit the compare-to-predicate op; returns the predicate reg. */
+    unsigned
+    emitCmpp(const IrInstr &instr)
+    {
+        const unsigned p = newPred();
+        LirOp op;
+        if (isFloatCompare(instr.op)) {
+            op.type = OpType::kFloat;
+            op.src1Cls = RegClass::kFloat;
+            op.src2Cls = RegClass::kFloat;
+        } else {
+            op.type = OpType::kInt;
+            op.src1Cls = RegClass::kInt;
+            op.src2Cls = RegClass::kInt;
+        }
+        op.opcode = cmppOpcode(instr.op);
+        op.src1 = instr.src1;
+        op.src2 = instr.src2;
+        // The predicate destination is not a general register: encode
+        // it in `imm` so register allocation ignores it.
+        op.dest = ir::kNoVreg;
+        op.imm = std::int32_t(p);
+        push(std::move(op));
+        return p;
+    }
+
+    // ---- per-instruction lowering ----
+
+    void
+    lowerInstr(const IrInstr &instr, const ir::IrBlock &blk,
+               std::size_t index)
+    {
+        switch (instr.op) {
+          case IrOp::kAdd: case IrOp::kSub: case IrOp::kMul:
+          case IrOp::kDiv: case IrOp::kRem: case IrOp::kAnd:
+          case IrOp::kOr: case IrOp::kXor: case IrOp::kShl:
+          case IrOp::kShr: case IrOp::kSra: {
+            static const Opcode map[] = {
+                Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kDiv,
+                Opcode::kRem, Opcode::kAnd, Opcode::kOr, Opcode::kXor,
+                Opcode::kShl, Opcode::kShr, Opcode::kSra,
+            };
+            push(makeAlu(map[int(instr.op) - int(IrOp::kAdd)],
+                         instr.dest, instr.src1, instr.src2));
+            break;
+          }
+          case IrOp::kMov:
+            push(makeAlu(Opcode::kMov, instr.dest, instr.src1,
+                         ir::kNoVreg));
+            cur().body.back().src2Cls = RegClass::kNone;
+            break;
+          case IrOp::kConst:
+            emitLdi(instr.dest, std::int32_t(instr.imm));
+            break;
+          case IrOp::kCmpEq: case IrOp::kCmpNe: case IrOp::kCmpLt:
+          case IrOp::kCmpLe: case IrOp::kCmpGt: case IrOp::kCmpGe:
+          case IrOp::kFcmpEq: case IrOp::kFcmpLt: case IrOp::kFcmpLe: {
+            // Fuse into the block's branch when this is the single
+            // use; the terminator is lowered after the body, so it
+            // just consults fusedPred_.
+            const IrInstr &term = blk.terminator();
+            const bool feeds_branch = term.op == IrOp::kBr &&
+                term.src1 == instr.dest &&
+                intUses_[instr.dest] == 1;
+            // Fusion requires no call between here and the branch
+            // (calls clobber predicate registers).
+            bool call_between = false;
+            for (std::size_t i = index + 1;
+                 i + 1 < blk.instrs.size(); ++i) {
+                if (blk.instrs[i].op == IrOp::kCall)
+                    call_between = true;
+            }
+            if (feeds_branch && !call_between) {
+                fusedPred_[instr.dest] = emitCmpp(instr);
+            } else {
+                // Materialise: p = cmpp; dest = 0; dest = 1 if p.
+                const unsigned p = emitCmpp(instr);
+                emitLdi(instr.dest, 0);
+                emitLdi(instr.dest, 1, p);
+            }
+            break;
+          }
+          case IrOp::kFadd: case IrOp::kFsub: case IrOp::kFmul:
+          case IrOp::kFdiv: {
+            static const Opcode map[] = {
+                Opcode::kFadd, Opcode::kFsub, Opcode::kFmul,
+                Opcode::kFdiv,
+            };
+            LirOp op;
+            op.type = OpType::kFloat;
+            op.opcode = map[int(instr.op) - int(IrOp::kFadd)];
+            op.dest = instr.dest;
+            op.src1 = instr.src1;
+            op.src2 = instr.src2;
+            op.destCls = op.src1Cls = op.src2Cls = RegClass::kFloat;
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kFmov: {
+            LirOp op;
+            op.type = OpType::kFloat;
+            op.opcode = Opcode::kFmov;
+            op.dest = instr.dest;
+            op.src1 = instr.src1;
+            op.destCls = op.src1Cls = RegClass::kFloat;
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kFconst: {
+            const std::uint32_t addr = data_.poolConstant(instr.fimm);
+            const Vreg areg = out_.newVreg(RegClass::kInt);
+            emitLdi(areg, std::int32_t(addr));
+            LirOp op;
+            op.type = OpType::kMemory;
+            op.opcode = Opcode::kFload;
+            op.dest = instr.dest;
+            op.src1 = areg;
+            op.destCls = RegClass::kFloat;
+            op.src1Cls = RegClass::kInt;
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kItof: case IrOp::kFtoi: {
+            LirOp op;
+            op.type = OpType::kFloat;
+            op.opcode = instr.op == IrOp::kItof ? Opcode::kItof
+                                                : Opcode::kFtoi;
+            op.dest = instr.dest;
+            op.src1 = instr.src1;
+            if (instr.op == IrOp::kItof) {
+                op.destCls = RegClass::kFloat;
+                op.src1Cls = RegClass::kInt;
+            } else {
+                op.destCls = RegClass::kInt;
+                op.src1Cls = RegClass::kFloat;
+            }
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kLoad: case IrOp::kFload: {
+            LirOp op;
+            op.type = OpType::kMemory;
+            op.opcode = instr.op == IrOp::kLoad ? Opcode::kLoad
+                                                : Opcode::kFload;
+            op.dest = instr.dest;
+            op.src1 = instr.src1;
+            op.destCls = instr.op == IrOp::kLoad ? RegClass::kInt
+                                                 : RegClass::kFloat;
+            op.src1Cls = RegClass::kInt;
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kStore: case IrOp::kFstore: {
+            LirOp op;
+            op.type = OpType::kMemory;
+            op.opcode = instr.op == IrOp::kStore ? Opcode::kStore
+                                                 : Opcode::kFstore;
+            op.src1 = instr.src1;
+            op.src2 = instr.src2;
+            op.src1Cls = RegClass::kInt;
+            op.src2Cls = instr.op == IrOp::kStore ? RegClass::kInt
+                                                  : RegClass::kFloat;
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kFrameAddr: {
+            LirOp op;
+            op.pseudo = LirPseudo::kFrameAddr;
+            op.dest = instr.dest;
+            op.destCls = RegClass::kInt;
+            op.imm = std::int32_t(instr.imm);
+            push(std::move(op));
+            break;
+          }
+          case IrOp::kGlobalAddr: {
+            const std::uint32_t addr =
+                globalAddress(std::uint32_t(instr.imm));
+            emitLdi(instr.dest, std::int32_t(addr));
+            break;
+          }
+          case IrOp::kCall: {
+            // End the current block with a call terminator and keep
+            // lowering into the continuation block.
+            LirTerm term;
+            term.kind = LirTerm::kCall;
+            term.callee = instr.callee;
+            term.args = instr.args;
+            term.argClasses = instr.argClasses;
+            term.callDest = instr.dest;
+            term.callDestCls = instr.valueClass;
+            const std::uint32_t cont =
+                std::uint32_t(out_.blocks.size());
+            out_.blocks.emplace_back();
+            out_.blocks.back().weight = cur().weight;
+            out_.blocks.back().label = cur().label + ".cont";
+            term.thenTarget = cont;
+            cur().term = std::move(term);
+            startBlock(cont);
+            break;
+          }
+          case IrOp::kJmp: {
+            LirTerm term;
+            term.kind = LirTerm::kJmp;
+            term.thenTarget = irToLir_[instr.target0];
+            cur().term = std::move(term);
+            break;
+          }
+          case IrOp::kBr: {
+            LirTerm term;
+            term.kind = LirTerm::kBr;
+            term.thenTarget = irToLir_[instr.target0];
+            term.elseTarget = irToLir_[instr.target1];
+            auto fused = fusedPred_.find(instr.src1);
+            if (fused != fusedPred_.end()) {
+                term.onPred = true;
+                term.predReg = fused->second;
+                term.senseTrue = true;
+            } else {
+                term.cond = instr.src1;
+            }
+            cur().term = std::move(term);
+            break;
+          }
+          case IrOp::kRet: {
+            LirTerm term;
+            term.kind = LirTerm::kRet;
+            term.valueVreg = instr.src1;
+            term.valueCls = instr.valueClass;
+            cur().term = std::move(term);
+            break;
+          }
+        }
+    }
+
+    /** @return true if the block contained a call. */
+    bool
+    lowerBlock(std::uint32_t ir_block)
+    {
+        const ir::IrBlock &blk = irfn_.blocks[ir_block];
+        startBlock(irToLir_[ir_block]);
+        bool has_call = false;
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            has_call |= blk.instrs[i].op == IrOp::kCall;
+            lowerInstr(blk.instrs[i], blk, i);
+        }
+        return has_call;
+    }
+
+    std::uint32_t
+    globalAddress(std::uint32_t index) const
+    {
+        return globalAddrs_->at(index);
+    }
+
+  public:
+    void
+    setGlobalAddresses(const std::vector<std::uint32_t> *addrs)
+    {
+        globalAddrs_ = addrs;
+    }
+
+  private:
+    const ir::IrFunction &irfn_;
+    DataBuilder &data_;
+    LirFunction out_;
+    std::vector<std::uint32_t> irToLir_;
+    std::uint32_t curBlock_ = 0;
+    unsigned nextPred_ = 1;
+    std::unordered_map<Vreg, unsigned> fusedPred_;
+    std::unordered_map<Vreg, std::uint32_t> intUses_;
+    const std::vector<std::uint32_t> *globalAddrs_ = nullptr;
+};
+
+} // namespace
+
+LirProgram
+lower(const ir::IrModule &module)
+{
+    const int main_idx = module.findFunction("main");
+    if (main_idx < 0)
+        TEPIC_FATAL("program has no 'main' function");
+
+    LirProgram prog;
+    prog.mainIndex = std::uint32_t(main_idx);
+
+    DataBuilder data(module);
+    // Global addresses are fixed before any function is lowered (the
+    // constant pool grows behind them as kFconst values are interned);
+    // recompute them independently and cross-check against the builder.
+    std::vector<std::uint32_t> addrs;
+    std::uint32_t cursor = kDataBase;
+    for (const auto &g : module.globals) {
+        addrs.push_back(cursor);
+        cursor += (g.sizeBytes + 7) & ~7u;
+    }
+
+    for (const auto &fn : module.functions) {
+        FunctionLowerer lowerer(fn, data);
+        lowerer.setGlobalAddresses(&addrs);
+        prog.functions.push_back(lowerer.run());
+    }
+    prog.data = data.take();
+    TEPIC_ASSERT(prog.data.globalAddress == addrs,
+                 "data layout mismatch");
+    return prog;
+}
+
+} // namespace tepic::compiler

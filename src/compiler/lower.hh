@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Instruction selection: IR -> LIR.
+ *
+ * Responsibilities (DESIGN.md §3, Compiler):
+ *  - lay out the static data segment (module globals + a float constant
+ *    pool, since TEPIC has no FP-immediate format);
+ *  - select TEPIC operations for each IR instruction (constants that do
+ *    not fit the 20-bit LoadImm immediate are synthesised from pieces);
+ *  - fuse single-use compares feeding a branch into
+ *    compare-to-predicate + guarded-branch pairs; materialise other
+ *    compares as 0/1 integers with a pair of guarded LoadImms;
+ *  - split blocks at calls (a call ends an atomic fetch block; the
+ *    continuation block is the architectural return address).
+ */
+
+#ifndef TEPIC_COMPILER_LOWER_HH
+#define TEPIC_COMPILER_LOWER_HH
+
+#include "compiler/lir.hh"
+#include "ir/ir.hh"
+
+namespace tepic::compiler {
+
+/** Memory map: the data segment starts here (code is in ROM). */
+constexpr std::uint32_t kDataBase = 0x1000;
+
+/** Lower an optimised IR module to LIR. Fatal if `main` is missing. */
+LirProgram lower(const ir::IrModule &module);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_LOWER_HH

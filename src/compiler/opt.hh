@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine-independent IR optimisations.
+ *
+ * The LEGO compiler the paper used is an optimising compiler; these
+ * passes keep our generated code comparably clean so the static op
+ * counts (and therefore compression ratios) are not inflated by
+ * front-end noise:
+ *
+ *  - constant folding + algebraic simplification (block local),
+ *  - copy propagation (block local),
+ *  - common-subexpression elimination (block local, pure ops),
+ *  - branch folding (constant conditions) and jump threading,
+ *  - straight-line block merging (grows scheduling regions),
+ *  - global dead-code elimination,
+ *  - unreachable-block removal.
+ */
+
+#ifndef TEPIC_COMPILER_OPT_HH
+#define TEPIC_COMPILER_OPT_HH
+
+#include "ir/ir.hh"
+
+namespace tepic::compiler {
+
+/** Per-pass toggles (all on by default; ablations switch these). */
+struct OptConfig
+{
+    bool constantFold = true;
+    bool copyPropagate = true;
+    bool localCse = true;
+    bool branchFold = true;
+    bool mergeBlocks = true;
+    bool deadCodeElim = true;
+
+    static OptConfig all() { return OptConfig{}; }
+
+    static OptConfig
+    none()
+    {
+        OptConfig cfg;
+        cfg.constantFold = cfg.copyPropagate = cfg.localCse = false;
+        cfg.branchFold = cfg.mergeBlocks = cfg.deadCodeElim = false;
+        return cfg;
+    }
+};
+
+/** Run the pass pipeline to a fixpoint over every function. */
+void optimise(ir::IrModule &module, const OptConfig &config = {});
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_OPT_HH

@@ -1,0 +1,617 @@
+#include "compiler/parser.hh"
+
+#include "compiler/lexer.hh"
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+/** Token-cursor helper shared by all productions. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens)) {}
+
+    AstProgram
+    parseProgram()
+    {
+        AstProgram prog;
+        while (!at(TokKind::kEof)) {
+            if (at(TokKind::kKwVar)) {
+                prog.globals.push_back(parseGlobal());
+            } else if (at(TokKind::kKwFunc)) {
+                prog.functions.push_back(parseFunction());
+            } else {
+                fail("expected 'var' or 'func' at top level");
+            }
+        }
+        return prog;
+    }
+
+  private:
+    const Token &peek(std::size_t off = 0) const
+    {
+        const std::size_t i = std::min(pos_ + off, tokens_.size() - 1);
+        return tokens_[i];
+    }
+
+    bool at(TokKind kind) const { return peek().kind == kind; }
+
+    Token
+    advance()
+    {
+        Token tok = peek();
+        if (pos_ + 1 < tokens_.size())
+            ++pos_;
+        return tok;
+    }
+
+    Token
+    expect(TokKind kind, const char *what)
+    {
+        if (!at(kind))
+            fail(std::string("expected ") + tokKindName(kind) +
+                 " (" + what + "), found " + tokKindName(peek().kind));
+        return advance();
+    }
+
+    bool
+    accept(TokKind kind)
+    {
+        if (at(kind)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        TEPIC_FATAL("parse error at line ", peek().line, " col ",
+                    peek().col, ": ", msg);
+    }
+
+    Type
+    parseOptionalType()
+    {
+        if (accept(TokKind::kColon)) {
+            if (accept(TokKind::kKwInt))
+                return Type::kInt;
+            if (accept(TokKind::kKwFloat))
+                return Type::kFloat;
+            fail("expected 'int' or 'float' after ':'");
+        }
+        return Type::kInt;
+    }
+
+    GlobalDecl
+    parseGlobal()
+    {
+        GlobalDecl g;
+        g.line = peek().line;
+        expect(TokKind::kKwVar, "global declaration");
+        g.name = expect(TokKind::kIdent, "global name").text;
+        g.type = parseOptionalType();
+        if (accept(TokKind::kLBracket)) {
+            const Token size = expect(TokKind::kIntLit, "array size");
+            if (size.intValue <= 0)
+                fail("array size must be positive");
+            g.arraySize = std::uint32_t(size.intValue);
+            expect(TokKind::kRBracket, "array size");
+        }
+        if (accept(TokKind::kAssign)) {
+            // Initialiser list of literals (scalars take exactly one).
+            do {
+                bool negate = accept(TokKind::kMinus);
+                if (g.type == Type::kFloat && at(TokKind::kFloatLit)) {
+                    double v = advance().floatValue;
+                    g.floatInit.push_back(negate ? -v : v);
+                } else {
+                    const Token lit =
+                        expect(TokKind::kIntLit, "initialiser");
+                    if (g.type == Type::kFloat)
+                        g.floatInit.push_back(
+                            negate ? -double(lit.intValue)
+                                   : double(lit.intValue));
+                    else
+                        g.intInit.push_back(
+                            negate ? -lit.intValue : lit.intValue);
+                }
+            } while (accept(TokKind::kComma));
+            const std::size_t count = g.type == Type::kFloat
+                ? g.floatInit.size() : g.intInit.size();
+            const std::size_t capacity = g.arraySize ? g.arraySize : 1;
+            if (count > capacity)
+                fail("too many initialisers for " + g.name);
+        }
+        expect(TokKind::kSemi, "global declaration");
+        return g;
+    }
+
+    FuncDecl
+    parseFunction()
+    {
+        FuncDecl fn;
+        fn.line = peek().line;
+        expect(TokKind::kKwFunc, "function");
+        fn.name = expect(TokKind::kIdent, "function name").text;
+        expect(TokKind::kLParen, "parameter list");
+        if (!at(TokKind::kRParen)) {
+            do {
+                Param p;
+                p.name = expect(TokKind::kIdent, "parameter name").text;
+                p.type = parseOptionalType();
+                fn.params.push_back(std::move(p));
+            } while (accept(TokKind::kComma));
+        }
+        expect(TokKind::kRParen, "parameter list");
+        if (accept(TokKind::kColon)) {
+            fn.hasReturn = true;
+            if (accept(TokKind::kKwInt))
+                fn.returnType = Type::kInt;
+            else if (accept(TokKind::kKwFloat))
+                fn.returnType = Type::kFloat;
+            else
+                fail("expected return type");
+        }
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto blk = std::make_unique<Stmt>();
+        blk->kind = StmtKind::kBlock;
+        blk->line = peek().line;
+        expect(TokKind::kLBrace, "block");
+        while (!at(TokKind::kRBrace) && !at(TokKind::kEof))
+            blk->stmts.push_back(parseStmt());
+        expect(TokKind::kRBrace, "block");
+        return blk;
+    }
+
+    /** Simple statement usable as a for-initialiser or for-step. */
+    StmtPtr
+    parseSimpleStmt()
+    {
+        if (at(TokKind::kKwVar))
+            return parseVarDecl(/*consume_semi=*/false);
+        if (at(TokKind::kIdent)) {
+            if (peek(1).kind == TokKind::kAssign ||
+                peek(1).kind == TokKind::kLBracket) {
+                return parseAssignLike(/*consume_semi=*/false);
+            }
+        }
+        auto stmt = std::make_unique<Stmt>();
+        stmt->kind = StmtKind::kExprStmt;
+        stmt->line = peek().line;
+        stmt->value = parseExpr();
+        return stmt;
+    }
+
+    StmtPtr
+    parseVarDecl(bool consume_semi)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = peek().line;
+        expect(TokKind::kKwVar, "declaration");
+        stmt->name = expect(TokKind::kIdent, "variable name").text;
+        stmt->type = parseOptionalType();
+        if (accept(TokKind::kLBracket)) {
+            stmt->kind = StmtKind::kArrayDecl;
+            const Token size = expect(TokKind::kIntLit, "array size");
+            if (size.intValue <= 0)
+                fail("array size must be positive");
+            stmt->arraySize = std::uint32_t(size.intValue);
+            expect(TokKind::kRBracket, "array size");
+        } else {
+            stmt->kind = StmtKind::kVarDecl;
+            if (accept(TokKind::kAssign))
+                stmt->value = parseExpr();
+        }
+        if (consume_semi)
+            expect(TokKind::kSemi, "declaration");
+        return stmt;
+    }
+
+    /** `name = expr` or `name[expr] = expr` (name already current). */
+    StmtPtr
+    parseAssignLike(bool consume_semi)
+    {
+        auto stmt = std::make_unique<Stmt>();
+        stmt->line = peek().line;
+        stmt->name = expect(TokKind::kIdent, "assignment target").text;
+        if (accept(TokKind::kLBracket)) {
+            stmt->kind = StmtKind::kIndexAssign;
+            stmt->index = parseExpr();
+            expect(TokKind::kRBracket, "subscript");
+        } else {
+            stmt->kind = StmtKind::kAssign;
+        }
+        expect(TokKind::kAssign, "assignment");
+        stmt->value = parseExpr();
+        if (consume_semi)
+            expect(TokKind::kSemi, "assignment");
+        return stmt;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        const unsigned line = peek().line;
+        switch (peek().kind) {
+          case TokKind::kKwVar:
+            return parseVarDecl(/*consume_semi=*/true);
+          case TokKind::kLBrace:
+            return parseBlock();
+          case TokKind::kKwIf: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kIf;
+            stmt->line = line;
+            advance();
+            expect(TokKind::kLParen, "if condition");
+            stmt->value = parseExpr();
+            expect(TokKind::kRParen, "if condition");
+            stmt->body = parseBlock();
+            if (accept(TokKind::kKwElse)) {
+                if (at(TokKind::kKwIf))
+                    stmt->elseBody = parseStmt();  // else-if chain
+                else
+                    stmt->elseBody = parseBlock();
+            }
+            return stmt;
+          }
+          case TokKind::kKwWhile: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kWhile;
+            stmt->line = line;
+            advance();
+            expect(TokKind::kLParen, "while condition");
+            stmt->value = parseExpr();
+            expect(TokKind::kRParen, "while condition");
+            stmt->body = parseBlock();
+            return stmt;
+          }
+          case TokKind::kKwFor: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kFor;
+            stmt->line = line;
+            advance();
+            expect(TokKind::kLParen, "for header");
+            if (!at(TokKind::kSemi))
+                stmt->init = parseSimpleStmt();
+            expect(TokKind::kSemi, "for header");
+            if (!at(TokKind::kSemi))
+                stmt->value = parseExpr();
+            expect(TokKind::kSemi, "for header");
+            if (!at(TokKind::kRParen))
+                stmt->step = parseSimpleStmt();
+            expect(TokKind::kRParen, "for header");
+            stmt->body = parseBlock();
+            return stmt;
+          }
+          case TokKind::kKwReturn: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kReturn;
+            stmt->line = line;
+            advance();
+            if (!at(TokKind::kSemi))
+                stmt->value = parseExpr();
+            expect(TokKind::kSemi, "return");
+            return stmt;
+          }
+          case TokKind::kKwBreak: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kBreak;
+            stmt->line = line;
+            advance();
+            expect(TokKind::kSemi, "break");
+            return stmt;
+          }
+          case TokKind::kKwContinue: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kContinue;
+            stmt->line = line;
+            advance();
+            expect(TokKind::kSemi, "continue");
+            return stmt;
+          }
+          case TokKind::kIdent:
+            if (peek(1).kind == TokKind::kAssign ||
+                (peek(1).kind == TokKind::kLBracket)) {
+                // Distinguish `a[i] = e;` from expression `a[i];` by
+                // scanning for the '=' after the matching ']'.
+                if (peek(1).kind == TokKind::kAssign)
+                    return parseAssignLike(/*consume_semi=*/true);
+                std::size_t depth = 0;
+                std::size_t off = 1;
+                do {
+                    if (peek(off).kind == TokKind::kLBracket)
+                        ++depth;
+                    else if (peek(off).kind == TokKind::kRBracket)
+                        --depth;
+                    else if (peek(off).kind == TokKind::kEof)
+                        fail("unterminated subscript");
+                    ++off;
+                } while (depth > 0);
+                if (peek(off).kind == TokKind::kAssign)
+                    return parseAssignLike(/*consume_semi=*/true);
+            }
+            [[fallthrough]];
+          default: {
+            auto stmt = std::make_unique<Stmt>();
+            stmt->kind = StmtKind::kExprStmt;
+            stmt->line = line;
+            stmt->value = parseExpr();
+            expect(TokKind::kSemi, "expression statement");
+            return stmt;
+          }
+        }
+    }
+
+    // ---- expressions, standard precedence climbing ----
+
+    ExprPtr parseExpr() { return parseLogOr(); }
+
+    ExprPtr
+    makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs, unsigned line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kBinary;
+        e->binOp = op;
+        e->line = line;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        return e;
+    }
+
+    ExprPtr
+    parseLogOr()
+    {
+        ExprPtr lhs = parseLogAnd();
+        while (at(TokKind::kOrOr)) {
+            const unsigned line = advance().line;
+            lhs = makeBinary(BinOp::kLogOr, std::move(lhs),
+                             parseLogAnd(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseLogAnd()
+    {
+        ExprPtr lhs = parseBitOr();
+        while (at(TokKind::kAndAnd)) {
+            const unsigned line = advance().line;
+            lhs = makeBinary(BinOp::kLogAnd, std::move(lhs),
+                             parseBitOr(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr lhs = parseBitXor();
+        while (at(TokKind::kPipe)) {
+            const unsigned line = advance().line;
+            lhs = makeBinary(BinOp::kOr, std::move(lhs),
+                             parseBitXor(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr lhs = parseBitAnd();
+        while (at(TokKind::kCaret)) {
+            const unsigned line = advance().line;
+            lhs = makeBinary(BinOp::kXor, std::move(lhs),
+                             parseBitAnd(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr lhs = parseEquality();
+        while (at(TokKind::kAmp)) {
+            const unsigned line = advance().line;
+            lhs = makeBinary(BinOp::kAnd, std::move(lhs),
+                             parseEquality(), line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr lhs = parseRelational();
+        while (at(TokKind::kEq) || at(TokKind::kNe)) {
+            const Token tok = advance();
+            const BinOp op = tok.kind == TokKind::kEq
+                ? BinOp::kEq : BinOp::kNe;
+            lhs = makeBinary(op, std::move(lhs), parseRelational(),
+                             tok.line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr lhs = parseShift();
+        while (at(TokKind::kLt) || at(TokKind::kLe) ||
+               at(TokKind::kGt) || at(TokKind::kGe)) {
+            const Token tok = advance();
+            BinOp op = BinOp::kLt;
+            if (tok.kind == TokKind::kLe)
+                op = BinOp::kLe;
+            else if (tok.kind == TokKind::kGt)
+                op = BinOp::kGt;
+            else if (tok.kind == TokKind::kGe)
+                op = BinOp::kGe;
+            lhs = makeBinary(op, std::move(lhs), parseShift(), tok.line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr lhs = parseAdditive();
+        while (at(TokKind::kShl) || at(TokKind::kShr)) {
+            const Token tok = advance();
+            const BinOp op = tok.kind == TokKind::kShl
+                ? BinOp::kShl : BinOp::kShr;
+            lhs = makeBinary(op, std::move(lhs), parseAdditive(),
+                             tok.line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr lhs = parseMultiplicative();
+        while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+            const Token tok = advance();
+            const BinOp op = tok.kind == TokKind::kPlus
+                ? BinOp::kAdd : BinOp::kSub;
+            lhs = makeBinary(op, std::move(lhs), parseMultiplicative(),
+                             tok.line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr lhs = parseUnary();
+        while (at(TokKind::kStar) || at(TokKind::kSlash) ||
+               at(TokKind::kPercent)) {
+            const Token tok = advance();
+            BinOp op = BinOp::kMul;
+            if (tok.kind == TokKind::kSlash)
+                op = BinOp::kDiv;
+            else if (tok.kind == TokKind::kPercent)
+                op = BinOp::kRem;
+            lhs = makeBinary(op, std::move(lhs), parseUnary(), tok.line);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(TokKind::kMinus) || at(TokKind::kTilde) ||
+            at(TokKind::kBang)) {
+            const Token tok = advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kUnary;
+            e->line = tok.line;
+            e->unOp = tok.kind == TokKind::kMinus ? UnOp::kNeg
+                : tok.kind == TokKind::kTilde ? UnOp::kBitNot
+                : UnOp::kLogNot;
+            e->lhs = parseUnary();
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token tok = peek();
+        switch (tok.kind) {
+          case TokKind::kIntLit: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kIntLit;
+            e->intValue = tok.intValue;
+            e->line = tok.line;
+            return e;
+          }
+          case TokKind::kFloatLit: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kFloatLit;
+            e->floatValue = tok.floatValue;
+            e->line = tok.line;
+            return e;
+          }
+          case TokKind::kKwInt:
+          case TokKind::kKwFloat: {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kCast;
+            e->castTo = tok.kind == TokKind::kKwInt
+                ? Type::kInt : Type::kFloat;
+            e->line = tok.line;
+            expect(TokKind::kLParen, "cast");
+            e->lhs = parseExpr();
+            expect(TokKind::kRParen, "cast");
+            return e;
+          }
+          case TokKind::kIdent: {
+            advance();
+            if (accept(TokKind::kLParen)) {
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kCall;
+                e->name = tok.text;
+                e->line = tok.line;
+                if (!at(TokKind::kRParen)) {
+                    do {
+                        e->args.push_back(parseExpr());
+                    } while (accept(TokKind::kComma));
+                }
+                expect(TokKind::kRParen, "call");
+                return e;
+            }
+            if (accept(TokKind::kLBracket)) {
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kIndex;
+                e->name = tok.text;
+                e->line = tok.line;
+                e->lhs = parseExpr();
+                expect(TokKind::kRBracket, "subscript");
+                return e;
+            }
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kVarRef;
+            e->name = tok.text;
+            e->line = tok.line;
+            return e;
+          }
+          case TokKind::kLParen: {
+            advance();
+            ExprPtr e = parseExpr();
+            expect(TokKind::kRParen, "parenthesised expression");
+            return e;
+          }
+          default:
+            fail(std::string("expected expression, found ") +
+                 tokKindName(tok.kind));
+        }
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+AstProgram
+parse(const std::string &source)
+{
+    Parser parser(lex(source));
+    return parser.parseProgram();
+}
+
+} // namespace tepic::compiler

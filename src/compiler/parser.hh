@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for tinkerc (grammar in ast.hh).
+ */
+
+#ifndef TEPIC_COMPILER_PARSER_HH
+#define TEPIC_COMPILER_PARSER_HH
+
+#include <string>
+
+#include "compiler/ast.hh"
+
+namespace tepic::compiler {
+
+/** Parse @p source into an AST. Fatal error on syntax problems. */
+AstProgram parse(const std::string &source);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_PARSER_HH

@@ -1,0 +1,643 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+using ir::RegClass;
+using ir::Vreg;
+
+/** A (class, vreg) key. */
+struct VKey
+{
+    RegClass cls;
+    Vreg vreg;
+
+    bool
+    operator<(const VKey &other) const
+    {
+        if (cls != other.cls)
+            return cls < other.cls;
+        return vreg < other.vreg;
+    }
+    bool
+    operator==(const VKey &other) const
+    {
+        return cls == other.cls && vreg == other.vreg;
+    }
+};
+
+struct Interval
+{
+    VKey key;
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+    bool crossesCall = false;
+
+    // Result
+    bool spilled = false;
+    unsigned reg = 0;
+    std::uint32_t slot = 0;
+};
+
+/** Visit all register uses of one op. */
+template <typename Fn>
+void
+forUses(const LirOp &op, Fn &&fn)
+{
+    if (op.src1 != ir::kNoVreg && op.src1Cls != RegClass::kNone)
+        fn(VKey{op.src1Cls, op.src1});
+    if (op.src2 != ir::kNoVreg && op.src2Cls != RegClass::kNone)
+        fn(VKey{op.src2Cls, op.src2});
+    if (op.destIsAlsoUse())
+        fn(VKey{op.destCls, op.dest});
+}
+
+template <typename Fn>
+void
+forDefs(const LirOp &op, Fn &&fn)
+{
+    if (op.dest != ir::kNoVreg && op.destCls != RegClass::kNone)
+        fn(VKey{op.destCls, op.dest});
+}
+
+template <typename Fn>
+void
+forTermUses(const LirTerm &term, Fn &&fn)
+{
+    switch (term.kind) {
+      case LirTerm::kBr:
+        if (!term.onPred)
+            fn(VKey{RegClass::kInt, term.cond});
+        break;
+      case LirTerm::kRet:
+        if (term.valueVreg != ir::kNoVreg)
+            fn(VKey{term.valueCls, term.valueVreg});
+        break;
+      case LirTerm::kCall:
+        for (std::size_t i = 0; i < term.args.size(); ++i)
+            fn(VKey{term.argClasses[i], term.args[i]});
+        break;
+      case LirTerm::kJmp:
+        break;
+    }
+}
+
+/** Per-function allocator. */
+class Allocator
+{
+  public:
+    Allocator(LirFunction &fn, RegAllocStats &stats)
+        : fn_(fn), stats_(stats) {}
+
+    void
+    run()
+    {
+        numberPositions();
+        computeLiveness();
+        buildIntervals();
+        scan();
+        rewrite();
+        fn_.allocated = true;
+    }
+
+  private:
+    LirFunction &fn_;
+    RegAllocStats &stats_;
+
+    // Linear positions: each op gets one, each terminator gets one.
+    std::vector<std::uint32_t> blockStart_;
+    std::vector<std::uint32_t> blockEnd_;  // = terminator position
+    std::vector<std::uint32_t> callPositions_;
+    std::uint32_t numPositions_ = 0;
+
+    std::vector<std::set<VKey>> liveIn_;
+    std::vector<std::set<VKey>> liveOut_;
+
+    std::vector<Interval> intervals_;
+    std::map<VKey, std::size_t> intervalOf_;
+
+    void
+    numberPositions()
+    {
+        std::uint32_t pos = 0;
+        blockStart_.resize(fn_.blocks.size());
+        blockEnd_.resize(fn_.blocks.size());
+        for (std::size_t b = 0; b < fn_.blocks.size(); ++b) {
+            blockStart_[b] = pos;
+            pos += std::uint32_t(fn_.blocks[b].body.size());
+            blockEnd_[b] = pos;  // terminator position
+            if (fn_.blocks[b].term.kind == LirTerm::kCall)
+                callPositions_.push_back(pos);
+            ++pos;
+        }
+        numPositions_ = pos;
+    }
+
+    std::vector<std::uint32_t>
+    successors(const LirBlock &blk) const
+    {
+        switch (blk.term.kind) {
+          case LirTerm::kJmp:
+          case LirTerm::kCall:
+            return {blk.term.thenTarget};
+          case LirTerm::kBr:
+            return {blk.term.thenTarget, blk.term.elseTarget};
+          case LirTerm::kRet:
+            return {};
+        }
+        return {};
+    }
+
+    void
+    computeLiveness()
+    {
+        const std::size_t n = fn_.blocks.size();
+        liveIn_.assign(n, {});
+        liveOut_.assign(n, {});
+
+        // Per-block use (upward-exposed) and def sets.
+        std::vector<std::set<VKey>> gen(n);
+        std::vector<std::set<VKey>> kill(n);
+        for (std::size_t b = 0; b < n; ++b) {
+            const auto &blk = fn_.blocks[b];
+            auto &g = gen[b];
+            auto &k = kill[b];
+            for (const auto &op : blk.body) {
+                forUses(op, [&](VKey v) {
+                    if (!k.count(v))
+                        g.insert(v);
+                });
+                forDefs(op, [&](VKey v) { k.insert(v); });
+            }
+            forTermUses(blk.term, [&](VKey v) {
+                if (!k.count(v))
+                    g.insert(v);
+            });
+            if (blk.term.kind == LirTerm::kCall &&
+                blk.term.callDest != ir::kNoVreg) {
+                k.insert(VKey{blk.term.callDestCls, blk.term.callDest});
+            }
+        }
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t bi = n; bi-- > 0;) {
+                const auto &blk = fn_.blocks[bi];
+                std::set<VKey> out;
+                for (auto succ : successors(blk))
+                    for (const auto &v : liveIn_[succ])
+                        out.insert(v);
+                std::set<VKey> in = gen[bi];
+                for (const auto &v : out)
+                    if (!kill[bi].count(v))
+                        in.insert(v);
+                if (out != liveOut_[bi] || in != liveIn_[bi]) {
+                    liveOut_[bi] = std::move(out);
+                    liveIn_[bi] = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    Interval &
+    interval(VKey key)
+    {
+        auto it = intervalOf_.find(key);
+        if (it == intervalOf_.end()) {
+            intervalOf_[key] = intervals_.size();
+            Interval iv;
+            iv.key = key;
+            iv.start = 0xffffffffu;
+            iv.end = 0;
+            intervals_.push_back(iv);
+            return intervals_.back();
+        }
+        return intervals_[it->second];
+    }
+
+    void
+    extend(VKey key, std::uint32_t pos)
+    {
+        Interval &iv = interval(key);
+        iv.start = std::min(iv.start, pos);
+        iv.end = std::max(iv.end, pos);
+    }
+
+    void
+    buildIntervals()
+    {
+        for (std::size_t b = 0; b < fn_.blocks.size(); ++b) {
+            const auto &blk = fn_.blocks[b];
+            for (const auto &v : liveIn_[b])
+                extend(v, blockStart_[b]);
+            for (const auto &v : liveOut_[b])
+                extend(v, blockEnd_[b]);
+            std::uint32_t pos = blockStart_[b];
+            for (const auto &op : blk.body) {
+                forUses(op, [&](VKey v) { extend(v, pos); });
+                forDefs(op, [&](VKey v) { extend(v, pos); });
+                ++pos;
+            }
+            forTermUses(blk.term, [&](VKey v) { extend(v, pos); });
+            if (blk.term.kind == LirTerm::kCall &&
+                blk.term.callDest != ir::kNoVreg) {
+                extend(VKey{blk.term.callDestCls, blk.term.callDest},
+                       pos);
+            }
+        }
+        for (auto &iv : intervals_) {
+            for (auto call_pos : callPositions_) {
+                if (iv.start < call_pos && call_pos < iv.end) {
+                    iv.crossesCall = true;
+                    break;
+                }
+            }
+        }
+        stats_.intervals += unsigned(intervals_.size());
+    }
+
+    // ---- the scan ----
+
+    static std::vector<unsigned>
+    callerPool(RegClass cls)
+    {
+        if (cls == RegClass::kFloat) {
+            // f0 (retval) plus f2..f19; f1 reserved.
+            std::vector<unsigned> pool{RegConv::kFRetVal};
+            for (unsigned r = 2; r <= 19; ++r)
+                pool.push_back(r);
+            return pool;
+        }
+        // r3..r15 (retval + args + temps).
+        std::vector<unsigned> pool;
+        for (unsigned r = 3; r <= 15; ++r)
+            pool.push_back(r);
+        return pool;
+    }
+
+    static std::vector<unsigned>
+    calleePool(RegClass cls)
+    {
+        std::vector<unsigned> pool;
+        if (cls == RegClass::kFloat) {
+            for (unsigned r = 20; r <= 30; ++r)
+                pool.push_back(r);
+        } else {
+            for (unsigned r = 16; r <= 28; ++r)
+                pool.push_back(r);
+        }
+        return pool;
+    }
+
+    static bool
+    isCalleeSaved(RegClass cls, unsigned reg)
+    {
+        if (cls == RegClass::kFloat)
+            return reg >= 20 && reg <= 30;
+        return reg >= 16 && reg <= 28;
+    }
+
+    void
+    scan()
+    {
+        std::vector<std::size_t> order(intervals_.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (intervals_[a].start != intervals_[b].start)
+                          return intervals_[a].start <
+                                 intervals_[b].start;
+                      return intervals_[a].key < intervals_[b].key;
+                  });
+
+        // Run one scan per register class; free sets per pool.
+        for (RegClass cls : {RegClass::kInt, RegClass::kFloat}) {
+            std::set<unsigned> free_caller;
+            std::set<unsigned> free_callee;
+            for (auto r : callerPool(cls))
+                free_caller.insert(r);
+            for (auto r : calleePool(cls))
+                free_callee.insert(r);
+
+            std::vector<std::size_t> active;  // interval indices
+
+            auto release = [&](const Interval &iv) {
+                if (isCalleeSaved(cls, iv.reg))
+                    free_callee.insert(iv.reg);
+                else
+                    free_caller.insert(iv.reg);
+            };
+
+            for (std::size_t idx : order) {
+                Interval &iv = intervals_[idx];
+                if (iv.key.cls != cls)
+                    continue;
+                // Expire finished intervals.
+                for (auto it = active.begin(); it != active.end();) {
+                    if (intervals_[*it].end < iv.start) {
+                        release(intervals_[*it]);
+                        it = active.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+
+                // Pick a register honouring the call constraint.
+                unsigned reg = 0;
+                bool found = false;
+                if (iv.crossesCall) {
+                    if (!free_callee.empty()) {
+                        reg = *free_callee.begin();
+                        free_callee.erase(free_callee.begin());
+                        found = true;
+                    }
+                } else {
+                    if (!free_caller.empty()) {
+                        reg = *free_caller.begin();
+                        free_caller.erase(free_caller.begin());
+                        found = true;
+                    } else if (!free_callee.empty()) {
+                        reg = *free_callee.begin();
+                        free_callee.erase(free_callee.begin());
+                        found = true;
+                    }
+                }
+
+                if (found) {
+                    iv.reg = reg;
+                    active.push_back(idx);
+                    continue;
+                }
+
+                // No register: spill the furthest-ending compatible
+                // interval, or this one.
+                std::size_t victim = idx;
+                std::uint32_t furthest = iv.end;
+                std::size_t victim_pos = active.size();
+                for (std::size_t ai = 0; ai < active.size(); ++ai) {
+                    Interval &cand = intervals_[active[ai]];
+                    // The stolen register must satisfy *our* pool
+                    // constraint.
+                    if (iv.crossesCall &&
+                        !isCalleeSaved(cls, cand.reg)) {
+                        continue;
+                    }
+                    if (cand.end > furthest) {
+                        furthest = cand.end;
+                        victim = active[ai];
+                        victim_pos = ai;
+                    }
+                }
+                if (victim != idx) {
+                    Interval &loser = intervals_[victim];
+                    iv.reg = loser.reg;
+                    loser.spilled = true;
+                    loser.slot = newSpillSlot();
+                    active.erase(active.begin() +
+                                 std::ptrdiff_t(victim_pos));
+                    active.push_back(idx);
+                } else {
+                    iv.spilled = true;
+                    iv.slot = newSpillSlot();
+                }
+                ++stats_.spills;
+            }
+        }
+
+        // Record used callee-saved registers for the prologue.
+        std::set<unsigned> used_gpr;
+        std::set<unsigned> used_fpr;
+        for (const auto &iv : intervals_) {
+            if (iv.spilled)
+                continue;
+            if (iv.key.cls == RegClass::kInt &&
+                isCalleeSaved(RegClass::kInt, iv.reg)) {
+                used_gpr.insert(iv.reg);
+            }
+            if (iv.key.cls == RegClass::kFloat &&
+                isCalleeSaved(RegClass::kFloat, iv.reg)) {
+                used_fpr.insert(iv.reg);
+            }
+        }
+        fn_.usedCalleeSavedGpr.assign(used_gpr.begin(), used_gpr.end());
+        fn_.usedCalleeSavedFpr.assign(used_fpr.begin(), used_fpr.end());
+        stats_.calleeSavedUsed +=
+            unsigned(used_gpr.size() + used_fpr.size());
+    }
+
+    std::uint32_t
+    newSpillSlot()
+    {
+        LirFrameSlot slot;
+        slot.sizeBytes = 8;
+        slot.name = "spill" + std::to_string(fn_.frame.size());
+        fn_.frame.push_back(slot);
+        return std::uint32_t(fn_.frame.size() - 1);
+    }
+
+    // ---- rewrite ----
+
+    Loc
+    locOf(VKey key) const
+    {
+        auto it = intervalOf_.find(key);
+        if (it == intervalOf_.end())
+            return Loc::none();  // dead vreg (e.g. unused parameter)
+        const Interval &iv = intervals_[it->second];
+        return iv.spilled ? Loc::inSlot(iv.slot) : Loc::inReg(iv.reg);
+    }
+
+    static unsigned
+    tempA(RegClass cls)
+    {
+        return cls == RegClass::kFloat ? RegConv::kFSpillTempA
+                                       : RegConv::kSpillTempA;
+    }
+
+    static unsigned
+    tempB(RegClass cls)
+    {
+        return cls == RegClass::kFloat ? RegConv::kFSpillTempB
+                                       : RegConv::kSpillTempB;
+    }
+
+    LirOp
+    makeSpill(LirPseudo pseudo, RegClass cls, unsigned temp,
+              std::uint32_t slot)
+    {
+        LirOp op;
+        op.pseudo = pseudo;
+        op.imm = std::int32_t(slot);
+        if (pseudo == LirPseudo::kSpillLoad) {
+            op.dest = temp;
+            op.destCls = cls;
+        } else {
+            op.src1 = temp;
+            op.src1Cls = cls;
+        }
+        return op;
+    }
+
+    void
+    rewrite()
+    {
+        for (std::size_t b = 0; b < fn_.blocks.size(); ++b) {
+            auto &blk = fn_.blocks[b];
+            std::vector<LirOp> body;
+            body.reserve(blk.body.size());
+            for (auto &op : blk.body) {
+                std::vector<LirOp> before;
+                std::vector<LirOp> after;
+
+                auto fix_use = [&](Vreg &v, RegClass cls,
+                                   unsigned temp) {
+                    if (v == ir::kNoVreg || cls == RegClass::kNone)
+                        return;
+                    const Loc loc = locOf(VKey{cls, v});
+                    TEPIC_ASSERT(loc.kind != Loc::kNone,
+                                 "use of unallocated vreg in ",
+                                 fn_.name);
+                    if (loc.kind == Loc::kReg) {
+                        v = loc.reg;
+                    } else {
+                        before.push_back(makeSpill(
+                            LirPseudo::kSpillLoad, cls, temp,
+                            loc.slot));
+                        v = temp;
+                    }
+                };
+
+                // Note: a predicated op's dest is also a use; when
+                // spilled, its current value is loaded first so the
+                // merge semantics survive.
+                const bool dest_merge = op.destIsAlsoUse();
+
+                fix_use(op.src1, op.src1Cls, tempA(op.src1Cls));
+                fix_use(op.src2, op.src2Cls, tempB(op.src2Cls));
+
+                if (op.dest != ir::kNoVreg &&
+                    op.destCls != RegClass::kNone) {
+                    const Loc loc = locOf(VKey{op.destCls, op.dest});
+                    if (loc.kind == Loc::kNone) {
+                        // Dead def: keep writing a reserved temp so
+                        // the op encodes (harmless).
+                        op.dest = tempA(op.destCls);
+                    } else if (loc.kind == Loc::kReg) {
+                        op.dest = loc.reg;
+                    } else {
+                        const unsigned temp = tempA(op.destCls);
+                        if (dest_merge) {
+                            before.push_back(makeSpill(
+                                LirPseudo::kSpillLoad, op.destCls,
+                                temp, loc.slot));
+                        }
+                        op.dest = temp;
+                        after.push_back(makeSpill(
+                            LirPseudo::kSpillStore, op.destCls, temp,
+                            loc.slot));
+                    }
+                }
+
+                for (auto &pre : before)
+                    body.push_back(std::move(pre));
+                body.push_back(std::move(op));
+                for (auto &post : after)
+                    body.push_back(std::move(post));
+            }
+            blk.body = std::move(body);
+
+            // Terminator operands.
+            LirTerm &term = blk.term;
+            switch (term.kind) {
+              case LirTerm::kBr:
+                if (!term.onPred) {
+                    const Loc loc =
+                        locOf(VKey{RegClass::kInt, term.cond});
+                    TEPIC_ASSERT(loc.kind != Loc::kNone,
+                                 "unallocated branch condition");
+                    if (loc.kind == Loc::kReg) {
+                        term.cond = loc.reg;
+                    } else {
+                        blk.body.push_back(makeSpill(
+                            LirPseudo::kSpillLoad, RegClass::kInt,
+                            tempA(RegClass::kInt), loc.slot));
+                        term.cond = tempA(RegClass::kInt);
+                    }
+                }
+                break;
+              case LirTerm::kRet:
+                if (term.valueVreg != ir::kNoVreg) {
+                    const Loc loc =
+                        locOf(VKey{term.valueCls, term.valueVreg});
+                    TEPIC_ASSERT(loc.kind != Loc::kNone,
+                                 "unallocated return value");
+                    if (loc.kind == Loc::kReg) {
+                        term.valueVreg = loc.reg;
+                    } else {
+                        blk.body.push_back(makeSpill(
+                            LirPseudo::kSpillLoad, term.valueCls,
+                            tempA(term.valueCls), loc.slot));
+                        term.valueVreg = tempA(term.valueCls);
+                    }
+                }
+                break;
+              case LirTerm::kCall: {
+                term.argLocs.clear();
+                for (std::size_t i = 0; i < term.args.size(); ++i) {
+                    const Loc loc = locOf(
+                        VKey{term.argClasses[i], term.args[i]});
+                    TEPIC_ASSERT(loc.kind != Loc::kNone,
+                                 "unallocated call argument");
+                    term.argLocs.push_back(loc);
+                }
+                if (term.callDest != ir::kNoVreg) {
+                    const Loc loc = locOf(
+                        VKey{term.callDestCls, term.callDest});
+                    auto &cont = fn_.blocks[term.thenTarget];
+                    cont.receivesCallResult = loc.kind != Loc::kNone;
+                    cont.resultCls = term.callDestCls;
+                    cont.resultLoc = loc;
+                }
+                break;
+              }
+              case LirTerm::kJmp:
+                break;
+            }
+        }
+
+        // Parameter locations, in declaration order.
+        fn_.paramLocs.clear();
+        std::uint32_t next_int = 0;
+        std::uint32_t next_float = 0;
+        for (RegClass cls : fn_.paramClasses) {
+            const Vreg v = cls == RegClass::kFloat ? next_float++
+                                                   : next_int++;
+            fn_.paramLocs.push_back(locOf(VKey{cls, v}));
+        }
+    }
+};
+
+} // namespace
+
+RegAllocStats
+allocateRegisters(LirProgram &prog)
+{
+    RegAllocStats stats;
+    for (auto &fn : prog.functions) {
+        Allocator alloc(fn, stats);
+        alloc.run();
+    }
+    return stats;
+}
+
+} // namespace tepic::compiler

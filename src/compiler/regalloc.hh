@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Linear-scan register allocation over LIR.
+ *
+ * Poletto/Sarkar-style linear scan with two twists required by the
+ * target conventions:
+ *
+ *  - two pools per register class: caller-saved and callee-saved.
+ *    Intervals that are live across a call may only take callee-saved
+ *    registers (calls clobber the caller-saved set); other intervals
+ *    prefer caller-saved so leaf code needs no prologue saves.
+ *  - reserved assembler temporaries (r1/r2/r29, f1/f31) never enter
+ *    the pools; spill code expands through them after allocation.
+ *
+ * Spilled virtual registers get an 8-byte frame slot; every use/def is
+ * rewritten through kSpillLoad/kSpillStore pseudo-ops that final
+ * emission expands into SP-relative address arithmetic plus a memory
+ * access (TEPIC loads have no offset field, §2.1/Table 2).
+ */
+
+#ifndef TEPIC_COMPILER_REGALLOC_HH
+#define TEPIC_COMPILER_REGALLOC_HH
+
+#include "compiler/lir.hh"
+
+namespace tepic::compiler {
+
+/** Allocation statistics (exposed for tests and ablation benches). */
+struct RegAllocStats
+{
+    unsigned intervals = 0;
+    unsigned spills = 0;
+    unsigned calleeSavedUsed = 0;
+};
+
+/** Allocate registers for every function of @p prog, in place. */
+RegAllocStats allocateRegisters(LirProgram &prog);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_REGALLOC_HH

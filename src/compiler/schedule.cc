@@ -1,0 +1,263 @@
+#include "compiler/schedule.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/dataflow.hh"
+#include "support/logging.hh"
+
+namespace tepic::compiler {
+
+namespace {
+
+using isa::Format;
+using isa::Opcode;
+using isa::Operation;
+using isa::OpType;
+
+std::uint64_t
+regKey(isa::RegRef ref)
+{
+    return isa::regRefIndex(ref);
+}
+
+struct Dep
+{
+    std::size_t pred;    ///< producing op index
+    unsigned delay;      ///< minimum MOP distance
+};
+
+/** Schedules one block. */
+class BlockScheduler
+{
+  public:
+    BlockScheduler(const std::vector<Operation> &ops,
+                   const isa::MachineConfig &machine)
+        : ops_(ops), machine_(machine) {}
+
+    std::vector<isa::Mop>
+    run()
+    {
+        if (ops_.empty())
+            return {};
+        buildDeps();
+        computeHeights();
+        assignCycles();
+        return compact();
+    }
+
+  private:
+    const std::vector<Operation> &ops_;
+    const isa::MachineConfig &machine_;
+    std::vector<std::vector<Dep>> deps_;      ///< incoming edges
+    std::vector<std::vector<Dep>> succs_;     ///< outgoing (pred=succ)
+    std::vector<unsigned> height_;
+    std::vector<std::int64_t> cycle_;
+
+
+    void
+    addDep(std::size_t from, std::size_t to, unsigned delay)
+    {
+        deps_[to].push_back({from, delay});
+        succs_[from].push_back({to, delay});
+    }
+
+    void
+    buildDeps()
+    {
+        const std::size_t n = ops_.size();
+        deps_.assign(n, {});
+        succs_.assign(n, {});
+
+        std::map<std::uint64_t, std::size_t> last_def;
+        std::map<std::uint64_t, std::vector<std::size_t>> readers;
+        std::vector<std::size_t> mem_ops;  // loads and stores, in order
+        std::size_t last_store = SIZE_MAX;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const Operation &op = ops_[i];
+            // operationUses already folds in the predicated-dest
+            // merge (the old value must be present).
+            const auto uses = isa::operationUses(op);
+            for (const auto &use : uses) {
+                auto it = last_def.find(regKey(use));
+                if (it != last_def.end()) {
+                    addDep(it->second, i,
+                           isa::operationLatency(ops_[it->second]));
+                }
+                readers[regKey(use)].push_back(i);
+            }
+            for (const auto &def : isa::operationDefs(op)) {
+                const auto key = regKey(def);
+                auto dit = last_def.find(key);
+                if (dit != last_def.end())
+                    addDep(dit->second, i, 1);  // WAW
+                auto rit = readers.find(key);
+                if (rit != readers.end()) {
+                    for (auto r : rit->second)
+                        if (r != i)
+                            addDep(r, i, 0);  // WAR: same MOP allowed
+                    rit->second.clear();
+                }
+                last_def[key] = i;
+            }
+
+            // Memory ordering.
+            const bool is_load = op.format() == Format::kLoad;
+            const bool is_store = op.format() == Format::kStore;
+            if (is_load) {
+                if (last_store != SIZE_MAX)
+                    addDep(last_store, i, 1);
+                mem_ops.push_back(i);
+            } else if (is_store) {
+                for (auto m : mem_ops)
+                    addDep(m, i, 1);
+                mem_ops.clear();
+                last_store = i;
+                mem_ops.push_back(i);
+            }
+
+            // The control op retires last: every other op precedes it
+            // (same MOP permitted).
+            if (op.isBranch()) {
+                TEPIC_ASSERT(i + 1 == n,
+                             "control op must be last in block input");
+                for (std::size_t j = 0; j < i; ++j)
+                    addDep(j, i, 0);
+            }
+        }
+    }
+
+    void
+    computeHeights()
+    {
+        const std::size_t n = ops_.size();
+        height_.assign(n, 0);
+        for (std::size_t i = n; i-- > 0;) {
+            unsigned h = 0;
+            for (const auto &succ : succs_[i])
+                h = std::max(h, height_[succ.pred] +
+                                std::max(succ.delay, 1u));
+            height_[i] = h;
+        }
+    }
+
+    void
+    assignCycles()
+    {
+        const std::size_t n = ops_.size();
+        cycle_.assign(n, -1);
+        std::size_t scheduled = 0;
+        std::int64_t cur = 0;
+
+        // earliest legal cycle given already-scheduled predecessors.
+        auto earliest = [&](std::size_t i) -> std::int64_t {
+            std::int64_t e = 0;
+            for (const auto &dep : deps_[i]) {
+                if (cycle_[dep.pred] < 0)
+                    return -1;  // predecessor unscheduled
+                e = std::max(e, cycle_[dep.pred] + dep.delay);
+            }
+            return e;
+        };
+
+        while (scheduled < n) {
+            unsigned width = 0;
+            unsigned mem = 0;
+            unsigned branch = 0;
+            while (width < machine_.issueWidth) {
+                // Pick the ready op with the greatest height.
+                std::size_t best = SIZE_MAX;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (cycle_[i] >= 0)
+                        continue;
+                    const Operation &op = ops_[i];
+                    if (op.isMemory() && mem >= machine_.memoryUnits)
+                        continue;
+                    if (op.isBranch()) {
+                        // A control op ends the block: it may only
+                        // issue once every other op is scheduled.
+                        if (branch >= machine_.branchUnits)
+                            continue;
+                        bool others_done = true;
+                        for (std::size_t j = 0; j < n; ++j) {
+                            if (j != i && cycle_[j] < 0) {
+                                others_done = false;
+                                break;
+                            }
+                        }
+                        if (!others_done)
+                            continue;
+                    }
+                    const std::int64_t e = earliest(i);
+                    if (e < 0 || e > cur)
+                        continue;
+                    if (best == SIZE_MAX ||
+                        height_[i] > height_[best]) {
+                        best = i;
+                    }
+                }
+                if (best == SIZE_MAX)
+                    break;
+                cycle_[best] = cur;
+                ++scheduled;
+                ++width;
+                if (ops_[best].isMemory())
+                    ++mem;
+                if (ops_[best].isBranch())
+                    ++branch;
+            }
+            ++cur;
+            TEPIC_ASSERT(cur < std::int64_t(4 * n + 64),
+                         "scheduler failed to converge");
+        }
+    }
+
+    std::vector<isa::Mop>
+    compact()
+    {
+        // Map used cycles onto consecutive MOPs, preserving order.
+        std::vector<std::pair<std::int64_t, std::size_t>> by_cycle;
+        for (std::size_t i = 0; i < ops_.size(); ++i)
+            by_cycle.emplace_back(cycle_[i], i);
+        std::sort(by_cycle.begin(), by_cycle.end());
+
+        std::vector<isa::Mop> mops;
+        std::int64_t last_cycle = -1;
+        for (const auto &[c, i] : by_cycle) {
+            if (c != last_cycle) {
+                mops.emplace_back();
+                last_cycle = c;
+            }
+            mops.back().append(ops_[i]);
+        }
+        return mops;
+    }
+};
+
+} // namespace
+
+isa::VliwProgram
+scheduleProgram(const asmgen::LaidOutProgram &laid,
+                const isa::MachineConfig &machine, ScheduleStats *stats)
+{
+    isa::VliwProgram prog;
+    prog.setEntry(laid.entry);
+    for (const auto &lb : laid.blocks) {
+        isa::VliwBlock &blk = prog.addBlock();
+        blk.fallthrough = lb.fallthrough;
+        blk.branchTarget = lb.branchTarget;
+        blk.label = lb.label;
+        TEPIC_ASSERT(!lb.ops.empty(), "empty laid-out block ", lb.label);
+        BlockScheduler sched(lb.ops, machine);
+        blk.mops = sched.run();
+        if (stats) {
+            stats->ops += lb.ops.size();
+            stats->mops += blk.mops.size();
+        }
+    }
+    prog.validate(machine);
+    return prog;
+}
+
+} // namespace tepic::compiler

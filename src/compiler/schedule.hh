@@ -1,0 +1,53 @@
+/**
+ * @file
+ * VLIW list scheduler: packs each laid-out block's sequential
+ * operations into MOPs for the 6-issue TEPIC core.
+ *
+ * The paper schedules with treegions before decomposing into basic
+ * blocks (§3.1 note); this implementation schedules each atomic block
+ * with classic critical-path list scheduling after the IR-level block
+ * merging has grown the regions. Semantics preserved:
+ *
+ *  - RAW: consumer at least `latency(producer)` MOPs later;
+ *  - WAR: writer may share the consumer's MOP (register reads happen
+ *    at issue) or come later;
+ *  - WAW: strictly later (two same-register writes cannot share a MOP);
+ *  - memory: dependent pairs (load/store, store/load, store/store)
+ *    never share a MOP and keep program order (no alias analysis);
+ *  - a predicated op both reads and writes its destination;
+ *  - the control-transfer op retires in the block's final MOP.
+ *
+ * Empty issue cycles are squeezed out: the zero-NOP encoding stores no
+ * vertical NOPs, and the core interlocks on operand latency (UAL
+ * execution in the emulator), so only MOP composition matters.
+ */
+
+#ifndef TEPIC_COMPILER_SCHEDULE_HH
+#define TEPIC_COMPILER_SCHEDULE_HH
+
+#include "asmgen/layout.hh"
+#include "isa/program.hh"
+
+namespace tepic::compiler {
+
+/** Scheduling statistics (for tests and the ILP ablation bench). */
+struct ScheduleStats
+{
+    std::size_t ops = 0;
+    std::size_t mops = 0;
+
+    double
+    ilp() const
+    {
+        return mops ? double(ops) / double(mops) : 0.0;
+    }
+};
+
+/** Schedule every block of @p laid into a final VLIW program. */
+isa::VliwProgram scheduleProgram(const asmgen::LaidOutProgram &laid,
+                                 const isa::MachineConfig &machine,
+                                 ScheduleStats *stats = nullptr);
+
+} // namespace tepic::compiler
+
+#endif // TEPIC_COMPILER_SCHEDULE_HH

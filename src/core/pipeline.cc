@@ -1,0 +1,187 @@
+#include "core/pipeline.hh"
+
+#include "decoder/complexity.hh"
+#include "fetch/att.hh"
+#include "support/logging.hh"
+
+namespace tepic::core {
+
+std::size_t
+Artifacts::bestStreamBySize() const
+{
+    TEPIC_ASSERT(!streamImages.empty(), "no stream images built");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < streamImages.size(); ++i)
+        if (streamImages[i].image.bitSize <
+            streamImages[best].image.bitSize) {
+            best = i;
+        }
+    return best;
+}
+
+std::size_t
+Artifacts::bestStreamByDecoder() const
+{
+    TEPIC_ASSERT(!streamImages.empty(), "no stream images built");
+    std::size_t best = 0;
+    std::uint64_t best_cost =
+        decoder::decoderTransistors(streamImages[0]);
+    for (std::size_t i = 1; i < streamImages.size(); ++i) {
+        const std::uint64_t cost =
+            decoder::decoderTransistors(streamImages[i]);
+        if (cost < best_cost) {
+            best = i;
+            best_cost = cost;
+        }
+    }
+    return best;
+}
+
+Artifacts
+buildArtifacts(const std::string &source, const PipelineConfig &config)
+{
+    Artifacts a;
+    a.compiled = compiler::compileSource(source, config.compile);
+    if (config.profileGuided) {
+        auto profile_run = sim::emulate(a.compiled.program,
+                                        a.compiled.data,
+                                        config.emulator);
+        compiler::applyProfileAndRelayout(a.compiled,
+                                          profile_run.blockCounts,
+                                          config.compile.machine);
+    }
+    a.execution = sim::emulate(a.compiled.program, a.compiled.data,
+                               config.emulator);
+
+    a.baseImage = isa::buildBaselineImage(a.compiled.program);
+    a.byteImage = schemes::compressByte(a.compiled.program,
+                                        config.huffman);
+    a.fullImage = schemes::compressFull(a.compiled.program,
+                                        config.huffman);
+    if (config.buildAllStreamConfigs) {
+        for (const auto &cfg : schemes::allStreamConfigs())
+            a.streamImages.push_back(schemes::compressStream(
+                a.compiled.program, cfg, config.huffman));
+    }
+    a.tailoredIsa = schemes::TailoredIsa::build(a.compiled.program);
+    a.tailoredImage = a.tailoredIsa.encode(a.compiled.program);
+    return a;
+}
+
+const isa::Image &
+imageFor(const Artifacts &artifacts, fetch::SchemeClass scheme)
+{
+    switch (scheme) {
+      case fetch::SchemeClass::kBase:
+        return artifacts.baseImage;
+      case fetch::SchemeClass::kCompressed:
+        return artifacts.fullImage.image;
+      case fetch::SchemeClass::kTailored:
+        return artifacts.tailoredImage;
+    }
+    TEPIC_PANIC("bad scheme class");
+}
+
+fetch::FetchStats
+runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
+         std::optional<fetch::FetchConfig> config)
+{
+    const fetch::FetchConfig fetch_config =
+        config ? *config : fetch::FetchConfig::paper(scheme);
+    return fetch::simulateFetch(imageFor(artifacts, scheme),
+                                artifacts.compiled.program,
+                                artifacts.execution.trace,
+                                fetch_config);
+}
+
+std::vector<SchemeSummary>
+summarise(const Artifacts &artifacts)
+{
+    std::vector<SchemeSummary> rows;
+    const double base_bits =
+        double(artifacts.compiled.program.baselineBits());
+
+    rows.push_back({"base", artifacts.baseImage.bitSize, 1.0, 0});
+
+    SchemeSummary byte_row;
+    byte_row.name = "huff-byte";
+    byte_row.codeBits = artifacts.byteImage.image.bitSize;
+    byte_row.ratioVsBase = double(byte_row.codeBits) / base_bits;
+    byte_row.decoderTransistors =
+        decoder::decoderTransistors(artifacts.byteImage);
+    rows.push_back(byte_row);
+
+    for (const auto &stream : artifacts.streamImages) {
+        SchemeSummary row;
+        row.name = "huff-stream:" + stream.streamConfig.name;
+        row.codeBits = stream.image.bitSize;
+        row.ratioVsBase = double(row.codeBits) / base_bits;
+        row.decoderTransistors = decoder::decoderTransistors(stream);
+        rows.push_back(row);
+    }
+
+    SchemeSummary full_row;
+    full_row.name = "huff-full";
+    full_row.codeBits = artifacts.fullImage.image.bitSize;
+    full_row.ratioVsBase = double(full_row.codeBits) / base_bits;
+    full_row.decoderTransistors =
+        decoder::decoderTransistors(artifacts.fullImage);
+    rows.push_back(full_row);
+
+    SchemeSummary tailored_row;
+    tailored_row.name = "tailored";
+    tailored_row.codeBits = artifacts.tailoredImage.bitSize;
+    tailored_row.ratioVsBase =
+        double(tailored_row.codeBits) / base_bits;
+    tailored_row.decoderTransistors =
+        decoder::tailoredDecoderTransistors(artifacts.tailoredIsa);
+    rows.push_back(tailored_row);
+    return rows;
+}
+
+namespace {
+
+void
+checkSameOps(const std::vector<std::vector<isa::Operation>> &decoded,
+             const isa::VliwProgram &program, const char *what)
+{
+    TEPIC_ASSERT(decoded.size() == program.blocks().size(),
+                 what, ": block count mismatch");
+    for (const auto &blk : program.blocks()) {
+        const auto &ops = decoded[blk.id];
+        std::size_t i = 0;
+        for (const auto &mop : blk.mops) {
+            for (const auto &op : mop.ops()) {
+                TEPIC_ASSERT(i < ops.size(), what,
+                             ": short block ", blk.id);
+                TEPIC_ASSERT(ops[i] == op, what,
+                             ": op mismatch in block ", blk.id,
+                             " at op ", i, ": ", ops[i].toString(),
+                             " vs ", op.toString());
+                ++i;
+            }
+        }
+        TEPIC_ASSERT(i == ops.size(), what, ": long block ", blk.id);
+    }
+}
+
+} // namespace
+
+void
+verifyRoundTrips(const Artifacts &artifacts)
+{
+    const auto &program = artifacts.compiled.program;
+    checkSameOps(isa::decodeBaselineImage(artifacts.baseImage),
+                 program, "baseline");
+    checkSameOps(schemes::decompress(artifacts.byteImage), program,
+                 "huff-byte");
+    checkSameOps(schemes::decompress(artifacts.fullImage), program,
+                 "huff-full");
+    for (const auto &stream : artifacts.streamImages)
+        checkSameOps(schemes::decompress(stream), program,
+                     stream.image.scheme.c_str());
+    checkSameOps(artifacts.tailoredIsa.decode(artifacts.tailoredImage),
+                 program, "tailored");
+}
+
+} // namespace tepic::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The library's top-level API: one call from tinkerc source (or a
+ * named workload) to every artefact of the paper's study.
+ *
+ * buildArtifacts() runs the whole toolchain:
+ *
+ *   compile (optionally profile-guided) -> emulate (trace + oracle)
+ *   -> baseline image -> Huffman images (byte / six stream configs /
+ *   full) -> tailored ISA + image -> ATTs
+ *
+ * and the helpers below run the fetch/power simulations and produce
+ * per-scheme summaries. The benchmark harnesses in bench/ and the
+ * examples are thin layers over this header.
+ */
+
+#ifndef TEPIC_CORE_PIPELINE_HH
+#define TEPIC_CORE_PIPELINE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.hh"
+#include "fetch/fetch_sim.hh"
+#include "isa/baseline.hh"
+#include "schemes/huffman_scheme.hh"
+#include "schemes/tailored.hh"
+#include "sim/emulator.hh"
+
+namespace tepic::core {
+
+struct PipelineConfig
+{
+    compiler::CompileOptions compile;
+    bool profileGuided = true;
+    schemes::HuffmanOptions huffman;
+    bool buildAllStreamConfigs = true;
+    sim::EmulatorConfig emulator;
+};
+
+/** Everything the experiments consume, built once per program. */
+struct Artifacts
+{
+    compiler::CompiledProgram compiled;
+    sim::EmulationResult execution;
+
+    isa::Image baseImage;
+    schemes::CompressedImage byteImage;
+    schemes::CompressedImage fullImage;
+    std::vector<schemes::CompressedImage> streamImages;  ///< all six
+    schemes::TailoredIsa tailoredIsa;
+    isa::Image tailoredImage;
+
+    /** Compression ratio of @p image vs the baseline code segment. */
+    double
+    ratio(const isa::Image &image) const
+    {
+        return double(image.bitSize) /
+               double(compiled.program.baselineBits());
+    }
+
+    /** Index of the best-compressing stream configuration. */
+    std::size_t bestStreamBySize() const;
+
+    /** Index of the smallest-decoder stream configuration. */
+    std::size_t bestStreamByDecoder() const;
+};
+
+/** Run the full toolchain over tinkerc source text. */
+Artifacts buildArtifacts(const std::string &source,
+                         const PipelineConfig &config = {});
+
+/** The image the fetch organisation of @p scheme reads from. */
+const isa::Image &imageFor(const Artifacts &artifacts,
+                           fetch::SchemeClass scheme);
+
+/** Fetch-simulate @p scheme with the paper's configuration. */
+fetch::FetchStats
+runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
+         std::optional<fetch::FetchConfig> config = std::nullopt);
+
+/** One row of the compression comparison (Figure 5). */
+struct SchemeSummary
+{
+    std::string name;
+    std::size_t codeBits = 0;
+    double ratioVsBase = 1.0;
+    std::uint64_t decoderTransistors = 0;
+};
+
+/** Summaries for base, byte, all streams, full and tailored. */
+std::vector<SchemeSummary> summarise(const Artifacts &artifacts);
+
+/**
+ * Verify every compressed/tailored image decodes back to the exact
+ * baseline operation stream. Fatal on mismatch; used by tests and the
+ * harness's self-check mode.
+ */
+void verifyRoundTrips(const Artifacts &artifacts);
+
+} // namespace tepic::core
+
+#endif // TEPIC_CORE_PIPELINE_HH

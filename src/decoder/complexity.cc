@@ -1,0 +1,45 @@
+#include "decoder/complexity.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::decoder {
+
+std::uint64_t
+huffmanDecoderTransistors(const HuffmanDecoderParams &p)
+{
+    TEPIC_ASSERT(p.n >= 1 && p.n <= 32, "bad code length ", p.n);
+    const std::uint64_t pow_n = std::uint64_t(1) << p.n;
+    const std::uint64_t pow_n1 = std::uint64_t(1) << (p.n - 1);
+    const std::uint64_t m = p.m;
+    // T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n
+    return 2 * m * (pow_n - 1) + 4 * m * (pow_n - pow_n1 - 1) +
+           2 * std::uint64_t(p.n);
+}
+
+std::uint64_t
+decoderTransistors(const schemes::CompressedImage &compressed)
+{
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < compressed.tables.size(); ++t) {
+        HuffmanDecoderParams p;
+        p.n = compressed.tables[t].maxCodeLength();
+        p.k = compressed.tables[t].size();
+        p.m = compressed.symbolBits[t];
+        total += huffmanDecoderTransistors(p);
+    }
+    return total;
+}
+
+std::uint64_t
+tailoredDecoderTransistors(const schemes::TailoredIsa &isa)
+{
+    // AND plane: product terms over the header (true+complement
+    // lines), OR plane: terms x control-word outputs, 2 transistors
+    // per crosspoint, plus 2 per input inverter.
+    const std::uint64_t terms = isa.distinctOpcodes();
+    const std::uint64_t inputs = isa.headerBits();
+    const std::uint64_t outputs = isa.controlWordBits();
+    return 2 * terms * (2 * inputs) + 2 * terms * outputs + 2 * inputs;
+}
+
+} // namespace tepic::decoder

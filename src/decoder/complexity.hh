@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Decoder complexity models (§3.5, Figure 9/10).
+ *
+ * For Huffman decoders the paper derives a worst-case transistor count
+ * from the mux-tree structure of Figure 9:
+ *
+ *     T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n
+ *
+ * with n the longest code, k the dictionary entries (shown alongside)
+ * and m the longest dictionary-entry size in bits. The model assumes
+ * CMOS transmission-gate multiplexers (2 transistors each), a
+ * constant-passing first row (1 transistor) and the inverters needed
+ * to drive them. It is a comparison metric, not a layout estimate.
+ *
+ * For the tailored ISA the decoder is a PLA programmed from the
+ * compiler's Verilog: we estimate an AND plane of one product term per
+ * used (type, opcode) pair over the header bits, and an OR plane
+ * driving the regenerated 40-bit control word, at 2 transistors per
+ * crosspoint plus input inverters.
+ */
+
+#ifndef TEPIC_DECODER_COMPLEXITY_HH
+#define TEPIC_DECODER_COMPLEXITY_HH
+
+#include <cstdint>
+
+#include "schemes/huffman_scheme.hh"
+#include "schemes/tailored.hh"
+
+namespace tepic::decoder {
+
+/** Parameters of one Huffman dictionary as hardware. */
+struct HuffmanDecoderParams
+{
+    unsigned n = 0;       ///< longest code length (tree depth)
+    std::uint64_t k = 0;  ///< dictionary entries
+    unsigned m = 0;       ///< longest dictionary-entry size, bits
+};
+
+/** The paper's worst-case transistor count for one Huffman decoder. */
+std::uint64_t huffmanDecoderTransistors(const HuffmanDecoderParams &p);
+
+/** Sum over every dictionary of a compressed image. */
+std::uint64_t
+decoderTransistors(const schemes::CompressedImage &compressed);
+
+/** PLA cost estimate for a tailored-ISA decoder. */
+std::uint64_t
+tailoredDecoderTransistors(const schemes::TailoredIsa &isa);
+
+/**
+ * Decompression throughput assumption of §3.5: one op per cycle
+ * through the Huffman decoder (40 bits within a 20–50 ns embedded
+ * cycle, per the cited 300–600 Mbit/s implementations [17, 18]).
+ */
+constexpr unsigned kDecodedOpsPerCycle = 1;
+
+} // namespace tepic::decoder
+
+#endif // TEPIC_DECODER_COMPLEXITY_HH

@@ -1,0 +1,97 @@
+#include "fetch/att.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::fetch {
+
+Att
+Att::build(const isa::Image &image, const isa::VliwProgram &program)
+{
+    TEPIC_ASSERT(image.blocks.size() == program.blocks().size(),
+                 "image/program block count mismatch");
+    Att att;
+    att.entries_.reserve(image.blocks.size());
+    for (const auto &blk : program.blocks()) {
+        const isa::BlockLayout &layout = image.blocks[blk.id];
+        AttEntry entry;
+        entry.byteAddress = std::uint32_t(layout.bitOffset / 8);
+        entry.byteSize = std::uint32_t((layout.bitSize + 7) / 8);
+        entry.numMops = layout.numMops;
+        entry.numOps = layout.numOps;
+        entry.fallthrough = blk.fallthrough;
+        entry.staticTarget = blk.branchTarget;
+        att.entries_.push_back(entry);
+    }
+
+    // Entry size model: image byte address + line count (6b) + MOP
+    // count (6b) + next-PC info (16b block id).
+    unsigned addr_bits = 1;
+    while ((std::uint64_t(1) << addr_bits) < image.codeBytes())
+        ++addr_bits;
+    att.entryBits_ = addr_bits + 6 + 6 + 16;
+    return att;
+}
+
+bool
+Atb::access(isa::BlockId block)
+{
+    auto it = entries_.find(block);
+    if (it != entries_.end()) {
+        ++hits_;
+        lru_.erase(it->second.lruPos);
+        lru_.push_front(block);
+        it->second.lruPos = lru_.begin();
+        return true;
+    }
+    ++misses_;
+    if (entries_.size() >= capacity_) {
+        const isa::BlockId victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+    }
+    lru_.push_front(block);
+    Entry entry;
+    entry.lruPos = lru_.begin();
+    // Cold predictor: last target primed with the static branch
+    // target the compiler stored in the ATT.
+    entry.lastTarget = att_.entry(block).staticTarget;
+    entries_[block] = entry;
+    return false;
+}
+
+isa::BlockId
+Atb::predictNext(isa::BlockId block) const
+{
+    auto it = entries_.find(block);
+    TEPIC_ASSERT(it != entries_.end(),
+                 "predictNext on non-resident block ", block);
+    const Entry &entry = it->second;
+    const isa::BlockId fall = att_.entry(block).fallthrough;
+    if (fall == isa::kNoBlock)
+        return entry.lastTarget;
+    if (direction_.predictTaken(block, entry.counter) &&
+        entry.lastTarget != isa::kNoBlock) {
+        return entry.lastTarget;
+    }
+    return fall;
+}
+
+void
+Atb::update(isa::BlockId block, bool taken, isa::BlockId next)
+{
+    auto it = entries_.find(block);
+    TEPIC_ASSERT(it != entries_.end(),
+                 "update on non-resident block ", block);
+    Entry &entry = it->second;
+    if (taken) {
+        if (entry.counter < 3)
+            ++entry.counter;
+        entry.lastTarget = next;
+    } else {
+        if (entry.counter > 0)
+            --entry.counter;
+    }
+    direction_.update(block, taken);
+}
+
+} // namespace tepic::fetch

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Address Translation Table (ATT) and Address Translation Buffer
+ * (ATB) — §3.3 of the paper.
+ *
+ * The ATT is the compiler-generated, ROM-resident table with one entry
+ * per atomic block: where the block starts in the encoded image, how
+ * many memory lines must be fetched to get all of it, how many
+ * MOPs/ops it contains, and next-PC information. The ATB is the small
+ * on-chip buffer that caches ATT entries and carries the per-block
+ * branch predictor: a 2-bit saturating counter [13] plus a last-target
+ * register (taken -> last target, not taken -> fallthrough).
+ */
+
+#ifndef TEPIC_FETCH_ATT_HH
+#define TEPIC_FETCH_ATT_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "fetch/predictor.hh"
+#include "isa/image.hh"
+#include "isa/program.hh"
+
+namespace tepic::fetch {
+
+/** One ATT entry (the compiler-side, ROM-resident form). */
+struct AttEntry
+{
+    std::uint32_t byteAddress = 0;  ///< block start in the image
+    std::uint32_t byteSize = 0;     ///< encoded size, bytes
+    std::uint32_t numMops = 0;
+    std::uint32_t numOps = 0;
+    isa::BlockId fallthrough = isa::kNoBlock;
+    isa::BlockId staticTarget = isa::kNoBlock;
+};
+
+/** The whole static table plus its ROM size model. */
+class Att
+{
+  public:
+    /** Build from an encoded image and the program's CFG metadata. */
+    static Att build(const isa::Image &image,
+                     const isa::VliwProgram &program);
+
+    const std::vector<AttEntry> &entries() const { return entries_; }
+    const AttEntry &entry(isa::BlockId id) const { return entries_[id]; }
+
+    /**
+     * ROM bits of one entry: compressed-image byte address, line
+     * count, MOP count, and a 16-bit next-PC field. This is the
+     * "+15.5%" component of Figure 7.
+     */
+    unsigned entryBits() const { return entryBits_; }
+
+    /** Total ATT ROM size in bits. */
+    std::uint64_t
+    totalBits() const
+    {
+        return std::uint64_t(entryBits_) * entries_.size();
+    }
+
+    /** ATT overhead relative to an image's code bits. */
+    double
+    overheadVs(std::uint64_t code_bits) const
+    {
+        return double(totalBits()) / double(code_bits);
+    }
+
+  private:
+    std::vector<AttEntry> entries_;
+    unsigned entryBits_ = 0;
+};
+
+/**
+ * The runtime ATB: fully associative, LRU, with per-entry branch
+ * prediction state. The paper couples the branch prediction table with
+ * the ATB (one predictor per block entry, §3.4).
+ */
+class Atb
+{
+  public:
+    explicit Atb(const Att &att, unsigned entries = 64,
+                 const PredictorConfig &predictor = {})
+        : att_(att), capacity_(entries), direction_(predictor) {}
+
+    /** Look up @p block; true on hit. Misses insert (LRU evict). */
+    bool access(isa::BlockId block);
+
+    /**
+     * Predict the block that follows @p block: direction from the
+     * configured predictor (per-entry 2-bit counter by default, §3.4;
+     * gshare/PAs optionally); taken -> last recorded target, else the
+     * static fallthrough. Blocks without a fallthrough predict the
+     * last target regardless.
+     */
+    isa::BlockId predictNext(isa::BlockId block) const;
+
+    /** Train the predictor with the observed outcome. */
+    void update(isa::BlockId block, bool taken, isa::BlockId next);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        std::uint8_t counter = 1;  ///< 2-bit saturating, weakly n-t
+        isa::BlockId lastTarget = isa::kNoBlock;
+        std::list<isa::BlockId>::iterator lruPos;
+    };
+
+    const Att &att_;
+    unsigned capacity_;
+    DirectionPredictor direction_;
+    std::unordered_map<isa::BlockId, Entry> entries_;
+    std::list<isa::BlockId> lru_;  ///< front = most recent
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tepic::fetch
+
+#endif // TEPIC_FETCH_ATT_HH

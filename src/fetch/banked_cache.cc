@@ -1,0 +1,86 @@
+#include "fetch/banked_cache.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::fetch {
+
+BankedCache::BankedCache(const CacheConfig &config) : config_(config)
+{
+    TEPIC_ASSERT(config.sets > 0 && config.ways > 0 &&
+                 config.lineBytes > 0, "bad cache geometry");
+    ways_.assign(std::size_t(config.sets) * config.ways, Way{});
+}
+
+bool
+BankedCache::lookupLine(std::uint64_t line_id)
+{
+    const std::size_t set = line_id % config_.sets;
+    Way *base = &ways_[set * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line_id) {
+            base[w].lastUse = ++clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BankedCache::fillLine(std::uint64_t line_id)
+{
+    const std::size_t set = line_id % config_.sets;
+    Way *base = &ways_[set * config_.ways];
+    // Already resident (possible when refilling a whole block)?
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line_id) {
+            base[w].lastUse = ++clock_;
+            return;
+        }
+    }
+    // LRU victim.
+    unsigned victim = 0;
+    for (unsigned w = 1; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (!base[victim].valid)
+            break;
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    }
+    base[victim].valid = true;
+    base[victim].tag = line_id;
+    base[victim].lastUse = ++clock_;
+    ++linesFilled_;
+}
+
+CacheAccess
+BankedCache::accessBlock(std::uint32_t addr, std::uint32_t size)
+{
+    TEPIC_ASSERT(size > 0, "zero-size block access");
+    const std::uint64_t first = addr / config_.lineBytes;
+    const std::uint64_t last = (std::uint64_t(addr) + size - 1) /
+                               config_.lineBytes;
+
+    CacheAccess result;
+    result.blockLines = std::uint32_t(last - first + 1);
+
+    bool all_present = true;
+    for (std::uint64_t line = first; line <= last; ++line)
+        all_present &= lookupLine(line);
+
+    if (all_present) {
+        result.hit = true;
+        ++hits_;
+        return result;
+    }
+    ++misses_;
+    // Restricted placement: bring in the whole block.
+    for (std::uint64_t line = first; line <= last; ++line)
+        fillLine(line);
+    result.linesFilled = result.blockLines;
+    return result;
+}
+
+} // namespace tepic::fetch

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The banked instruction cache (§3.4, Figure 8), modelled at line
+ * granularity with block-atomic (restricted-placement) fills.
+ *
+ * The real structure splits storage into two banks whose line size
+ * equals the maximum MOP so a MOP spanning two lines is extracted in
+ * one reference; for the miss/hit behaviour that the cycle model
+ * consumes, what matters is which memory lines are resident. A block
+ * access hits only when *all* of its lines are resident (restricted
+ * placement: intermediate fetches within a block are not re-checked,
+ * so partial residency is unusable); a miss fills every line of the
+ * block, evicting LRU ways.
+ *
+ * Geometry defaults follow §5: 16 KB, 2-way, 32-byte lines for the
+ * compressed/tailored images; the Base image uses 40-byte lines (a
+ * multiple of the 40-bit op size), making it effectively 20 KB.
+ */
+
+#ifndef TEPIC_FETCH_BANKED_CACHE_HH
+#define TEPIC_FETCH_BANKED_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tepic::fetch {
+
+struct CacheConfig
+{
+    unsigned sets = 256;
+    unsigned ways = 2;
+    unsigned lineBytes = 32;
+
+    std::size_t
+    capacityBytes() const
+    {
+        return std::size_t(sets) * ways * lineBytes;
+    }
+
+    /** §5 geometry for compressed/tailored images (16 KB). */
+    static CacheConfig
+    paperCompressed()
+    {
+        return {256, 2, 32};
+    }
+
+    /** §5 geometry for the Base image (20 KB effective). */
+    static CacheConfig
+    paperBase()
+    {
+        return {256, 2, 40};
+    }
+};
+
+/** The result of one block access. */
+struct CacheAccess
+{
+    bool hit = false;
+    std::uint32_t blockLines = 0;   ///< lines the block spans
+    std::uint32_t linesFilled = 0;  ///< lines brought in on a miss
+};
+
+class BankedCache
+{
+  public:
+    explicit BankedCache(const CacheConfig &config);
+
+    /**
+     * Access the byte range [addr, addr+size) as one atomic block.
+     * On a miss every line of the block is (re)filled.
+     */
+    CacheAccess accessBlock(std::uint32_t addr, std::uint32_t size);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t linesFilled() const { return linesFilled_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    std::vector<Way> ways_;  ///< sets_ x ways_, row-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t linesFilled_ = 0;
+
+    bool lookupLine(std::uint64_t line_id);
+    void fillLine(std::uint64_t line_id);
+};
+
+} // namespace tepic::fetch
+
+#endif // TEPIC_FETCH_BANKED_CACHE_HH

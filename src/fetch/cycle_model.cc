@@ -1,0 +1,76 @@
+#include "fetch/cycle_model.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::fetch {
+
+const char *
+schemeClassName(SchemeClass scheme)
+{
+    switch (scheme) {
+      case SchemeClass::kBase: return "base";
+      case SchemeClass::kTailored: return "tailored";
+      case SchemeClass::kCompressed: return "compressed";
+    }
+    return "?";
+}
+
+std::uint64_t
+blockCycles(SchemeClass scheme, const FetchEvent &event,
+            std::uint32_t n_mops, std::uint32_t n_ops,
+            std::uint32_t n_lines, const CyclePenalties &p)
+{
+    TEPIC_ASSERT(n_mops > 0 && n_ops >= n_mops && n_lines > 0,
+                 "bad block shape: mops=", n_mops, " ops=", n_ops,
+                 " lines=", n_lines);
+
+    // All three datapaths stream one MOP per cycle once flowing; the
+    // Huffman decompressors sit in the pipeline (one per issue slot,
+    // §3.5/§4), so they cost latency on redirects and refills, never
+    // steady-state throughput.
+    const std::uint64_t deliver = n_mops;
+    std::uint64_t stall = 0;
+    const std::uint64_t repair = n_lines - 1;
+
+    switch (scheme) {
+      case SchemeClass::kBase:
+        if (!event.l1Hit)
+            stall += repair;
+        if (!event.predictionCorrect)
+            stall += event.l1Hit ? p.mispredictRefill
+                                 : p.mispredictMissBase;
+        break;
+      case SchemeClass::kTailored:
+        // Extra stage on the *miss* path only (MOP extraction and
+        // restricted placement, §5/Figure 12).
+        if (!event.l1Hit)
+            stall += p.tailoredMissExtra + repair;
+        if (!event.predictionCorrect)
+            stall += event.l1Hit ? p.mispredictRefill
+                                 : p.mispredictMissBase;
+        break;
+      case SchemeClass::kCompressed:
+        if (event.l0Hit) {
+            // Decompressed ops ready in the L0 buffer, which is
+            // accessed in parallel with (and has priority over) the
+            // L1: every Table-1 buffer-hit row is a flat "1 cycle",
+            // even on a mispredicted transition.
+            break;
+        }
+        if (!event.l1Hit)
+            stall += p.compressedMissExtra + repair;
+        if (!event.predictionCorrect) {
+            // The decompressor stage lengthens the hit-path refill by
+            // one cycle relative to Base; on a miss its latency hides
+            // under the miss-extra setup (Table 1: 10+(n-1) vs Base's
+            // 8+(n-1), i.e. exactly the miss-extra delta).
+            stall += event.l1Hit
+                ? p.mispredictRefill + p.compressedDecodeStage
+                : p.mispredictMissBase;
+        }
+        break;
+    }
+    return deliver + stall;
+}
+
+} // namespace tepic::fetch

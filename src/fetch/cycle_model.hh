@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Table-1 cycle-count model.
+ *
+ * The paper's Table 1 gives the cost of every block-transition class
+ * per scheme. Interpretation (documented in DESIGN.md §4): a block of
+ * `n_mops` MOPs and `n_lines` memory lines costs
+ *
+ *     cycles = n_mops + stall
+ *
+ * — every datapath streams one MOP per cycle once flowing (the
+ * Huffman decompressors are pipeline stages, one per issue slot, so
+ * they cost latency on redirects and refills, not throughput) — with
+ * `stall` from Table 1 (leading constant minus one, plus the (n-1)
+ * miss-repair term, n = n_lines):
+ *
+ *                    pred-ok                 mispredicted
+ *                  hit      miss           hit       miss
+ *   Base            0      n_l-1            1      7+(n_l-1)
+ *   Tailored        0      1+(n_l-1)        1      8+(n_l-1)
+ *   Compressed/L0-miss:
+ *                   0      2+(n_l-1)        2      9+(n_l-1)
+ *   Compressed/L0-hit: 0 in every column (Table 1's buffer-hit rows
+ *   are a flat "1 cycle" — the L0 is read in parallel with the L1 and
+ *   bypasses the decompressor, even on a mispredicted transition)
+ *
+ * Base and Tailored have no L0 buffer (the table's Buffer rows repeat
+ * for them). "Ideal" is Σ n_mops: perfect cache + perfect prediction.
+ * The compressed scheme's defining property — "the missprediction
+ * penalty of the added Huffman decoder stage" (§7) — is the extra
+ * `compressedDecodeStage` cycle on every mispredicted L0-missing
+ * transition.
+ */
+
+#ifndef TEPIC_FETCH_CYCLE_MODEL_HH
+#define TEPIC_FETCH_CYCLE_MODEL_HH
+
+#include <cstdint>
+
+namespace tepic::fetch {
+
+/** The three IFetch organisations of the study. */
+enum class SchemeClass : std::uint8_t {
+    kBase,        ///< uncompressed 40-bit ops, banked cache (§3.4)
+    kTailored,    ///< tailored ISA, extra miss-path stage (§5)
+    kCompressed,  ///< full-op Huffman, hit-path decompressor + L0 (§4)
+};
+
+const char *schemeClassName(SchemeClass scheme);
+
+/** What happened on one block fetch. */
+struct FetchEvent
+{
+    bool predictionCorrect = true;
+    bool l1Hit = true;
+    bool l0Hit = false;  ///< meaningful for kCompressed only
+};
+
+/** Tunable penalty constants (defaults = Table 1). */
+struct CyclePenalties
+{
+    unsigned mispredictRefill = 1;      ///< hit-path mispredict stall
+    unsigned mispredictMissBase = 7;    ///< Base mispredict+miss stall
+    unsigned tailoredMissExtra = 1;     ///< Tailored extra miss stage
+    unsigned compressedMissExtra = 2;   ///< Compressed fill+decode setup
+    unsigned compressedDecodeStage = 1; ///< decoder stage on redirects
+    unsigned atbMissPenalty = 2;        ///< ATT fetch on ATB miss
+};
+
+/** Cycles to fetch and deliver one block under @p scheme. */
+std::uint64_t
+blockCycles(SchemeClass scheme, const FetchEvent &event,
+            std::uint32_t n_mops, std::uint32_t n_ops,
+            std::uint32_t n_lines, const CyclePenalties &p = {});
+
+} // namespace tepic::fetch
+
+#endif // TEPIC_FETCH_CYCLE_MODEL_HH

@@ -1,0 +1,118 @@
+#include "fetch/fetch_sim.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace tepic::fetch {
+
+FetchStats
+simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
+              const sim::BlockTrace &trace, const FetchConfig &config)
+{
+    const Att att = Att::build(image, program);
+    Atb atb(att, config.atbEntries, config.predictor);
+    BankedCache cache(config.cache);
+    L0Buffer buffer(config.l0CapacityOps);
+    power::BusModel bus(config.busWidthBytes);
+
+    FetchStats stats;
+
+    // Prediction for the very first block: treat as correct (cold
+    // start is charged to neither scheme).
+    bool next_prediction_correct = true;
+
+    for (const auto &event : trace.events) {
+        const isa::BlockId block = event.block;
+        const AttEntry &entry = att.entry(block);
+        ++stats.blocksFetched;
+
+        FetchEvent fe;
+        fe.predictionCorrect = next_prediction_correct;
+
+        // ATB: translation must be resident before the block can be
+        // fetched; a miss costs the ATT upload from ROM.
+        const bool atb_hit = atb.access(block);
+        if (!atb_hit) {
+            stats.cycles += config.penalties.atbMissPenalty;
+            // The ATT entry travels over the memory bus.
+            std::vector<std::uint8_t> att_bytes(
+                (att.entryBits() + 7) / 8,
+                std::uint8_t(0xa5 ^ (block & 0xff)));
+            bus.transfer(att_bytes);
+        }
+
+        // L0 buffer (compressed only) — checked before/with the L1.
+        bool l0_hit = false;
+        if (config.scheme == SchemeClass::kCompressed) {
+            l0_hit = buffer.access(block, entry.numOps);
+            fe.l0Hit = l0_hit;
+        }
+
+        // L1 access (skipped entirely on an L0 hit: the buffer has
+        // priority and already holds the whole decompressed block).
+        std::uint32_t n_lines = 1;
+        if (!l0_hit) {
+            const CacheAccess access =
+                cache.accessBlock(entry.byteAddress, entry.byteSize);
+            fe.l1Hit = access.hit;
+            n_lines = access.blockLines;
+            if (!access.hit) {
+                stats.linesTransferred += access.linesFilled;
+                // Miss traffic: the block's bytes cross the bus.
+                const std::size_t begin = entry.byteAddress;
+                const std::size_t end = std::min<std::size_t>(
+                    begin + std::size_t(access.linesFilled) *
+                                config.cache.lineBytes,
+                    image.bytes.size());
+                if (begin < end) {
+                    bus.transfer({image.bytes.data() + begin,
+                                  end - begin});
+                }
+            }
+        } else {
+            fe.l1Hit = true;
+            const std::uint32_t span =
+                (entry.byteAddress % config.cache.lineBytes +
+                 entry.byteSize + config.cache.lineBytes - 1) /
+                config.cache.lineBytes;
+            n_lines = std::max(1u, span);
+        }
+
+        stats.cycles += blockCycles(config.scheme, fe, entry.numMops,
+                                    entry.numOps, n_lines,
+                                    config.penalties);
+        stats.idealCycles += entry.numMops;
+        stats.opsDelivered += entry.numOps;
+
+        if (fe.predictionCorrect)
+            ++stats.predictionsCorrect;
+        else
+            ++stats.predictionsWrong;
+        if (fe.l1Hit)
+            ++stats.l1Hits;
+        else
+            ++stats.l1Misses;
+        if (config.scheme == SchemeClass::kCompressed) {
+            if (l0_hit)
+                ++stats.l0Hits;
+            else
+                ++stats.l0Misses;
+        }
+
+        // Predict the follower, then train with the actual outcome.
+        const isa::BlockId predicted = atb.predictNext(block);
+        next_prediction_correct = predicted == event.next;
+        atb.update(block, event.branchTaken, event.next);
+    }
+
+    stats.atbHits = atb.hits();
+    stats.atbMisses = atb.misses();
+    stats.busBeats = bus.beats();
+    stats.busBitFlips = bus.bitFlips();
+    stats.bytesTransferred = bus.bytesTransferred();
+    return stats;
+}
+
+} // namespace tepic::fetch

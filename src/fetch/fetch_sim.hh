@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace-driven instruction-fetch simulator.
+ *
+ * Drives a dynamic block trace (from sim::emulate) through one of the
+ * three IFetch organisations — Base (§3.4), Compressed (§4), Tailored
+ * (§5) — combining the ATB (with its coupled branch predictor), the
+ * banked L1, the L0 buffer, the Table-1 cycle model and the bus
+ * bit-flip power model. Its outputs are exactly the metrics of
+ * Figures 13 (operations delivered per cycle) and 14 (bus bit flips),
+ * plus the ATB/Figure-7 statistics.
+ */
+
+#ifndef TEPIC_FETCH_FETCH_SIM_HH
+#define TEPIC_FETCH_FETCH_SIM_HH
+
+#include <cstdint>
+
+#include "fetch/att.hh"
+#include "fetch/banked_cache.hh"
+#include "fetch/cycle_model.hh"
+#include "fetch/l0_buffer.hh"
+#include "isa/image.hh"
+#include "isa/program.hh"
+#include "power/bitflips.hh"
+#include "sim/emulator.hh"
+
+namespace tepic::fetch {
+
+struct FetchConfig
+{
+    SchemeClass scheme = SchemeClass::kBase;
+    CacheConfig cache = CacheConfig::paperCompressed();
+    unsigned atbEntries = 64;
+    PredictorConfig predictor;    ///< §3.4 default: per-entry 2-bit
+    unsigned l0CapacityOps = 32;  ///< compressed scheme only
+    unsigned busWidthBytes = 8;
+    CyclePenalties penalties;
+
+    /** Paper configuration for a scheme (cache geometry per §5). */
+    static FetchConfig
+    paper(SchemeClass scheme)
+    {
+        FetchConfig config;
+        config.scheme = scheme;
+        config.cache = scheme == SchemeClass::kBase
+            ? CacheConfig::paperBase()
+            : CacheConfig::paperCompressed();
+        return config;
+    }
+};
+
+struct FetchStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t idealCycles = 0;   ///< Σ n_mops (perfect everything)
+    std::uint64_t opsDelivered = 0;
+    std::uint64_t blocksFetched = 0;
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l0Hits = 0;
+    std::uint64_t l0Misses = 0;
+    std::uint64_t atbHits = 0;
+    std::uint64_t atbMisses = 0;
+    std::uint64_t predictionsCorrect = 0;
+    std::uint64_t predictionsWrong = 0;
+
+    std::uint64_t linesTransferred = 0;
+    std::uint64_t busBeats = 0;
+    std::uint64_t busBitFlips = 0;
+    std::uint64_t bytesTransferred = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? double(opsDelivered) / double(cycles) : 0.0;
+    }
+
+    double
+    idealIpc() const
+    {
+        return idealCycles ? double(opsDelivered) / double(idealCycles)
+                           : 0.0;
+    }
+
+    double
+    l1HitRate() const
+    {
+        const std::uint64_t total = l1Hits + l1Misses;
+        return total ? double(l1Hits) / double(total) : 0.0;
+    }
+
+    double
+    predictionAccuracy() const
+    {
+        const std::uint64_t total =
+            predictionsCorrect + predictionsWrong;
+        return total ? double(predictionsCorrect) / double(total) : 0.0;
+    }
+};
+
+/**
+ * Run the fetch simulation of @p image under @p config over @p trace.
+ * The image must describe the same program whose execution produced
+ * the trace.
+ */
+FetchStats simulateFetch(const isa::Image &image,
+                         const isa::VliwProgram &program,
+                         const sim::BlockTrace &trace,
+                         const FetchConfig &config);
+
+} // namespace tepic::fetch
+
+#endif // TEPIC_FETCH_FETCH_SIM_HH

@@ -1,0 +1,32 @@
+#include "fetch/l0_buffer.hh"
+
+namespace tepic::fetch {
+
+bool
+L0Buffer::access(isa::BlockId block, std::uint32_t ops)
+{
+    auto it = blocks_.find(block);
+    if (it != blocks_.end()) {
+        ++hits_;
+        lru_.erase(it->second.second);
+        lru_.push_front(block);
+        it->second.second = lru_.begin();
+        return true;
+    }
+    ++misses_;
+    if (ops > capacity_)
+        return false;  // can never fit; bypass
+    while (used_ + ops > capacity_) {
+        const isa::BlockId victim = lru_.back();
+        lru_.pop_back();
+        auto vit = blocks_.find(victim);
+        used_ -= vit->second.first;
+        blocks_.erase(vit);
+    }
+    lru_.push_front(block);
+    blocks_[block] = {ops, lru_.begin()};
+    used_ += ops;
+    return false;
+}
+
+} // namespace tepic::fetch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The L0 decompression buffer (§4): a small fully-associative store of
+ * recently decompressed blocks, 32 op entries (160 bytes) by default.
+ * It is accessed in parallel with (and has priority over) the L1, so
+ * a buffer hit bypasses both the decompressor and the L1 entirely.
+ * Tight DSP-style loops fit completely and run at uncompressed speed.
+ */
+
+#ifndef TEPIC_FETCH_L0_BUFFER_HH
+#define TEPIC_FETCH_L0_BUFFER_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "isa/program.hh"
+
+namespace tepic::fetch {
+
+class L0Buffer
+{
+  public:
+    explicit L0Buffer(unsigned capacity_ops = 32)
+        : capacity_(capacity_ops) {}
+
+    /**
+     * Access @p block holding @p ops decompressed ops. Returns true
+     * on hit; on a miss the block is inserted (blocks larger than the
+     * whole buffer are never cached).
+     */
+    bool access(isa::BlockId block, std::uint32_t ops);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    unsigned capacity_;
+    unsigned used_ = 0;
+    std::unordered_map<isa::BlockId, std::pair<std::uint32_t,
+        std::list<isa::BlockId>::iterator>> blocks_;
+    std::list<isa::BlockId> lru_;  ///< front = most recent
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tepic::fetch
+
+#endif // TEPIC_FETCH_L0_BUFFER_HH

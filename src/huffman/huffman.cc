@@ -1,0 +1,222 @@
+#include "huffman/huffman.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace tepic::huffman {
+
+double
+SymbolHistogram::entropyBits() const
+{
+    const double total = double(totalCount());
+    if (total == 0.0)
+        return 0.0;
+    double h = 0.0;
+    for (const auto &[sym, c] : counts_) {
+        const double p = double(c) / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+std::vector<unsigned>
+packageMergeLengths(const std::vector<std::uint64_t> &freqs,
+                    unsigned max_length)
+{
+    const std::size_t n = freqs.size();
+    TEPIC_ASSERT(n > 0, "empty alphabet");
+    if (n == 1)
+        return {1};
+    TEPIC_ASSERT((std::uint64_t(1) << max_length) >= n,
+                 "max code length ", max_length, " too small for ", n,
+                 " symbols");
+
+    // Package-merge: item (weight, coverage-set of original symbols).
+    // Each selection of an original item at level L contributes one to
+    // that symbol's code length. We track per-item symbol counts.
+    struct Item
+    {
+        std::uint64_t weight;
+        std::vector<std::uint32_t> symbols;  // original indices, with
+                                             // multiplicity
+    };
+
+    auto originals = [&] {
+        std::vector<Item> items;
+        items.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            items.push_back({freqs[i], {i}});
+        std::sort(items.begin(), items.end(),
+                  [](const Item &a, const Item &b) {
+                      return a.weight < b.weight;
+                  });
+        return items;
+    };
+
+    std::vector<Item> prev;  // packages from the previous level
+    std::vector<unsigned> lengths(n, 0);
+
+    // Levels run from max_length (deepest) to 1. At each level, merge
+    // the original items with pairwise packages from the level below,
+    // then keep them for packaging at the next level up. At level 1 we
+    // select the cheapest 2(n-1) items; every original occurrence
+    // inside a selected item adds one bit to that symbol's length.
+    for (unsigned level = max_length; level >= 1; --level) {
+        std::vector<Item> merged = originals();
+        // Package pairs from the previous (deeper) level.
+        std::vector<Item> packages;
+        for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+            Item pack;
+            pack.weight = prev[i].weight + prev[i + 1].weight;
+            pack.symbols = prev[i].symbols;
+            pack.symbols.insert(pack.symbols.end(),
+                                prev[i + 1].symbols.begin(),
+                                prev[i + 1].symbols.end());
+            packages.push_back(std::move(pack));
+        }
+        std::vector<Item> level_items;
+        level_items.reserve(merged.size() + packages.size());
+        std::merge(std::make_move_iterator(merged.begin()),
+                   std::make_move_iterator(merged.end()),
+                   std::make_move_iterator(packages.begin()),
+                   std::make_move_iterator(packages.end()),
+                   std::back_inserter(level_items),
+                   [](const Item &a, const Item &b) {
+                       return a.weight < b.weight;
+                   });
+
+        if (level == 1) {
+            const std::size_t take =
+                std::min(level_items.size(), 2 * (n - 1));
+            for (std::size_t i = 0; i < take; ++i)
+                for (auto sym : level_items[i].symbols)
+                    ++lengths[sym];
+        } else {
+            prev = std::move(level_items);
+        }
+    }
+
+    for (auto len : lengths)
+        TEPIC_ASSERT(len >= 1 && len <= max_length,
+                     "package-merge produced bad length ", len);
+    return lengths;
+}
+
+CodeTable
+CodeTable::build(const SymbolHistogram &hist, unsigned max_length)
+{
+    TEPIC_ASSERT(hist.distinctSymbols() > 0,
+                 "cannot build a code for an empty histogram");
+
+    std::vector<std::uint64_t> symbols;
+    std::vector<std::uint64_t> freqs;
+    symbols.reserve(hist.distinctSymbols());
+    for (const auto &[sym, count] : hist.counts()) {
+        symbols.push_back(sym);
+        freqs.push_back(count);
+    }
+
+    const auto lengths = packageMergeLengths(freqs, max_length);
+
+    CodeTable table;
+    table.entries_.reserve(symbols.size());
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        table.entries_.push_back({symbols[i], lengths[i], 0});
+
+    // Canonical order: by (length, symbol value).
+    std::sort(table.entries_.begin(), table.entries_.end(),
+              [](const CodeEntry &a, const CodeEntry &b) {
+                  if (a.length != b.length)
+                      return a.length < b.length;
+                  return a.symbol < b.symbol;
+              });
+
+    // Assign canonical codes.
+    std::uint64_t code = 0;
+    unsigned prev_len = table.entries_.front().length;
+    for (auto &entry : table.entries_) {
+        code <<= (entry.length - prev_len);
+        entry.code = code;
+        ++code;
+        prev_len = entry.length;
+        table.maxLength_ = std::max(table.maxLength_, entry.length);
+    }
+
+    // Kraft check: canonical assignment must not overflow.
+    TEPIC_ASSERT((code - 1) <
+                 (std::uint64_t(1) << table.maxLength_) ||
+                 table.entries_.size() == 1,
+                 "canonical code overflow (non-Kraft lengths)");
+
+    for (std::size_t i = 0; i < table.entries_.size(); ++i)
+        table.index_[table.entries_[i].symbol] = i;
+    table.buildDecodeTables();
+    return table;
+}
+
+void
+CodeTable::buildDecodeTables()
+{
+    firstCode_.assign(maxLength_ + 1, 0);
+    firstIndex_.assign(maxLength_ + 1, 0);
+    countAt_.assign(maxLength_ + 1, 0);
+    for (const auto &entry : entries_)
+        ++countAt_[entry.length];
+    std::size_t idx = 0;
+    std::uint64_t code = 0;
+    for (unsigned len = 1; len <= maxLength_; ++len) {
+        code <<= 1;
+        firstCode_[len] = code;
+        firstIndex_[len] = idx;
+        code += countAt_[len];
+        idx += countAt_[len];
+    }
+}
+
+void
+CodeTable::encode(std::uint64_t symbol,
+                  support::BitWriter &writer) const
+{
+    auto it = index_.find(symbol);
+    TEPIC_ASSERT(it != index_.end(),
+                 "symbol not in code table: ", symbol);
+    const CodeEntry &entry = entries_[it->second];
+    writer.writeBits(entry.code, entry.length);
+}
+
+unsigned
+CodeTable::codeLength(std::uint64_t symbol) const
+{
+    auto it = index_.find(symbol);
+    TEPIC_ASSERT(it != index_.end(),
+                 "symbol not in code table: ", symbol);
+    return entries_[it->second].length;
+}
+
+std::uint64_t
+CodeTable::decode(support::BitReader &reader) const
+{
+    std::uint64_t code = 0;
+    for (unsigned len = 1; len <= maxLength_; ++len) {
+        code = (code << 1) | (reader.readBit() ? 1 : 0);
+        if (countAt_[len] > 0 && code >= firstCode_[len] &&
+            code < firstCode_[len] + countAt_[len]) {
+            return entries_[firstIndex_[len] +
+                            (code - firstCode_[len])].symbol;
+        }
+    }
+    TEPIC_PANIC("corrupt bitstream: no code matched");
+}
+
+std::uint64_t
+CodeTable::encodedBits(const SymbolHistogram &hist) const
+{
+    std::uint64_t bits = 0;
+    for (const auto &[sym, count] : hist.counts())
+        bits += std::uint64_t(codeLength(sym)) * count;
+    return bits;
+}
+
+} // namespace tepic::huffman

@@ -1,0 +1,274 @@
+#include "ir/ir.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tepic::ir {
+
+bool
+isTerminator(IrOp op)
+{
+    return op == IrOp::kJmp || op == IrOp::kBr || op == IrOp::kRet;
+}
+
+RegClass
+destClass(IrOp op)
+{
+    switch (op) {
+      case IrOp::kAdd: case IrOp::kSub: case IrOp::kMul: case IrOp::kDiv:
+      case IrOp::kRem: case IrOp::kAnd: case IrOp::kOr: case IrOp::kXor:
+      case IrOp::kShl: case IrOp::kShr: case IrOp::kSra: case IrOp::kMov:
+      case IrOp::kConst:
+      case IrOp::kCmpEq: case IrOp::kCmpNe: case IrOp::kCmpLt:
+      case IrOp::kCmpLe: case IrOp::kCmpGt: case IrOp::kCmpGe:
+      case IrOp::kFtoi: case IrOp::kLoad:
+      case IrOp::kFrameAddr: case IrOp::kGlobalAddr:
+      case IrOp::kFcmpEq: case IrOp::kFcmpLt: case IrOp::kFcmpLe:
+        return RegClass::kInt;
+      case IrOp::kFadd: case IrOp::kFsub: case IrOp::kFmul:
+      case IrOp::kFdiv: case IrOp::kFmov: case IrOp::kFconst:
+      case IrOp::kItof: case IrOp::kFload:
+        return RegClass::kFloat;
+      case IrOp::kCall:
+        return RegClass::kNone;  // resolved per call site
+      case IrOp::kStore: case IrOp::kFstore:
+      case IrOp::kJmp: case IrOp::kBr: case IrOp::kRet:
+        return RegClass::kNone;
+    }
+    return RegClass::kNone;
+}
+
+RegClass
+src1Class(IrOp op)
+{
+    switch (op) {
+      case IrOp::kAdd: case IrOp::kSub: case IrOp::kMul: case IrOp::kDiv:
+      case IrOp::kRem: case IrOp::kAnd: case IrOp::kOr: case IrOp::kXor:
+      case IrOp::kShl: case IrOp::kShr: case IrOp::kSra: case IrOp::kMov:
+      case IrOp::kCmpEq: case IrOp::kCmpNe: case IrOp::kCmpLt:
+      case IrOp::kCmpLe: case IrOp::kCmpGt: case IrOp::kCmpGe:
+      case IrOp::kItof: case IrOp::kLoad: case IrOp::kStore:
+      case IrOp::kFload: case IrOp::kFstore:
+      case IrOp::kBr:
+        return RegClass::kInt;
+      case IrOp::kFadd: case IrOp::kFsub: case IrOp::kFmul:
+      case IrOp::kFdiv: case IrOp::kFmov: case IrOp::kFtoi:
+      case IrOp::kFcmpEq: case IrOp::kFcmpLt: case IrOp::kFcmpLe:
+        return RegClass::kFloat;
+      case IrOp::kRet:
+        return RegClass::kNone;  // resolved per function return type
+      default:
+        return RegClass::kNone;
+    }
+}
+
+RegClass
+src2Class(IrOp op)
+{
+    switch (op) {
+      case IrOp::kAdd: case IrOp::kSub: case IrOp::kMul: case IrOp::kDiv:
+      case IrOp::kRem: case IrOp::kAnd: case IrOp::kOr: case IrOp::kXor:
+      case IrOp::kShl: case IrOp::kShr: case IrOp::kSra:
+      case IrOp::kCmpEq: case IrOp::kCmpNe: case IrOp::kCmpLt:
+      case IrOp::kCmpLe: case IrOp::kCmpGt: case IrOp::kCmpGe:
+      case IrOp::kStore:
+        return RegClass::kInt;
+      case IrOp::kFadd: case IrOp::kFsub: case IrOp::kFmul:
+      case IrOp::kFdiv:
+      case IrOp::kFcmpEq: case IrOp::kFcmpLt: case IrOp::kFcmpLe:
+      case IrOp::kFstore:
+        return RegClass::kFloat;
+      default:
+        return RegClass::kNone;
+    }
+}
+
+const char *
+irOpName(IrOp op)
+{
+    switch (op) {
+      case IrOp::kAdd: return "add";
+      case IrOp::kSub: return "sub";
+      case IrOp::kMul: return "mul";
+      case IrOp::kDiv: return "div";
+      case IrOp::kRem: return "rem";
+      case IrOp::kAnd: return "and";
+      case IrOp::kOr: return "or";
+      case IrOp::kXor: return "xor";
+      case IrOp::kShl: return "shl";
+      case IrOp::kShr: return "shr";
+      case IrOp::kSra: return "sra";
+      case IrOp::kMov: return "mov";
+      case IrOp::kConst: return "const";
+      case IrOp::kCmpEq: return "cmp.eq";
+      case IrOp::kCmpNe: return "cmp.ne";
+      case IrOp::kCmpLt: return "cmp.lt";
+      case IrOp::kCmpLe: return "cmp.le";
+      case IrOp::kCmpGt: return "cmp.gt";
+      case IrOp::kCmpGe: return "cmp.ge";
+      case IrOp::kFadd: return "fadd";
+      case IrOp::kFsub: return "fsub";
+      case IrOp::kFmul: return "fmul";
+      case IrOp::kFdiv: return "fdiv";
+      case IrOp::kFmov: return "fmov";
+      case IrOp::kFconst: return "fconst";
+      case IrOp::kItof: return "itof";
+      case IrOp::kFtoi: return "ftoi";
+      case IrOp::kFcmpEq: return "fcmp.eq";
+      case IrOp::kFcmpLt: return "fcmp.lt";
+      case IrOp::kFcmpLe: return "fcmp.le";
+      case IrOp::kLoad: return "load";
+      case IrOp::kStore: return "store";
+      case IrOp::kFload: return "fload";
+      case IrOp::kFstore: return "fstore";
+      case IrOp::kFrameAddr: return "frameaddr";
+      case IrOp::kGlobalAddr: return "globaladdr";
+      case IrOp::kCall: return "call";
+      case IrOp::kJmp: return "jmp";
+      case IrOp::kBr: return "br";
+      case IrOp::kRet: return "ret";
+    }
+    return "?";
+}
+
+std::string
+IrInstr::toString() const
+{
+    std::ostringstream os;
+    os << irOpName(op);
+    auto reg = [](RegClass cls, Vreg v) {
+        if (v == kNoVreg)
+            return std::string("_");
+        return (cls == RegClass::kFloat ? "f%" : "%") + std::to_string(v);
+    };
+    switch (op) {
+      case IrOp::kConst:
+        os << " " << reg(RegClass::kInt, dest) << ", #" << imm;
+        break;
+      case IrOp::kFconst:
+        os << " " << reg(RegClass::kFloat, dest) << ", #" << fimm;
+        break;
+      case IrOp::kFrameAddr:
+        os << " " << reg(RegClass::kInt, dest) << ", slot" << imm;
+        break;
+      case IrOp::kGlobalAddr:
+        os << " " << reg(RegClass::kInt, dest) << ", glob" << imm;
+        break;
+      case IrOp::kCall: {
+        if (dest != kNoVreg)
+            os << " " << reg(valueClass, dest) << " =";
+        os << " fn" << callee << "(";
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                os << ", ";
+            os << reg(argClasses[i], args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case IrOp::kJmp:
+        os << " B" << target0;
+        break;
+      case IrOp::kBr:
+        os << " " << reg(RegClass::kInt, src1) << ", B" << target0
+           << ", B" << target1;
+        break;
+      case IrOp::kRet:
+        if (src1 != kNoVreg)
+            os << " " << reg(valueClass, src1);
+        break;
+      default: {
+        bool first = true;
+        auto emit = [&](RegClass cls, Vreg v) {
+            if (v == kNoVreg)
+                return;
+            os << (first ? " " : ", ") << reg(cls, v);
+            first = false;
+        };
+        emit(destClass(op), dest);
+        emit(src1Class(op), src1);
+        emit(src2Class(op), src2);
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::vector<std::uint32_t>
+IrBlock::successors() const
+{
+    TEPIC_ASSERT(hasTerminator(), "block without terminator");
+    const IrInstr &term = instrs.back();
+    switch (term.op) {
+      case IrOp::kJmp:
+        return {term.target0};
+      case IrOp::kBr:
+        return {term.target0, term.target1};
+      case IrOp::kRet:
+        return {};
+      default:
+        TEPIC_PANIC("bad terminator");
+    }
+}
+
+std::string
+IrFunction::toString() const
+{
+    std::ostringstream os;
+    os << "func " << name << "(" << paramNames.size() << " params):\n";
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        os << "  B" << b << " (w=" << blocks[b].weight << "):\n";
+        for (const auto &instr : blocks[b].instrs)
+            os << "    " << instr.toString() << '\n';
+    }
+    return os.str();
+}
+
+int
+IrModule::findFunction(const std::string &name) const
+{
+    for (std::size_t i = 0; i < functions.size(); ++i)
+        if (functions[i].name == name)
+            return int(i);
+    return -1;
+}
+
+void
+IrModule::validate() const
+{
+    for (const auto &fn : functions) {
+        TEPIC_ASSERT(!fn.blocks.empty(), fn.name, ": no blocks");
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto &blk = fn.blocks[b];
+            TEPIC_ASSERT(blk.hasTerminator(),
+                         fn.name, " B", b, ": missing terminator");
+            for (std::size_t i = 0; i + 1 < blk.instrs.size(); ++i)
+                TEPIC_ASSERT(!isTerminator(blk.instrs[i].op),
+                             fn.name, " B", b, ": interior terminator");
+            for (auto succ : blk.successors())
+                TEPIC_ASSERT(succ < fn.blocks.size(),
+                             fn.name, " B", b, ": bad successor ", succ);
+            for (const auto &instr : blk.instrs) {
+                if (instr.op == IrOp::kCall) {
+                    TEPIC_ASSERT(instr.callee < functions.size(),
+                                 fn.name, ": bad callee index");
+                    TEPIC_ASSERT(instr.args.size() ==
+                                 instr.argClasses.size(),
+                                 fn.name, ": call arg class mismatch");
+                }
+            }
+        }
+    }
+}
+
+std::string
+IrModule::toString() const
+{
+    std::ostringstream os;
+    for (const auto &fn : functions)
+        os << fn.toString() << '\n';
+    return os.str();
+}
+
+} // namespace tepic::ir

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Three-address intermediate representation for the tinkerc compiler.
+ *
+ * The IR models a conventional RISC-like virtual-register machine:
+ * instructions read at most two virtual registers and write at most
+ * one; constants enter via kConst/kFconst (mirroring TEPIC, whose ALU
+ * formats have no immediate field); control flow is explicit — every
+ * basic block ends with exactly one terminator.
+ *
+ * Virtual registers live in two disjoint classes (integer and float),
+ * matching the GPR/FPR split of the target. Predicate registers do not
+ * exist at this level; compares produce 0/1 integers and are fused
+ * into compare-to-predicate + guarded-branch pairs during lowering.
+ */
+
+#ifndef TEPIC_IR_IR_HH
+#define TEPIC_IR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tepic::ir {
+
+/** Virtual register id, scoped by register class. */
+using Vreg = std::uint32_t;
+constexpr Vreg kNoVreg = 0xffffffffu;
+
+/** Register classes. */
+enum class RegClass : std::uint8_t { kInt, kFloat, kNone };
+
+/** IR opcodes. */
+enum class IrOp : std::uint8_t {
+    // Integer arithmetic (dest, src1, src2)
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr, kSra,
+    kMov,                       ///< dest <- src1
+    kConst,                     ///< dest <- imm
+    // Integer compares: dest <- (src1 OP src2) ? 1 : 0
+    kCmpEq, kCmpNe, kCmpLt, kCmpLe, kCmpGt, kCmpGe,
+    // Float arithmetic (float class)
+    kFadd, kFsub, kFmul, kFdiv,
+    kFmov,
+    kFconst,                    ///< dest <- float imm (via constant pool)
+    kItof,                      ///< float dest <- int src1
+    kFtoi,                      ///< int dest <- float src1
+    // Float compares: *int* dest <- (src1 OP src2) ? 1 : 0
+    kFcmpEq, kFcmpLt, kFcmpLe,
+    // Memory: addresses are int vregs, byte granular
+    kLoad,                      ///< int dest <- mem32[src1]
+    kStore,                     ///< mem32[src1] <- src2
+    kFload,                     ///< float dest <- mem64[src1]
+    kFstore,                    ///< mem64[src1] <- float src2
+    // Frame / globals
+    kFrameAddr,                 ///< dest <- SP + frameOffset(slot=imm)
+    kGlobalAddr,                ///< dest <- address of global #imm
+    // Calls (not terminators)
+    kCall,                      ///< dest? <- call callee(args)
+    // Terminators
+    kJmp,                       ///< goto target0
+    kBr,                        ///< if (src1 != 0) target0 else target1
+    kRet,                       ///< return src1? (class per function type)
+};
+
+/** True for kJmp/kBr/kRet. */
+bool isTerminator(IrOp op);
+
+/** Register class of the destination of @p op (kNone if no dest). */
+RegClass destClass(IrOp op);
+
+/** Register classes of src1/src2 of @p op (kNone if unused). */
+RegClass src1Class(IrOp op);
+RegClass src2Class(IrOp op);
+
+const char *irOpName(IrOp op);
+
+/** One IR instruction. Operand meaning depends on the opcode. */
+struct IrInstr
+{
+    IrOp op;
+    Vreg dest = kNoVreg;
+    Vreg src1 = kNoVreg;
+    Vreg src2 = kNoVreg;
+    std::int64_t imm = 0;      ///< kConst value / slot / global index
+    double fimm = 0.0;         ///< kFconst value
+    std::uint32_t target0 = 0; ///< kJmp/kBr taken target (block index)
+    std::uint32_t target1 = 0; ///< kBr fallthrough target
+    std::uint32_t callee = 0;  ///< kCall: function index in the module
+    std::vector<Vreg> args;    ///< kCall arguments
+    std::vector<RegClass> argClasses; ///< classes of args
+
+    /**
+     * Register class of the value moved by this instruction when the
+     * opcode alone cannot tell: the destination of kCall and the
+     * operand of kRet. kNone elsewhere.
+     */
+    RegClass valueClass = RegClass::kNone;
+
+    std::string toString() const;
+};
+
+/** A stack-frame object (local array or spill slot), in bytes. */
+struct FrameObject
+{
+    std::uint32_t sizeBytes = 0;
+    std::string name;
+};
+
+/** A basic block: straight-line instrs, last one a terminator. */
+struct IrBlock
+{
+    std::vector<IrInstr> instrs;
+
+    /** Estimated execution frequency (filled by analysis/profile). */
+    double weight = 1.0;
+
+    const IrInstr &terminator() const { return instrs.back(); }
+    bool hasTerminator() const
+    {
+        return !instrs.empty() && isTerminator(instrs.back().op);
+    }
+
+    /** Successor block indices implied by the terminator. */
+    std::vector<std::uint32_t> successors() const;
+};
+
+/** A function: CFG of blocks, entry is block 0. */
+struct IrFunction
+{
+    std::string name;
+    std::vector<std::string> paramNames;
+    std::vector<RegClass> paramClasses;
+    RegClass returnClass = RegClass::kNone;
+
+    std::vector<IrBlock> blocks;
+    std::vector<FrameObject> frame;
+
+    std::uint32_t numIntVregs = 0;
+    std::uint32_t numFloatVregs = 0;
+
+    Vreg
+    newVreg(RegClass cls)
+    {
+        return cls == RegClass::kInt ? numIntVregs++ : numFloatVregs++;
+    }
+
+    std::string toString() const;
+};
+
+/** A module-level variable living in the static data segment. */
+struct GlobalVar
+{
+    std::string name;
+    std::uint32_t sizeBytes = 0;
+    bool isFloat = false;
+    std::vector<std::int32_t> init;  ///< int initialiser words
+    std::vector<double> finit;       ///< float initialiser words
+};
+
+/** A whole translation unit. */
+struct IrModule
+{
+    std::vector<IrFunction> functions;
+    std::vector<GlobalVar> globals;
+
+    /** Index of function @p name, or -1. */
+    int findFunction(const std::string &name) const;
+
+    /** Structural sanity checks (terminators, operand classes, CFG). */
+    void validate() const;
+
+    std::string toString() const;
+};
+
+} // namespace tepic::ir
+
+#endif // TEPIC_IR_IR_HH

@@ -1,0 +1,53 @@
+#include "isa/baseline.hh"
+
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace tepic::isa {
+
+Image
+buildBaselineImage(const VliwProgram &program)
+{
+    support::BitWriter writer;
+    Image image;
+    image.scheme = "base";
+    image.blocks.resize(program.blocks().size());
+
+    for (const auto &blk : program.blocks()) {
+        writer.alignToByte();
+        BlockLayout &layout = image.blocks[blk.id];
+        layout.bitOffset = writer.bitSize();
+        layout.numMops = std::uint32_t(blk.mops.size());
+        layout.numOps = std::uint32_t(blk.opCount());
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                writer.writeBits(op.encode(), kOpBits);
+        layout.bitSize = writer.bitSize() - layout.bitOffset;
+    }
+
+    image.bitSize = writer.bitSize();
+    image.bytes = writer.takeBytes();
+    return image;
+}
+
+std::vector<std::vector<Operation>>
+decodeBaselineImage(const Image &image)
+{
+    std::vector<std::vector<Operation>> result;
+    result.reserve(image.blocks.size());
+
+    support::BitReader reader(image.bytes.data(), image.bitSize);
+    for (const auto &layout : image.blocks) {
+        TEPIC_ASSERT(layout.bitSize % kOpBits == 0,
+                     "baseline block size not a multiple of 40 bits");
+        reader.seek(layout.bitOffset);
+        std::vector<Operation> ops;
+        ops.reserve(layout.numOps);
+        for (std::uint32_t i = 0; i < layout.numOps; ++i)
+            ops.push_back(Operation::decode(reader.readBits(kOpBits)));
+        result.push_back(std::move(ops));
+    }
+    return result;
+}
+
+} // namespace tepic::isa

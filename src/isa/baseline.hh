@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Baseline (uncompressed 40-bit) image encoder and decoder.
+ *
+ * The baseline image is the reference point for every compression
+ * ratio in the paper: each op occupies exactly 40 bits, blocks are laid
+ * out in program order, and since 40 bits = 5 bytes every block start
+ * is naturally byte aligned.
+ */
+
+#ifndef TEPIC_ISA_BASELINE_HH
+#define TEPIC_ISA_BASELINE_HH
+
+#include "isa/image.hh"
+#include "isa/program.hh"
+
+namespace tepic::isa {
+
+/** Encode @p program into the baseline 40-bit image. */
+Image buildBaselineImage(const VliwProgram &program);
+
+/**
+ * Decode a baseline image back into per-block operation vectors
+ * (used by round-trip tests and by the compression front ends, which
+ * consume the baseline bit patterns).
+ */
+std::vector<std::vector<Operation>>
+decodeBaselineImage(const Image &image);
+
+} // namespace tepic::isa
+
+#endif // TEPIC_ISA_BASELINE_HH

@@ -1,0 +1,119 @@
+#include "isa/dataflow.hh"
+
+#include <algorithm>
+
+namespace tepic::isa {
+
+bool
+isHardwiredRead(RegRef ref)
+{
+    return (ref.space == RegSpace::kGpr && ref.reg == kRegZero) ||
+           (ref.space == RegSpace::kPred && ref.reg == kPredTrue);
+}
+
+std::vector<RegRef>
+operationUses(const Operation &op)
+{
+    std::vector<RegRef> uses;
+    if (op.pred() != kPredTrue)
+        uses.push_back({RegSpace::kPred, op.pred()});
+
+    const Opcode opcode = op.opcode();
+    switch (op.format()) {
+      case Format::kIntAlu:
+        uses.push_back({RegSpace::kGpr, op.src1()});
+        if (opcode != Opcode::kMov)
+            uses.push_back({RegSpace::kGpr, op.src2()});
+        break;
+      case Format::kIntCmpp:
+        uses.push_back({RegSpace::kGpr, op.src1()});
+        uses.push_back({RegSpace::kGpr, op.src2()});
+        break;
+      case Format::kLoadImm:
+        break;
+      case Format::kFloatAlu:
+        switch (opcode) {
+          case Opcode::kFmov:
+          case Opcode::kFtoi:
+            uses.push_back({RegSpace::kFpr, op.src1()});
+            break;
+          case Opcode::kItof:
+            uses.push_back({RegSpace::kGpr, op.src1()});
+            break;
+          default:  // fadd/fsub/fmul/fdiv/fcmpp*
+            uses.push_back({RegSpace::kFpr, op.src1()});
+            uses.push_back({RegSpace::kFpr, op.src2()});
+            break;
+        }
+        break;
+      case Format::kLoad:
+        uses.push_back({RegSpace::kGpr, op.src1()});
+        break;
+      case Format::kStore:
+        uses.push_back({RegSpace::kGpr, op.src1()});
+        uses.push_back({opcode == Opcode::kFstore ? RegSpace::kFpr
+                                                  : RegSpace::kGpr,
+                        op.src2()});
+        break;
+      case Format::kBranch:
+        if (opcode == Opcode::kRet)
+            uses.push_back({RegSpace::kGpr, op.src1()});
+        if (opcode == Opcode::kBrlc)
+            uses.push_back({RegSpace::kGpr,
+                            op.field(FieldKind::kCounter)});
+        break;
+    }
+    // A predicated op merges into its destination: the old value is
+    // observable when the guard is false.
+    if (op.pred() != kPredTrue)
+        for (const auto &def : operationDefs(op))
+            uses.push_back(def);
+
+    uses.erase(std::remove_if(uses.begin(), uses.end(),
+                              isHardwiredRead),
+               uses.end());
+    return uses;
+}
+
+std::vector<RegRef>
+operationDefs(const Operation &op)
+{
+    std::vector<RegRef> defs;
+    const Opcode opcode = op.opcode();
+    switch (op.format()) {
+      case Format::kIntAlu:
+      case Format::kLoadImm:
+        defs.push_back({RegSpace::kGpr, op.dest()});
+        break;
+      case Format::kIntCmpp:
+        defs.push_back({RegSpace::kPred, op.dest()});
+        break;
+      case Format::kFloatAlu:
+        if (opcode == Opcode::kFcmppEq || opcode == Opcode::kFcmppLt ||
+            opcode == Opcode::kFcmppLe) {
+            defs.push_back({RegSpace::kPred, op.dest()});
+        } else if (opcode == Opcode::kFtoi) {
+            defs.push_back({RegSpace::kGpr, op.dest()});
+        } else {
+            defs.push_back({RegSpace::kFpr, op.dest()});
+        }
+        break;
+      case Format::kLoad:
+        defs.push_back({opcode == Opcode::kFload ? RegSpace::kFpr
+                                                 : RegSpace::kGpr,
+                        op.dest()});
+        break;
+      case Format::kStore:
+        break;
+      case Format::kBranch:
+        if (opcode == Opcode::kCall)
+            defs.push_back({RegSpace::kGpr, kRegLink});
+        if (opcode == Opcode::kBrlc)
+            defs.push_back({RegSpace::kGpr,
+                            op.field(FieldKind::kCounter)});
+        break;
+    }
+    return defs;
+}
+
+} // namespace tepic::isa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Architectural register def/use analysis over TEPIC operations,
+ * shared by the VLIW scheduler (dependence edges) and the treegion
+ * hoisting pass (cross-block liveness).
+ */
+
+#ifndef TEPIC_ISA_DATAFLOW_HH
+#define TEPIC_ISA_DATAFLOW_HH
+
+#include <vector>
+
+#include "isa/operation.hh"
+
+namespace tepic::isa {
+
+/** Architectural register spaces. */
+enum class RegSpace : std::uint8_t { kGpr, kFpr, kPred };
+
+struct RegRef
+{
+    RegSpace space;
+    unsigned reg;
+
+    bool
+    operator==(const RegRef &other) const
+    {
+        return space == other.space && reg == other.reg;
+    }
+};
+
+/** Dense index of a RegRef (3 x 32 registers). */
+constexpr unsigned kNumRegRefs = 3 * 32;
+
+inline unsigned
+regRefIndex(RegRef ref)
+{
+    return unsigned(ref.space) * 32 + ref.reg;
+}
+
+/** True when reads of this register are constants (r0, p0). */
+bool isHardwiredRead(RegRef ref);
+
+/**
+ * Registers read by @p op: sources, the guarding predicate, and — for
+ * a predicated op — its destination (merge semantics). Hardwired
+ * reads are filtered out.
+ */
+std::vector<RegRef> operationUses(const Operation &op);
+
+/** Registers written by @p op. */
+std::vector<RegRef> operationDefs(const Operation &op);
+
+} // namespace tepic::isa
+
+#endif // TEPIC_ISA_DATAFLOW_HH

@@ -1,0 +1,38 @@
+#include "isa/machine.hh"
+
+namespace tepic::isa {
+
+unsigned
+operationLatency(const Operation &op)
+{
+    switch (op.opType()) {
+      case OpType::kInt:
+        switch (op.opcode()) {
+          case Opcode::kMul:
+            return 3;
+          case Opcode::kDiv:
+          case Opcode::kRem:
+            return 8;
+          default:
+            return 1;
+        }
+      case OpType::kFloat:
+        switch (op.opcode()) {
+          case Opcode::kFdiv:
+            return 12;
+          case Opcode::kFmov:
+            return 1;
+          default:
+            return 3;
+        }
+      case OpType::kMemory:
+        // Loads: 2-cycle (cache-hit) use latency; stores complete in 1.
+        return (op.opcode() == Opcode::kLoad ||
+                op.opcode() == Opcode::kFload) ? 2 : 1;
+      case OpType::kBranch:
+        return 1;
+    }
+    return 1;
+}
+
+} // namespace tepic::isa

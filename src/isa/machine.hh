@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Core-machine resource description (§2.1 of the paper).
+ *
+ * A 6-issue machine: four units execute anything except memory
+ * accesses, two universal units also execute memory accesses. Operation
+ * latencies feed the VLIW list scheduler.
+ */
+
+#ifndef TEPIC_ISA_MACHINE_HH
+#define TEPIC_ISA_MACHINE_HH
+
+#include "isa/operation.hh"
+
+namespace tepic::isa {
+
+/** Issue resources of the TEPIC core. */
+struct MachineConfig
+{
+    unsigned issueWidth = 6;   ///< ops per MOP
+    unsigned memoryUnits = 2;  ///< universal units (only ones doing memory)
+    unsigned branchUnits = 1;  ///< control transfers per MOP
+
+    /** Default machine of the paper. */
+    static MachineConfig
+    paperDefault()
+    {
+        return MachineConfig{};
+    }
+};
+
+/**
+ * Scheduling latency of @p op in cycles (result available N cycles
+ * after issue). Values follow common embedded-VLIW assumptions; they
+ * only shape the schedule, not correctness.
+ */
+unsigned operationLatency(const Operation &op);
+
+} // namespace tepic::isa
+
+#endif // TEPIC_ISA_MACHINE_HH

@@ -1,0 +1,341 @@
+#include "isa/operation.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tepic::isa {
+
+namespace {
+
+using F = FieldKind;
+
+// Field layouts transcribed from Table 2 of the paper. Widths in each
+// array sum to exactly 40 bits.
+constexpr FieldSpec kIntAluFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kSrc2, 5}, {F::kBhwx, 2}, {F::kReserved, 8},
+    {F::kDest, 5}, {F::kL1, 1}, {F::kPred, 5},
+};
+
+constexpr FieldSpec kIntCmppFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kSrc2, 5}, {F::kBhwx, 2}, {F::kD1, 3},
+    {F::kReserved, 5}, {F::kDest, 5}, {F::kL1, 1}, {F::kPred, 5},
+};
+
+constexpr FieldSpec kLoadImmFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kImm, 20}, {F::kDest, 5}, {F::kL1, 1}, {F::kPred, 5},
+};
+
+constexpr FieldSpec kFloatAluFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kSrc2, 5}, {F::kSd, 1}, {F::kReserved, 6},
+    {F::kTsslu, 3}, {F::kDest, 5}, {F::kL1, 1}, {F::kPred, 5},
+};
+
+constexpr FieldSpec kLoadFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kBhwx, 2}, {F::kScs, 2}, {F::kReserved, 1},
+    {F::kTcs, 2}, {F::kReserved, 3}, {F::kLat, 5}, {F::kDest, 5},
+    {F::kReserved, 1}, {F::kPred, 5},
+};
+
+constexpr FieldSpec kStoreFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kSrc2, 5}, {F::kBhwx, 2}, {F::kTcs, 2},
+    {F::kReserved, 11}, {F::kL1, 1}, {F::kPred, 5},
+};
+
+// The Branch format's 16 reserved bits carry the target address in this
+// implementation (§3.3: original branch targets are kept in the image
+// and translated through the ATB at run time).
+constexpr FieldSpec kBranchFields[] = {
+    {F::kTail, 1}, {F::kSpec, 1}, {F::kOpType, 2}, {F::kOpcode, 5},
+    {F::kSrc1, 5}, {F::kCounter, 5}, {F::kTarget, 16}, {F::kPred, 5},
+};
+
+constexpr unsigned
+sumWidths(std::span<const FieldSpec> fields)
+{
+    unsigned total = 0;
+    for (const auto &f : fields)
+        total += f.width;
+    return total;
+}
+
+static_assert(sumWidths(kIntAluFields) == kOpBits);
+static_assert(sumWidths(kIntCmppFields) == kOpBits);
+static_assert(sumWidths(kLoadImmFields) == kOpBits);
+static_assert(sumWidths(kFloatAluFields) == kOpBits);
+static_assert(sumWidths(kLoadFields) == kOpBits);
+static_assert(sumWidths(kStoreFields) == kOpBits);
+static_assert(sumWidths(kBranchFields) == kOpBits);
+
+} // namespace
+
+std::span<const FieldSpec>
+formatFields(Format format)
+{
+    switch (format) {
+      case Format::kIntAlu: return kIntAluFields;
+      case Format::kIntCmpp: return kIntCmppFields;
+      case Format::kLoadImm: return kLoadImmFields;
+      case Format::kFloatAlu: return kFloatAluFields;
+      case Format::kLoad: return kLoadFields;
+      case Format::kStore: return kStoreFields;
+      case Format::kBranch: return kBranchFields;
+    }
+    TEPIC_PANIC("bad format ", int(format));
+}
+
+const char *
+formatName(Format format)
+{
+    switch (format) {
+      case Format::kIntAlu: return "IntAlu";
+      case Format::kIntCmpp: return "IntCmpp";
+      case Format::kLoadImm: return "LoadImm";
+      case Format::kFloatAlu: return "FloatAlu";
+      case Format::kLoad: return "Load";
+      case Format::kStore: return "Store";
+      case Format::kBranch: return "Branch";
+    }
+    return "?";
+}
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::kInt: return "INT";
+      case OpType::kFloat: return "FP";
+      case OpType::kMemory: return "MEM";
+      case OpType::kBranch: return "BR";
+    }
+    return "?";
+}
+
+const char *
+fieldKindName(FieldKind kind)
+{
+    switch (kind) {
+      case FieldKind::kTail: return "T";
+      case FieldKind::kSpec: return "S";
+      case FieldKind::kOpType: return "OPT";
+      case FieldKind::kOpcode: return "OPCODE";
+      case FieldKind::kSrc1: return "Src1";
+      case FieldKind::kSrc2: return "Src2";
+      case FieldKind::kDest: return "Dest";
+      case FieldKind::kPred: return "PRED";
+      case FieldKind::kImm: return "Imm";
+      case FieldKind::kBhwx: return "BHWX";
+      case FieldKind::kD1: return "D1";
+      case FieldKind::kSd: return "S/D";
+      case FieldKind::kTsslu: return "tssL/U";
+      case FieldKind::kScs: return "SCS";
+      case FieldKind::kTcs: return "TCS";
+      case FieldKind::kLat: return "Lat";
+      case FieldKind::kCounter: return "Counter";
+      case FieldKind::kTarget: return "Target";
+      case FieldKind::kL1: return "L1";
+      case FieldKind::kReserved: return "Rsv";
+      case FieldKind::kNumKinds: break;
+    }
+    return "?";
+}
+
+std::string
+opcodeName(OpType type, Opcode opcode)
+{
+    const unsigned code = static_cast<unsigned>(opcode);
+    switch (type) {
+      case OpType::kInt: {
+        static const char *names[] = {
+            "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+            "shl", "shr", "sra", "mov", "ldi",
+        };
+        if (code < std::size(names))
+            return names[code];
+        static const char *cmpp[] = {
+            "cmpp.eq", "cmpp.ne", "cmpp.lt", "cmpp.le", "cmpp.gt",
+            "cmpp.ge",
+        };
+        if (code >= 16 && code - 16 < std::size(cmpp))
+            return cmpp[code - 16];
+        break;
+      }
+      case OpType::kFloat: {
+        static const char *names[] = {
+            "fadd", "fsub", "fmul", "fdiv", "fmov", "itof", "ftoi",
+        };
+        if (code < std::size(names))
+            return names[code];
+        static const char *cmpp[] = {"fcmpp.eq", "fcmpp.lt", "fcmpp.le"};
+        if (code >= 8 && code - 8 < std::size(cmpp))
+            return cmpp[code - 8];
+        break;
+      }
+      case OpType::kMemory: {
+        static const char *names[] = {"load", "store", "fload", "fstore"};
+        if (code < std::size(names))
+            return names[code];
+        break;
+      }
+      case OpType::kBranch: {
+        static const char *names[] = {
+            "br", "brct", "brcf", "call", "ret", "brlc",
+        };
+        if (code < std::size(names))
+            return names[code];
+        break;
+      }
+    }
+    return "op" + std::to_string(code);
+}
+
+Format
+formatFor(OpType type, Opcode opcode)
+{
+    const unsigned code = static_cast<unsigned>(opcode);
+    switch (type) {
+      case OpType::kInt:
+        if (code == static_cast<unsigned>(Opcode::kLdi))
+            return Format::kLoadImm;
+        if (code >= static_cast<unsigned>(Opcode::kCmppEq) &&
+            code <= static_cast<unsigned>(Opcode::kCmppGe)) {
+            return Format::kIntCmpp;
+        }
+        return Format::kIntAlu;
+      case OpType::kFloat:
+        return Format::kFloatAlu;
+      case OpType::kMemory:
+        if (code == static_cast<unsigned>(Opcode::kLoad) ||
+            code == static_cast<unsigned>(Opcode::kFload)) {
+            return Format::kLoad;
+        }
+        return Format::kStore;
+      case OpType::kBranch:
+        return Format::kBranch;
+    }
+    TEPIC_PANIC("bad op type ", int(type));
+}
+
+Operation
+Operation::make(OpType type, Opcode opcode)
+{
+    Operation op;
+    op.setField(FieldKind::kOpType, static_cast<std::uint32_t>(type));
+    op.setField(FieldKind::kOpcode, static_cast<std::uint32_t>(opcode));
+    op.setField(FieldKind::kPred, kPredTrue);
+    return op;
+}
+
+std::uint32_t
+Operation::field(FieldKind kind) const
+{
+    TEPIC_ASSERT(kind < FieldKind::kNumKinds);
+    return fields_[idx(kind)];
+}
+
+void
+Operation::setField(FieldKind kind, std::uint32_t value)
+{
+    TEPIC_ASSERT(kind < FieldKind::kNumKinds);
+    if (kind == FieldKind::kReserved) {
+        TEPIC_ASSERT(value == 0, "reserved fields must be zero");
+        return;
+    }
+    fields_[idx(kind)] = value;
+}
+
+std::uint64_t
+Operation::encode() const
+{
+    std::uint64_t bits = 0;
+    for (const auto &spec : formatFields(format())) {
+        const std::uint32_t value =
+            spec.kind == FieldKind::kReserved ? 0 : field(spec.kind);
+        TEPIC_ASSERT((std::uint64_t(value) >> spec.width) == 0,
+                     "field ", fieldKindName(spec.kind), " value ", value,
+                     " exceeds ", spec.width, " bits in ",
+                     formatName(format()));
+        bits = (bits << spec.width) | value;
+    }
+    return bits;
+}
+
+Operation
+Operation::decode(std::uint64_t bits)
+{
+    TEPIC_ASSERT((bits >> kOpBits) == 0, "op wider than 40 bits");
+
+    // All formats begin with T(1) S(1) OPT(2) OPCODE(5); peel those
+    // first to select the format, then re-walk the full layout.
+    const auto type = static_cast<OpType>((bits >> 36) & 0x3);
+    const auto opcode = static_cast<Opcode>((bits >> 31) & 0x1f);
+    const Format format = formatFor(type, opcode);
+
+    Operation op;
+    unsigned shift = kOpBits;
+    for (const auto &spec : formatFields(format)) {
+        shift -= spec.width;
+        const std::uint64_t mask = (1ull << spec.width) - 1;
+        const auto value = std::uint32_t((bits >> shift) & mask);
+        if (spec.kind != FieldKind::kReserved)
+            op.fields_[idx(spec.kind)] = value;
+    }
+    return op;
+}
+
+bool
+Operation::valid() const
+{
+    for (const auto &spec : formatFields(format())) {
+        const std::uint32_t value =
+            spec.kind == FieldKind::kReserved ? 0 : field(spec.kind);
+        if ((std::uint64_t(value) >> spec.width) != 0)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Operation::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(opType(), opcode());
+    switch (format()) {
+      case Format::kIntAlu:
+        os << " r" << dest() << ", r" << src1();
+        if (opcode() != Opcode::kMov)
+            os << ", r" << src2();
+        break;
+      case Format::kIntCmpp:
+        os << " p" << dest() << ", r" << src1() << ", r" << src2();
+        break;
+      case Format::kLoadImm:
+        os << " r" << dest() << ", #" << imm();
+        break;
+      case Format::kFloatAlu:
+        os << " f" << dest() << ", f" << src1() << ", f" << src2();
+        break;
+      case Format::kLoad:
+        os << " r" << dest() << ", [r" << src1() << "]";
+        break;
+      case Format::kStore:
+        os << " [r" << src1() << "], r" << src2();
+        break;
+      case Format::kBranch:
+        os << " @" << target();
+        break;
+    }
+    if (pred() != kPredTrue)
+        os << " if p" << pred();
+    if (tail())
+        os << " ;;";
+    return os.str();
+}
+
+} // namespace tepic::isa

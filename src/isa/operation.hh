@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The TEPIC (TINKER EPIC) operation model.
+ *
+ * TEPIC is the 40-bit embedded variant of the HP PlayDoh VLIW
+ * specification used by the paper (§2.1, Table 2). Seven encoding
+ * formats exist; every format is exactly 40 bits and begins with the
+ * same four fields (Tail, Speculative, OpType, OpCode) so a decoder can
+ * select the format after reading the first 9 bits.
+ *
+ * The field layout is kept *declarative* (formatFields()) because three
+ * different consumers walk it:
+ *   - the baseline encoder/decoder (this module),
+ *   - the stream-based Huffman alphabet splitter (src/schemes), and
+ *   - the Tailored-ISA width minimiser (src/schemes).
+ */
+
+#ifndef TEPIC_ISA_OPERATION_HH
+#define TEPIC_ISA_OPERATION_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace tepic::isa {
+
+/** Number of architectural registers in each file (§2.1). */
+constexpr unsigned kNumGpr = 32;
+constexpr unsigned kNumFpr = 32;
+constexpr unsigned kNumPred = 32;
+
+/** Bit width of one baseline operation. */
+constexpr unsigned kOpBits = 40;
+
+/** GPR conventions used by the code generator. */
+constexpr unsigned kRegZero = 0;   ///< hardwired zero
+constexpr unsigned kRegSp = 30;    ///< stack pointer
+constexpr unsigned kRegLink = 31;  ///< call return address
+
+/** Predicate register 0 is hardwired true (guards most ops). */
+constexpr unsigned kPredTrue = 0;
+
+/** The OPT field: major operation type (2 bits). */
+enum class OpType : std::uint8_t {
+    kInt = 0,
+    kFloat = 1,
+    kMemory = 2,
+    kBranch = 3,
+};
+
+/** The seven encoding formats of Table 2. */
+enum class Format : std::uint8_t {
+    kIntAlu = 0,
+    kIntCmpp,
+    kLoadImm,
+    kFloatAlu,
+    kLoad,
+    kStore,
+    kBranch,
+};
+constexpr unsigned kNumFormats = 7;
+
+/**
+ * Opcodes, 5 bits, scoped by OpType. The numbering is chosen so that
+ * frequent opcodes get small values (matters only for readability; the
+ * compression schemes treat them as opaque bit patterns).
+ */
+enum class Opcode : std::uint8_t {
+    // OpType::kInt, IntAlu format
+    kAdd = 0,
+    kSub,
+    kMul,
+    kDiv,
+    kRem,
+    kAnd,
+    kOr,
+    kXor,
+    kShl,
+    kShr,
+    kSra,
+    kMov,
+    // OpType::kInt, LoadImm format
+    kLdi = 12,
+    // OpType::kInt, IntCmpp format (compare-to-predicate)
+    kCmppEq = 16,
+    kCmppNe,
+    kCmppLt,
+    kCmppLe,
+    kCmppGt,
+    kCmppGe,
+
+    // OpType::kFloat, FloatAlu format
+    kFadd = 0,
+    kFsub,
+    kFmul,
+    kFdiv,
+    kFmov,
+    kItof,
+    kFtoi,
+    kFcmppEq = 8,
+    kFcmppLt,
+    kFcmppLe,
+
+    // OpType::kMemory
+    kLoad = 0,   ///< Load format
+    kStore = 1,  ///< Store format
+    kFload = 2,  ///< Load format, FP destination
+    kFstore = 3, ///< Store format, FP source
+
+    // OpType::kBranch, Branch format
+    kBr = 0,    ///< unconditional
+    kBrct,      ///< branch if guarding predicate true
+    kBrcf,      ///< branch if guarding predicate false
+    kCall,      ///< call; link in GPR kRegLink
+    kRet,       ///< return via Src1
+    kBrlc,      ///< branch on loop counter (decrement Src1, taken if != 0)
+};
+
+/**
+ * Every distinct field that appears in some format. kReserved fields
+ * carry value zero; the Tailored encoder drops them entirely.
+ */
+enum class FieldKind : std::uint8_t {
+    kTail = 0, ///< last op of a MOP (zero-NOP encoding [7])
+    kSpec,     ///< speculative-execution marker
+    kOpType,   ///< OPT
+    kOpcode,   ///< OPCODE
+    kSrc1,
+    kSrc2,
+    kDest,
+    kPred,     ///< guarding predicate register
+    kImm,      ///< 20-bit immediate (LoadImm)
+    kBhwx,     ///< operand size: byte/half/word/xword
+    kD1,       ///< cmpp destination action modifier
+    kSd,       ///< FP single/double
+    kTsslu,    ///< FP tss + lower/upper select
+    kScs,      ///< load source cache specifier
+    kTcs,      ///< target cache specifier
+    kLat,      ///< load latency specifier
+    kCounter,  ///< branch loop-counter register
+    kTarget,   ///< branch target (held in the format's reserved bits)
+    kL1,       ///< lower/upper register-half select
+    kReserved, ///< explicit zero padding
+    kNumKinds,
+};
+constexpr unsigned kNumFieldKinds =
+    static_cast<unsigned>(FieldKind::kNumKinds);
+
+/** One fixed-width field slot within a format. */
+struct FieldSpec
+{
+    FieldKind kind;
+    unsigned width;
+};
+
+/** The ordered field layout of @p format (widths sum to 40). */
+std::span<const FieldSpec> formatFields(Format format);
+
+/** Human-readable names. */
+const char *formatName(Format format);
+const char *opTypeName(OpType type);
+const char *fieldKindName(FieldKind kind);
+std::string opcodeName(OpType type, Opcode opcode);
+
+/** The format implied by an (OpType, Opcode) pair. */
+Format formatFor(OpType type, Opcode opcode);
+
+/**
+ * One TEPIC operation. Field values are stored sparsely by FieldKind;
+ * encode()/decode() map them onto the 40-bit baseline layout.
+ */
+class Operation
+{
+  public:
+    Operation() { fields_.fill(0); }
+
+    /** Build an operation of the format implied by type/opcode. */
+    static Operation make(OpType type, Opcode opcode);
+
+    OpType opType() const
+    {
+        return static_cast<OpType>(fields_[idx(FieldKind::kOpType)]);
+    }
+    Opcode opcode() const
+    {
+        return static_cast<Opcode>(fields_[idx(FieldKind::kOpcode)]);
+    }
+    Format format() const { return formatFor(opType(), opcode()); }
+
+    /** Generic field access (asserts the kind is valid). */
+    std::uint32_t field(FieldKind kind) const;
+    void setField(FieldKind kind, std::uint32_t value);
+
+    // Convenience accessors for the common fields.
+    bool tail() const { return field(FieldKind::kTail) != 0; }
+    void setTail(bool t) { setField(FieldKind::kTail, t ? 1 : 0); }
+    bool speculative() const { return field(FieldKind::kSpec) != 0; }
+    unsigned src1() const { return field(FieldKind::kSrc1); }
+    unsigned src2() const { return field(FieldKind::kSrc2); }
+    unsigned dest() const { return field(FieldKind::kDest); }
+    unsigned pred() const { return field(FieldKind::kPred); }
+    std::uint32_t imm() const { return field(FieldKind::kImm); }
+    unsigned target() const { return field(FieldKind::kTarget); }
+
+    void setSrc1(unsigned r) { setField(FieldKind::kSrc1, r); }
+    void setSrc2(unsigned r) { setField(FieldKind::kSrc2, r); }
+    void setDest(unsigned r) { setField(FieldKind::kDest, r); }
+    void setPred(unsigned p) { setField(FieldKind::kPred, p); }
+    void setImm(std::uint32_t v) { setField(FieldKind::kImm, v); }
+    void setTarget(unsigned t) { setField(FieldKind::kTarget, t); }
+
+    /** True for memory ops (must issue on a universal unit, §2.1). */
+    bool isMemory() const { return opType() == OpType::kMemory; }
+
+    /** True for control-transfer ops. */
+    bool isBranch() const { return opType() == OpType::kBranch; }
+
+    /** Pack into the 40-bit baseline encoding. */
+    std::uint64_t encode() const;
+
+    /** Unpack a 40-bit baseline encoding. */
+    static Operation decode(std::uint64_t bits);
+
+    /** Check all field values fit their format widths. */
+    bool valid() const;
+
+    /** Disassembly, e.g. "add r3, r1, r2 if p0". */
+    std::string toString() const;
+
+    bool operator==(const Operation &other) const
+    {
+        return fields_ == other.fields_;
+    }
+
+  private:
+    static constexpr unsigned
+    idx(FieldKind kind)
+    {
+        return static_cast<unsigned>(kind);
+    }
+
+    std::array<std::uint32_t, kNumFieldKinds> fields_;
+};
+
+} // namespace tepic::isa
+
+#endif // TEPIC_ISA_OPERATION_HH

@@ -1,0 +1,168 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tepic::isa {
+
+void
+Mop::append(Operation op)
+{
+    if (!ops_.empty())
+        ops_.back().setTail(false);
+    op.setTail(true);
+    ops_.push_back(op);
+}
+
+void
+Mop::fixTailBits()
+{
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+        ops_[i].setTail(i + 1 == ops_.size());
+}
+
+unsigned
+Mop::memoryOps() const
+{
+    unsigned n = 0;
+    for (const auto &op : ops_)
+        if (op.isMemory())
+            ++n;
+    return n;
+}
+
+unsigned
+Mop::branchOps() const
+{
+    unsigned n = 0;
+    for (const auto &op : ops_)
+        if (op.isBranch())
+            ++n;
+    return n;
+}
+
+bool
+Mop::respectsMachine(const MachineConfig &machine) const
+{
+    return size() <= machine.issueWidth &&
+           memoryOps() <= machine.memoryUnits &&
+           branchOps() <= machine.branchUnits;
+}
+
+std::string
+Mop::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (i > 0)
+            os << " | ";
+        os << ops_[i].toString();
+    }
+    return os.str();
+}
+
+std::size_t
+VliwBlock::opCount() const
+{
+    std::size_t n = 0;
+    for (const auto &mop : mops)
+        n += mop.size();
+    return n;
+}
+
+bool
+VliwBlock::endsInBranch() const
+{
+    return !mops.empty() && mops.back().branchOps() > 0;
+}
+
+VliwBlock &
+VliwProgram::addBlock()
+{
+    VliwBlock &blk = blocks_.emplace_back();
+    blk.id = BlockId(blocks_.size() - 1);
+    return blk;
+}
+
+const VliwBlock &
+VliwProgram::block(BlockId id) const
+{
+    TEPIC_ASSERT(id < blocks_.size(), "bad block id ", id);
+    return blocks_[id];
+}
+
+VliwBlock &
+VliwProgram::block(BlockId id)
+{
+    TEPIC_ASSERT(id < blocks_.size(), "bad block id ", id);
+    return blocks_[id];
+}
+
+std::size_t
+VliwProgram::opCount() const
+{
+    std::size_t n = 0;
+    for (const auto &blk : blocks_)
+        n += blk.opCount();
+    return n;
+}
+
+std::size_t
+VliwProgram::mopCount() const
+{
+    std::size_t n = 0;
+    for (const auto &blk : blocks_)
+        n += blk.mops.size();
+    return n;
+}
+
+void
+VliwProgram::validate(const MachineConfig &machine) const
+{
+    TEPIC_ASSERT(!blocks_.empty(), "empty program");
+    TEPIC_ASSERT(entry_ < blocks_.size(), "bad entry block");
+    for (const auto &blk : blocks_) {
+        TEPIC_ASSERT(!blk.mops.empty(), "empty block ", blk.id);
+        for (const auto &mop : blk.mops) {
+            TEPIC_ASSERT(!mop.empty(), "empty MOP in block ", blk.id);
+            TEPIC_ASSERT(mop.respectsMachine(machine),
+                         "MOP violates machine constraints in block ",
+                         blk.id, ": ", mop.toString());
+            for (std::size_t i = 0; i < mop.size(); ++i) {
+                const auto &op = mop.ops()[i];
+                TEPIC_ASSERT(op.valid(), "invalid op: ", op.toString());
+                TEPIC_ASSERT(op.tail() == (i + 1 == mop.size()),
+                             "tail bit broken in block ", blk.id);
+            }
+        }
+        // Branches may only appear in the final MOP (atomic block).
+        for (std::size_t m = 0; m + 1 < blk.mops.size(); ++m) {
+            TEPIC_ASSERT(blk.mops[m].branchOps() == 0,
+                         "interior branch in block ", blk.id);
+        }
+        if (blk.branchTarget != kNoBlock)
+            TEPIC_ASSERT(blk.branchTarget < blocks_.size(),
+                         "bad branch target in block ", blk.id);
+        if (blk.fallthrough != kNoBlock)
+            TEPIC_ASSERT(blk.fallthrough < blocks_.size(),
+                         "bad fallthrough in block ", blk.id);
+    }
+}
+
+std::string
+VliwProgram::toString() const
+{
+    std::ostringstream os;
+    for (const auto &blk : blocks_) {
+        os << "B" << blk.id;
+        if (!blk.label.empty())
+            os << " (" << blk.label << ")";
+        os << ":\n";
+        for (const auto &mop : blk.mops)
+            os << "    " << mop.toString() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace tepic::isa

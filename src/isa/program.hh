@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Scheduled VLIW program representation: MOPs, blocks, program.
+ *
+ * This is the representation the compiler hands to every back-end
+ * consumer: the baseline/compressed/tailored image builders, the
+ * functional emulator and the fetch simulators. Blocks are the paper's
+ * *atomic fetch units* (§3.1): single-entry, executed start-to-end, and
+ * terminated by (at most) one control transfer in the final MOP.
+ */
+
+#ifndef TEPIC_ISA_PROGRAM_HH
+#define TEPIC_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hh"
+#include "isa/operation.hh"
+
+namespace tepic::isa {
+
+/**
+ * A VLIW multi-op: the set of operations issued in one cycle. The tail
+ * bit of the final operation is what delimits MOPs in the zero-NOP
+ * image; Mop re-asserts that invariant whenever ops are added.
+ */
+class Mop
+{
+  public:
+    /** Append an op; maintains tail bits (set only on the last op). */
+    void append(Operation op);
+
+    const std::vector<Operation> &ops() const { return ops_; }
+    std::vector<Operation> &ops() { return ops_; }
+    std::size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** Re-assert the tail-bit invariant after external mutation. */
+    void fixTailBits();
+
+    /** Number of memory operations in this MOP. */
+    unsigned memoryOps() const;
+
+    /** Number of branch operations in this MOP. */
+    unsigned branchOps() const;
+
+    /** Check the MOP against machine issue constraints. */
+    bool respectsMachine(const MachineConfig &machine) const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<Operation> ops_;
+};
+
+/** Identifier of a block within a VliwProgram. */
+using BlockId = std::uint32_t;
+constexpr BlockId kNoBlock = 0xffffffffu;
+
+/**
+ * An atomic fetch block: a basic block of MOPs. Control can only enter
+ * at the first MOP; the block runs to its end and then transfers to
+ * fallthrough() or, if the final MOP holds a taken branch, to that
+ * branch's target block.
+ */
+struct VliwBlock
+{
+    BlockId id = kNoBlock;
+    std::vector<Mop> mops;
+
+    /** Successor on fallthrough / branch-not-taken (kNoBlock = exit). */
+    BlockId fallthrough = kNoBlock;
+
+    /** Static branch target (kNoBlock if last MOP has no branch). */
+    BlockId branchTarget = kNoBlock;
+
+    /** Label for diagnostics (function + index). */
+    std::string label;
+
+    /** Total operations across all MOPs. */
+    std::size_t opCount() const;
+
+    /** True if the final MOP contains a control transfer. */
+    bool endsInBranch() const;
+};
+
+/**
+ * A whole scheduled program: blocks in final layout order. Block
+ * layout order defines the original (uncompressed) address space.
+ */
+class VliwProgram
+{
+  public:
+    VliwBlock &addBlock();
+    const std::vector<VliwBlock> &blocks() const { return blocks_; }
+    std::vector<VliwBlock> &blocks() { return blocks_; }
+
+    const VliwBlock &block(BlockId id) const;
+    VliwBlock &block(BlockId id);
+
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId id) { entry_ = id; }
+
+    /** Static op / MOP counts over the whole program. */
+    std::size_t opCount() const;
+    std::size_t mopCount() const;
+
+    /** Size of the baseline 40-bit image in bits (no ATT). */
+    std::size_t baselineBits() const { return opCount() * kOpBits; }
+
+    /** Validate tail bits, machine constraints and CFG references. */
+    void validate(const MachineConfig &machine) const;
+
+    /** Multi-line disassembly of the whole program. */
+    std::string toString() const;
+
+  private:
+    std::vector<VliwBlock> blocks_;
+    BlockId entry_ = 0;
+};
+
+} // namespace tepic::isa
+
+#endif // TEPIC_ISA_PROGRAM_HH

@@ -1,0 +1,26 @@
+#include "power/bitflips.hh"
+
+#include <bit>
+
+namespace tepic::power {
+
+void
+BusModel::transfer(std::span<const std::uint8_t> bytes)
+{
+    std::size_t i = 0;
+    while (i < bytes.size()) {
+        std::uint64_t beat = 0;
+        for (unsigned b = 0; b < widthBytes_ && b < 8; ++b) {
+            const std::uint8_t byte =
+                i + b < bytes.size() ? bytes[i + b] : 0;
+            beat |= std::uint64_t(byte) << (8 * b);
+        }
+        bitFlips_ += std::uint64_t(std::popcount(beat ^ last_));
+        last_ = beat;
+        ++beats_;
+        i += widthBytes_;
+    }
+    bytes_ += bytes.size();
+}
+
+} // namespace tepic::power

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memory-bus power proxy (§5, Figure 14).
+ *
+ * The paper models power by counting transitions ("bit flips") on the
+ * memory bus during instruction-miss traffic: each beat XORed with the
+ * previous bus state, population count accumulated. Compression saves
+ * power because a given number of flips delivers more instructions.
+ */
+
+#ifndef TEPIC_POWER_BITFLIPS_HH
+#define TEPIC_POWER_BITFLIPS_HH
+
+#include <cstdint>
+#include <span>
+
+namespace tepic::power {
+
+/** A fixed-width memory bus with transition counting. */
+class BusModel
+{
+  public:
+    explicit BusModel(unsigned width_bytes = 8)
+        : widthBytes_(width_bytes) {}
+
+    /**
+     * Transfer @p bytes over the bus (padded to whole beats with
+     * zeros) and account the transitions.
+     */
+    void transfer(std::span<const std::uint8_t> bytes);
+
+    std::uint64_t bitFlips() const { return bitFlips_; }
+    std::uint64_t beats() const { return beats_; }
+    std::uint64_t bytesTransferred() const { return bytes_; }
+    unsigned widthBytes() const { return widthBytes_; }
+
+  private:
+    unsigned widthBytes_;
+    std::uint64_t last_ = 0;  ///< previous bus state (low widthBytes_)
+    std::uint64_t bitFlips_ = 0;
+    std::uint64_t beats_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace tepic::power
+
+#endif // TEPIC_POWER_BITFLIPS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dictionary compression — the related-work comparison point (§6).
+ *
+ * The paper discusses dictionary methods (Liao et al.'s external
+ * pointer model [14], IBM CodePack [9]) as the main alternatives to
+ * its Huffman/tailored schemes. This module implements the natural
+ * operation-granular dictionary scheme so the harness can compare all
+ * three families on equal footing:
+ *
+ *  - the K most frequent whole 40-bit ops enter a dictionary;
+ *  - a dictionary op encodes as `1` + index (log2 K bits);
+ *  - any other op escapes as `0` + the raw 40 bits;
+ *  - blocks stay byte-aligned atomic fetch units, as everywhere else.
+ *
+ * Decoding needs only a K x 40-bit lookup RAM — fast and simple, but
+ * the compression is bounded by the op-frequency skew, which is
+ * exactly the contrast the paper draws against entropy coding.
+ */
+
+#ifndef TEPIC_SCHEMES_DICTIONARY_HH
+#define TEPIC_SCHEMES_DICTIONARY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/image.hh"
+#include "isa/program.hh"
+
+namespace tepic::schemes {
+
+struct DictionaryOptions
+{
+    unsigned entries = 256;  ///< dictionary size (power of two)
+};
+
+/** A dictionary-compressed image. */
+struct DictionaryImage
+{
+    isa::Image image;
+    std::vector<std::uint64_t> dictionary;  ///< index -> 40-bit op
+    unsigned indexBits = 0;
+    std::uint64_t hitOps = 0;     ///< ops encoded via the dictionary
+    std::uint64_t escapeOps = 0;  ///< ops stored raw
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hitOps + escapeOps;
+        return total ? double(hitOps) / double(total) : 0.0;
+    }
+};
+
+/** Build the dictionary image for @p program. */
+DictionaryImage compressDictionary(
+    const isa::VliwProgram &program,
+    const DictionaryOptions &options = {});
+
+/** Expand back to per-block operations (bit-exact). */
+std::vector<std::vector<isa::Operation>>
+decompressDictionary(const DictionaryImage &compressed);
+
+/**
+ * Decoder cost estimate: a K x 40 lookup RAM read through the index
+ * (6 transistors per SRAM cell) plus the escape mux on the 40-bit
+ * output (2 transistors per bit, CMOS transmission gates, matching
+ * the §3.5 modelling style).
+ */
+std::uint64_t dictionaryDecoderTransistors(const DictionaryImage &img);
+
+} // namespace tepic::schemes
+
+#endif // TEPIC_SCHEMES_DICTIONARY_HH

@@ -1,0 +1,208 @@
+#include "schemes/huffman_scheme.hh"
+
+#include <array>
+
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace tepic::schemes {
+
+namespace {
+
+using huffman::CodeTable;
+using huffman::SymbolHistogram;
+using isa::kOpBits;
+using isa::Operation;
+using isa::VliwProgram;
+
+/** Slice the 40-bit op into this config's stream symbols (MSB first). */
+std::vector<std::uint64_t>
+sliceOp(std::uint64_t bits, const std::vector<unsigned> &widths)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(widths.size());
+    unsigned shift = kOpBits;
+    for (unsigned w : widths) {
+        shift -= w;
+        out.push_back((bits >> shift) & ((std::uint64_t(1) << w) - 1));
+    }
+    return out;
+}
+
+/** The five big-endian bytes of a 40-bit op. */
+std::array<std::uint8_t, 5>
+opBytes(std::uint64_t bits)
+{
+    return {std::uint8_t(bits >> 32), std::uint8_t(bits >> 24),
+            std::uint8_t(bits >> 16), std::uint8_t(bits >> 8),
+            std::uint8_t(bits)};
+}
+
+/** Shared image assembly: per block, byte-align then encode each op. */
+template <typename EncodeOp>
+isa::Image
+assembleImage(const VliwProgram &program, const std::string &scheme,
+              EncodeOp &&encode_op)
+{
+    support::BitWriter writer;
+    isa::Image image;
+    image.scheme = scheme;
+    image.blocks.resize(program.blocks().size());
+    for (const auto &blk : program.blocks()) {
+        writer.alignToByte();
+        isa::BlockLayout &layout = image.blocks[blk.id];
+        layout.bitOffset = writer.bitSize();
+        layout.numMops = std::uint32_t(blk.mops.size());
+        layout.numOps = std::uint32_t(blk.opCount());
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                encode_op(op, writer);
+        layout.bitSize = writer.bitSize() - layout.bitOffset;
+    }
+    image.bitSize = writer.bitSize();
+    image.bytes = writer.takeBytes();
+    return image;
+}
+
+} // namespace
+
+const char *
+alphabetName(HuffmanAlphabet alphabet)
+{
+    switch (alphabet) {
+      case HuffmanAlphabet::kByte: return "huff-byte";
+      case HuffmanAlphabet::kStream: return "huff-stream";
+      case HuffmanAlphabet::kFull: return "huff-full";
+    }
+    return "?";
+}
+
+CompressedImage
+compressByte(const VliwProgram &program, const HuffmanOptions &options)
+{
+    SymbolHistogram hist;
+    for (const auto &blk : program.blocks())
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                for (auto byte : opBytes(op.encode()))
+                    hist.add(byte);
+
+    CompressedImage out;
+    out.alphabet = HuffmanAlphabet::kByte;
+    out.tables.push_back(
+        CodeTable::build(hist, options.byteMaxCodeLength));
+    out.symbolBits.push_back(8);
+    const CodeTable &table = out.tables.front();
+    out.image = assembleImage(
+        program, "huff-byte",
+        [&](const Operation &op, support::BitWriter &writer) {
+            for (auto byte : opBytes(op.encode()))
+                table.encode(byte, writer);
+        });
+    return out;
+}
+
+CompressedImage
+compressStream(const VliwProgram &program, const StreamConfig &config,
+               const HuffmanOptions &options)
+{
+    unsigned total = 0;
+    for (unsigned w : config.widths)
+        total += w;
+    TEPIC_ASSERT(total == kOpBits, "stream config '", config.name,
+                 "' widths sum to ", total);
+
+    std::vector<SymbolHistogram> hists(config.streamCount());
+    for (const auto &blk : program.blocks()) {
+        for (const auto &mop : blk.mops) {
+            for (const auto &op : mop.ops()) {
+                const auto symbols =
+                    sliceOp(op.encode(), config.widths);
+                for (std::size_t s = 0; s < symbols.size(); ++s)
+                    hists[s].add(symbols[s]);
+            }
+        }
+    }
+
+    CompressedImage out;
+    out.alphabet = HuffmanAlphabet::kStream;
+    out.streamConfig = config;
+    for (std::size_t s = 0; s < hists.size(); ++s) {
+        out.tables.push_back(
+            CodeTable::build(hists[s], options.maxCodeLength));
+        out.symbolBits.push_back(config.widths[s]);
+    }
+    out.image = assembleImage(
+        program, "huff-stream:" + config.name,
+        [&](const Operation &op, support::BitWriter &writer) {
+            const auto symbols = sliceOp(op.encode(), config.widths);
+            for (std::size_t s = 0; s < symbols.size(); ++s)
+                out.tables[s].encode(symbols[s], writer);
+        });
+    return out;
+}
+
+CompressedImage
+compressFull(const VliwProgram &program, const HuffmanOptions &options)
+{
+    SymbolHistogram hist;
+    for (const auto &blk : program.blocks())
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                hist.add(op.encode());
+
+    CompressedImage out;
+    out.alphabet = HuffmanAlphabet::kFull;
+    out.tables.push_back(CodeTable::build(hist, options.maxCodeLength));
+    out.symbolBits.push_back(kOpBits);
+    const CodeTable &table = out.tables.front();
+    out.image = assembleImage(
+        program, "huff-full",
+        [&](const Operation &op, support::BitWriter &writer) {
+            table.encode(op.encode(), writer);
+        });
+    return out;
+}
+
+std::vector<std::vector<Operation>>
+decompress(const CompressedImage &compressed)
+{
+    const isa::Image &image = compressed.image;
+    std::vector<std::vector<Operation>> result;
+    result.reserve(image.blocks.size());
+    support::BitReader reader(image.bytes.data(), image.bitSize);
+
+    for (const auto &layout : image.blocks) {
+        reader.seek(layout.bitOffset);
+        std::vector<Operation> ops;
+        ops.reserve(layout.numOps);
+        for (std::uint32_t i = 0; i < layout.numOps; ++i) {
+            std::uint64_t bits = 0;
+            switch (compressed.alphabet) {
+              case HuffmanAlphabet::kByte:
+                for (int b = 0; b < 5; ++b) {
+                    bits = (bits << 8) |
+                           compressed.tables[0].decode(reader);
+                }
+                break;
+              case HuffmanAlphabet::kStream:
+                for (std::size_t s = 0;
+                     s < compressed.tables.size(); ++s) {
+                    const unsigned w =
+                        compressed.streamConfig.widths[s];
+                    bits = (bits << w) |
+                           compressed.tables[s].decode(reader);
+                }
+                break;
+              case HuffmanAlphabet::kFull:
+                bits = compressed.tables[0].decode(reader);
+                break;
+            }
+            ops.push_back(Operation::decode(bits));
+        }
+        result.push_back(std::move(ops));
+    }
+    return result;
+}
+
+} // namespace tepic::schemes

@@ -1,0 +1,36 @@
+#include "schemes/stream_config.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::schemes {
+
+const std::vector<StreamConfig> &
+allStreamConfigs()
+{
+    static const std::vector<StreamConfig> configs = {
+        // Header / src1+src2 / middle / dest+L1+pred.
+        {"hdr-src-mid-tail", {9, 10, 10, 11}},
+        // Header / everything to dest / dest / L1+pred.
+        {"hdr-body-dest-pred", {9, 20, 5, 6}},
+        // Equal quarters (field-oblivious).
+        {"quarters", {10, 10, 10, 10}},
+        // Tail+spec+type split from opcode, wide middle.
+        {"tsopt-opc-body-pred", {4, 5, 25, 6}},
+        // Header / two register fields / rest.
+        {"hdr-r1-r2-rest", {9, 5, 5, 21}},
+        // Five byte-wide streams (positional byte split).
+        {"bytes5", {8, 8, 8, 8, 8}},
+    };
+    return configs;
+}
+
+const StreamConfig &
+streamConfigByName(const std::string &name)
+{
+    for (const auto &cfg : allStreamConfigs())
+        if (cfg.name == name)
+            return cfg;
+    TEPIC_FATAL("unknown stream config '", name, "'");
+}
+
+} // namespace tepic::schemes

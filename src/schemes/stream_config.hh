@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Stream-based Huffman alphabet configurations (§2.2, Figure 3).
+ *
+ * A stream configuration cuts every 40-bit operation at fixed bit
+ * positions into independent compression streams; each stream gets its
+ * own Huffman dictionary, and an op's encoding is the concatenation of
+ * its streams' codes. The paper evaluated six configurations and
+ * reported the best-compressing one (`stream_1`) and the one with the
+ * smallest decoder (`stream`); the benchmark harness derives both
+ * labels empirically from the six below.
+ *
+ * The cuts are motivated by the TEPIC field layout (Table 2): the
+ * first 9 bits (T, S, OPT, OPCODE) are format-invariant and extremely
+ * repetitive; the trailing 6 bits (L1, PREDICATE) are almost always
+ * `0, p0`; register fields cluster in between.
+ */
+
+#ifndef TEPIC_SCHEMES_STREAM_CONFIG_HH
+#define TEPIC_SCHEMES_STREAM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace tepic::schemes {
+
+/** One stream split: widths in bits, summing to 40. */
+struct StreamConfig
+{
+    std::string name;
+    std::vector<unsigned> widths;
+
+    unsigned streamCount() const { return unsigned(widths.size()); }
+};
+
+/** The six configurations evaluated by the harness. */
+const std::vector<StreamConfig> &allStreamConfigs();
+
+/** Look up a configuration by name (fatal if unknown). */
+const StreamConfig &streamConfigByName(const std::string &name);
+
+} // namespace tepic::schemes
+
+#endif // TEPIC_SCHEMES_STREAM_CONFIG_HH

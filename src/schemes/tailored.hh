@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tailored-ISA generation (§2.3).
+ *
+ * The tailored ISA re-encodes the program *uncompressed but compact*:
+ * every field gets exactly the width the program's value population
+ * needs, decoded directly by a reprogrammed PLA — no decompression
+ * stage. Structure mirrors the paper:
+ *
+ *  - the Tail bit, OpType and OpCode sit at a fixed position with a
+ *    fixed (program-wide) size, so the decoder finds the format
+ *    without searching;
+ *  - each remaining field of each format maps its used-value set to a
+ *    compact index (this subsumes the paper's register renumbering:
+ *    "if no more than four registers ... it needs only two bits");
+ *  - fields with a single used value, and all Reserved fields, encode
+ *    in zero bits (the decoder regenerates the constant);
+ *  - ops of the same type and code have the same size (§3.4 relies on
+ *    this for miss-path MOP extraction).
+ *
+ * The generator also emits a synthesizable-style Verilog description
+ * of the decoder (the paper's compiler emits Verilog to configure the
+ * PLA) and feeds the PLA cost estimate in src/decoder.
+ */
+
+#ifndef TEPIC_SCHEMES_TAILORED_HH
+#define TEPIC_SCHEMES_TAILORED_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/image.hh"
+#include "isa/program.hh"
+
+namespace tepic::schemes {
+
+/** Compact encoding of one field slot of one format. */
+struct TailoredField
+{
+    isa::FieldKind kind = isa::FieldKind::kReserved;
+    unsigned originalWidth = 0;
+    unsigned width = 0;                 ///< tailored width (0 = implied)
+    std::vector<std::uint32_t> values;  ///< sorted used values; index =
+                                        ///< encoded representation
+};
+
+/** Tailored layout of one format. */
+struct TailoredFormat
+{
+    bool used = false;
+    std::vector<TailoredField> fields;  ///< slots after the header
+    unsigned bodyBits = 0;              ///< sum of field widths
+};
+
+/** The whole tailored ISA for one program. */
+class TailoredIsa
+{
+  public:
+    /** Analyse @p program and build the tailored encoding. */
+    static TailoredIsa build(const isa::VliwProgram &program);
+
+    /** Encode the program into a tailored image (blocks byte-aligned). */
+    isa::Image encode(const isa::VliwProgram &program) const;
+
+    /** Decode a tailored image back to per-block operations. */
+    std::vector<std::vector<isa::Operation>>
+    decode(const isa::Image &image) const;
+
+    /** Encoded size of one op of the given type/code, in bits. */
+    unsigned opBits(isa::OpType type, isa::Opcode opcode) const;
+
+    unsigned opTypeWidth() const { return optWidth_; }
+    unsigned opcodeWidth() const { return opcWidth_; }
+
+    /** Header bits common to every op: Tail + OPT + OPCODE. */
+    unsigned headerBits() const { return 1 + optWidth_ + opcWidth_; }
+
+    const TailoredFormat &format(isa::Format f) const
+    {
+        return formats_[unsigned(f)];
+    }
+
+    /**
+     * Verilog-style decoder description (combinational; one case per
+     * used (type, code) pair expanding the compact fields back to the
+     * 40-bit internal control word).
+     */
+    std::string emitVerilog(const std::string &module_name) const;
+
+    /** Number of distinct (type, opcode) pairs (PLA product terms). */
+    unsigned distinctOpcodes() const;
+
+    /** Total decoder output width (bits regenerated per op). */
+    unsigned controlWordBits() const { return isa::kOpBits; }
+
+  private:
+    // Used OpType values (sorted) and per-type used opcodes.
+    std::vector<std::uint32_t> usedTypes_;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> usedOpcodes_;
+    unsigned optWidth_ = 0;
+    unsigned opcWidth_ = 0;
+    std::array<TailoredFormat, isa::kNumFormats> formats_;
+
+    unsigned typeIndex(std::uint32_t type) const;
+    unsigned opcodeIndex(std::uint32_t type, std::uint32_t opcode) const;
+};
+
+} // namespace tepic::schemes
+
+#endif // TEPIC_SCHEMES_TAILORED_HH

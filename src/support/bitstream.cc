@@ -1,0 +1,66 @@
+#include "support/bitstream.hh"
+
+#include "support/logging.hh"
+
+namespace tepic::support {
+
+void
+BitWriter::writeBits(std::uint64_t value, unsigned width)
+{
+    TEPIC_ASSERT(width <= 64, "bit field too wide: ", width);
+    if (width < 64)
+        TEPIC_ASSERT((value >> width) == 0,
+                     "value ", value, " does not fit in ", width, " bits");
+
+    for (unsigned i = width; i-- > 0;) {
+        const bool bit = (value >> i) & 1;
+        const std::size_t byte_idx = bitSize_ / 8;
+        const unsigned bit_idx = 7 - (bitSize_ % 8);
+        if (byte_idx == bytes_.size())
+            bytes_.push_back(0);
+        if (bit)
+            bytes_[byte_idx] |= std::uint8_t(1u << bit_idx);
+        ++bitSize_;
+    }
+}
+
+void
+BitWriter::alignToByte()
+{
+    while (bitSize_ % 8 != 0)
+        writeBit(false);
+}
+
+std::vector<std::uint8_t>
+BitWriter::takeBytes()
+{
+    bitSize_ = 0;
+    return std::move(bytes_);
+}
+
+std::uint64_t
+BitReader::readBits(unsigned width)
+{
+    TEPIC_ASSERT(width <= 64, "bit field too wide: ", width);
+    TEPIC_ASSERT(pos_ + width <= bitSize_,
+                 "bitstream overrun: pos=", pos_, " width=", width,
+                 " size=", bitSize_);
+
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        const std::size_t byte_idx = pos_ / 8;
+        const unsigned bit_idx = 7 - (pos_ % 8);
+        value = (value << 1) | ((data_[byte_idx] >> bit_idx) & 1);
+        ++pos_;
+    }
+    return value;
+}
+
+void
+BitReader::seek(std::size_t bit_pos)
+{
+    TEPIC_ASSERT(bit_pos <= bitSize_, "seek past end: ", bit_pos);
+    pos_ = bit_pos;
+}
+
+} // namespace tepic::support

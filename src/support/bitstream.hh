@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-granular stream writer and reader.
+ *
+ * Every binary image in this project — the baseline 40-bit TEPIC image,
+ * Huffman-compressed images and Tailored-ISA images — is built and parsed
+ * through these two classes. Bits are stored MSB-first within each byte so
+ * that a dump of the byte vector reads left-to-right in the same order the
+ * bits were emitted, matching the paper's depiction of ops laid out
+ * sequentially in ROM (§3.3).
+ */
+
+#ifndef TEPIC_SUPPORT_BITSTREAM_HH
+#define TEPIC_SUPPORT_BITSTREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tepic::support {
+
+/**
+ * Append-only bit vector. Bits are written MSB-first into successive
+ * bytes; the final byte is zero-padded.
+ */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /** Append the low @p width bits of @p value, MSB of the field first. */
+    void writeBits(std::uint64_t value, unsigned width);
+
+    /** Append a single bit. */
+    void writeBit(bool bit) { writeBits(bit ? 1 : 0, 1); }
+
+    /** Pad with zero bits up to the next byte boundary. */
+    void alignToByte();
+
+    /** Total number of bits written so far. */
+    std::size_t bitSize() const { return bitSize_; }
+
+    /** Size in bytes, rounding the final partial byte up. */
+    std::size_t byteSize() const { return (bitSize_ + 7) / 8; }
+
+    /** The backing bytes (final byte zero-padded). */
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+    /** Move the backing bytes out, leaving the writer empty. */
+    std::vector<std::uint8_t> takeBytes();
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t bitSize_ = 0;
+};
+
+/**
+ * Sequential reader over a byte buffer produced by BitWriter (or any
+ * MSB-first packed image). Reads never pass the end of the buffer;
+ * overrunning is an internal error (the image metadata must bound every
+ * read).
+ */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t bit_size)
+        : data_(data), bitSize_(bit_size) {}
+
+    explicit BitReader(const std::vector<std::uint8_t> &bytes)
+        : BitReader(bytes.data(), bytes.size() * 8) {}
+
+    /** Read @p width bits (MSB of the field first). */
+    std::uint64_t readBits(unsigned width);
+
+    /** Read one bit. */
+    bool readBit() { return readBits(1) != 0; }
+
+    /** Reposition the cursor to an absolute bit offset. */
+    void seek(std::size_t bit_pos);
+
+    /** Current cursor position in bits. */
+    std::size_t position() const { return pos_; }
+
+    /** Bits remaining before the end of the buffer. */
+    std::size_t remaining() const { return bitSize_ - pos_; }
+
+    /** Total readable size in bits. */
+    std::size_t bitSize() const { return bitSize_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t bitSize_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace tepic::support
+
+#endif // TEPIC_SUPPORT_BITSTREAM_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting and logging helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (a bug in this library), fatal() for conditions caused by user input
+ * (bad source program, impossible configuration), warn()/inform() for
+ * non-fatal status messages.
+ */
+
+#ifndef TEPIC_SUPPORT_LOGGING_HH
+#define TEPIC_SUPPORT_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tepic::support {
+
+/** Terminate due to an internal bug. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate due to a user-caused error. Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Stream-concatenate a variadic argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace tepic::support
+
+#define TEPIC_PANIC(...)                                                     \
+    ::tepic::support::panicImpl(__FILE__, __LINE__,                          \
+        ::tepic::support::detail::concat(__VA_ARGS__))
+
+#define TEPIC_FATAL(...)                                                     \
+    ::tepic::support::fatalImpl(__FILE__, __LINE__,                          \
+        ::tepic::support::detail::concat(__VA_ARGS__))
+
+#define TEPIC_WARN(...)                                                      \
+    ::tepic::support::warnImpl(::tepic::support::detail::concat(__VA_ARGS__))
+
+#define TEPIC_INFORM(...)                                                    \
+    ::tepic::support::informImpl(                                            \
+        ::tepic::support::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define TEPIC_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            TEPIC_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);      \
+        }                                                                    \
+    } while (0)
+
+#endif // TEPIC_SUPPORT_LOGGING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Workload generators and property tests need reproducible randomness;
+ * std::mt19937_64 seeded explicitly would also work, but a tiny
+ * SplitMix64 keeps state copyable and the sequences stable across
+ * standard-library implementations.
+ */
+
+#ifndef TEPIC_SUPPORT_RNG_HH
+#define TEPIC_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+#include "support/logging.hh"
+
+namespace tepic::support {
+
+/** SplitMix64 generator (Steele, Lea & Flood 2014). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        TEPIC_ASSERT(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        TEPIC_ASSERT(lo <= hi);
+        return lo + std::int64_t(below(std::uint64_t(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return double(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace tepic::support
+
+#endif // TEPIC_SUPPORT_RNG_HH

@@ -1,0 +1,45 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace tepic::support {
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / double(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values) {
+        TEPIC_ASSERT(v > 0.0, "geomean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / double(values.size()));
+}
+
+} // namespace tepic::support

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulators.
+ */
+
+#ifndef TEPIC_SUPPORT_STATS_HH
+#define TEPIC_SUPPORT_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tepic::support {
+
+/** Running scalar statistic: count, sum, min, max, mean. */
+class ScalarStat
+{
+  public:
+    void
+    sample(double value)
+    {
+        if (count_ == 0) {
+            min_ = max_ = value;
+        } else {
+            min_ = std::min(min_, value);
+            max_ = std::max(max_, value);
+        }
+        sum_ += value;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Integer-keyed histogram. */
+class Histogram
+{
+  public:
+    void sample(std::int64_t key, std::uint64_t weight = 1)
+    {
+        bins_[key] += weight;
+        total_ += weight;
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::map<std::int64_t, std::uint64_t> &bins() const
+    {
+        return bins_;
+    }
+
+    /** Weighted mean of the keys. */
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double acc = 0.0;
+        for (const auto &[k, w] : bins_)
+            acc += double(k) * double(w);
+        return acc / double(total_);
+    }
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+/** Median of a sample vector (used for the paper's "median advantage"). */
+double median(std::vector<double> values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean (all values must be positive). */
+double geomean(const std::vector<double> &values);
+
+} // namespace tepic::support
+
+#endif // TEPIC_SUPPORT_STATS_HH

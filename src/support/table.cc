@@ -1,0 +1,71 @@
+#include "support/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tepic::support {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    TEPIC_ASSERT(row.size() == header_.size(),
+                 "row has ", row.size(), " cells, header has ",
+                 header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            os << row[c]
+               << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    os << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::percent(double ratio, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+    return buf;
+}
+
+} // namespace tepic::support

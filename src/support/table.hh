@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style result tables (one per reproduced figure).
+ */
+
+#ifndef TEPIC_SUPPORT_TABLE_HH
+#define TEPIC_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tepic::support {
+
+/**
+ * Column-aligned text table. Collect a header row plus data rows of
+ * strings, then render with column widths fitted to the contents.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (also fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with single-space-padded, '|'-separated columns. */
+    std::string render() const;
+
+    /** Format a double with @p digits fraction digits. */
+    static std::string num(double value, int digits = 2);
+
+    /** Format a ratio as a percentage string, e.g. "64.3%". */
+    static std::string percent(double ratio, int digits = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tepic::support
+
+#endif // TEPIC_SUPPORT_TABLE_HH

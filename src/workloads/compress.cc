@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `compress`: LZ77-style sliding-window compression over a synthetic
+ * buffer with embedded runs, followed by a frequency-analysis pass.
+ * Shaped after SPECint95 129.compress: byte-granular loops with
+ * data-dependent branches (match search), moderate code size, hot
+ * inner loops that mispredict on match-length boundaries.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kN = 4096;
+constexpr int kWindow = 64;
+constexpr int kMaxMatch = 16;
+
+std::int32_t
+reference()
+{
+    std::int32_t input[kN];
+    Lcg lcg(12345);
+    int i = 0;
+    while (i < kN) {
+        const std::int32_t r = lcg.next();
+        if (r % 4 == 0) {
+            const std::int32_t len = 2 + r % 30;
+            const std::int32_t val = r % 251;
+            int j = 0;
+            while (j < len && i < kN) {
+                input[i] = val;
+                i = i + 1;
+                j = j + 1;
+            }
+        } else {
+            input[i] = r % 256;
+            i = i + 1;
+        }
+    }
+
+    std::int32_t checksum = 0;
+    std::int32_t freq[256] = {0};
+    int pos = 0;
+    while (pos < kN) {
+        int best_len = 0;
+        int best_off = 0;
+        int start = pos - kWindow;
+        if (start < 0)
+            start = 0;
+        for (int cand = start; cand < pos; ++cand) {
+            int len = 0;
+            while (len < kMaxMatch && pos + len < kN &&
+                   input[cand + len] == input[pos + len]) {
+                len = len + 1;
+            }
+            if (len > best_len) {
+                best_len = len;
+                best_off = pos - cand;
+            }
+        }
+        if (best_len >= 3) {
+            checksum = add32(mul32(checksum, 31),
+                             add32(shl32(best_off, 8), best_len));
+            pos = pos + best_len;
+        } else {
+            checksum = add32(mul32(checksum, 31), input[pos]);
+            freq[input[pos] & 255] = freq[input[pos] & 255] + 1;
+            pos = pos + 1;
+        }
+        checksum = checksum ^ shr32(checksum, 17);
+    }
+
+    // Frequency-weighted pass (entropy-coder table build stand-in).
+    std::int32_t weighted = 0;
+    for (int s = 0; s < 256; ++s)
+        weighted = add32(weighted, mul32(freq[s], s + 1));
+    return add32(checksum, weighted);
+}
+
+const char *kSource = R"TINKER(
+var input[4096];
+var freq[256];
+
+var lcg_seed = 0;
+func lcg_init(seed) { lcg_seed = seed; }
+func lcg_next(): int {
+    lcg_seed = lcg_seed * 1103515245 + 12345;
+    return (lcg_seed >> 16) & 32767;
+}
+
+func fill_input() {
+    lcg_init(12345);
+    var i = 0;
+    while (i < 4096) {
+        var r = lcg_next();
+        if (r % 4 == 0) {
+            var len = 2 + r % 30;
+            var val = r % 251;
+            var j = 0;
+            while (j < len && i < 4096) {
+                input[i] = val;
+                i = i + 1;
+                j = j + 1;
+            }
+        } else {
+            input[i] = r % 256;
+            i = i + 1;
+        }
+    }
+}
+
+func best_match(pos): int {
+    // Returns (offset << 8) | length of the best window match.
+    var best_len = 0;
+    var best_off = 0;
+    var start = pos - 64;
+    if (start < 0) { start = 0; }
+    for (var cand = start; cand < pos; cand = cand + 1) {
+        var len = 0;
+        while (len < 16 && pos + len < 4096 &&
+               input[cand + len] == input[pos + len]) {
+            len = len + 1;
+        }
+        if (len > best_len) {
+            best_len = len;
+            best_off = pos - cand;
+        }
+    }
+    return (best_off << 8) | best_len;
+}
+
+func main(): int {
+    fill_input();
+    for (var s = 0; s < 256; s = s + 1) { freq[s] = 0; }
+
+    var checksum = 0;
+    var pos = 0;
+    while (pos < 4096) {
+        var m = best_match(pos);
+        var best_len = m & 255;
+        var best_off = m >> 8;
+        if (best_len >= 3) {
+            checksum = checksum * 31 + ((best_off << 8) + best_len);
+            pos = pos + best_len;
+        } else {
+            checksum = checksum * 31 + input[pos];
+            freq[input[pos] & 255] = freq[input[pos] & 255] + 1;
+            pos = pos + 1;
+        }
+        checksum = checksum ^ (checksum >> 17);
+    }
+
+    var weighted = 0;
+    for (var s = 0; s < 256; s = s + 1) {
+        weighted = weighted + freq[s] * (s + 1);
+    }
+    return checksum + weighted;
+}
+)TINKER";
+
+} // namespace
+
+Workload
+makeCompress()
+{
+    Workload w;
+    w.name = "compress";
+    w.description =
+        "LZ77 window compression + frequency pass (129.compress-shaped)";
+    w.source = kSource;
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

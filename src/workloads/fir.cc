@@ -1,0 +1,132 @@
+/**
+ * @file
+ * `fir`: a 64-tap floating-point FIR filter over 2048 samples — the
+ * DSP-kernel class the paper's §4 highlights: the hot loop is tiny
+ * and fits the 32-op L0 buffer completely, so the Compressed scheme
+ * runs it at uncompressed speed.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kTaps = 64;
+constexpr int kSamples = 2048;
+
+/** Shared coefficient values (windowed-sinc-ish). */
+const double *
+coefTable()
+{
+    static double table[kTaps];
+    static bool built = false;
+    if (!built) {
+        for (int k = 0; k < kTaps; ++k) {
+            const double w =
+                0.54 - 0.46 * std::cos(2.0 * M_PI * k / (kTaps - 1));
+            table[k] = w * std::sin(0.35 * (k - 31.5)) /
+                       (0.35 * (k - 31.5));
+        }
+        built = true;
+    }
+    return table;
+}
+
+std::int32_t
+reference()
+{
+    const double *coef = coefTable();
+    double x[kSamples];
+    Lcg lcg(999);
+    for (int i = 0; i < kSamples; ++i)
+        x[i] = double(lcg.next() % 1000) / 1000.0 - 0.5;
+
+    std::int32_t checksum = 0;
+    double energy = 0.0;
+    for (int n = kTaps - 1; n < kSamples; ++n) {
+        double acc = 0.0;
+        for (int k = 0; k < kTaps; ++k)
+            acc = acc + coef[k] * x[n - k];
+        energy = energy + acc * acc;
+        if (n % 64 == 0)
+            checksum = add32(checksum, std::int32_t(acc * 100000.0));
+    }
+    checksum = add32(checksum, std::int32_t(energy * 1000.0));
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    const double *coef = coefTable();
+    std::ostringstream os;
+    os << "var coef: float[" << kTaps << "] = ";
+    for (int k = 0; k < kTaps; ++k) {
+        char buf[64];
+        // Maximum-precision decimal so the parsed double is bit-equal.
+        std::snprintf(buf, sizeof(buf), "%.17g", coef[k]);
+        std::string lit(buf);
+        if (lit.find('.') == std::string::npos &&
+            lit.find('e') == std::string::npos) {
+            lit += ".0";
+        }
+        // tinkerc has no exponent literals; fall back to a long
+        // fixed-point form when snprintf produced one.
+        if (lit.find('e') != std::string::npos) {
+            std::snprintf(buf, sizeof(buf), "%.25f", coef[k]);
+            lit = buf;
+        }
+        os << (k ? ", " : "") << lit;
+    }
+    os << ";\n"
+       << "var x: float[" << kSamples << "];\n"
+       << kLcgTinkerc
+       << R"TINKER(
+func main(): int {
+    lcg_init(999);
+    for (var i = 0; i < 2048; i = i + 1) {
+        x[i] = float(lcg_next() % 1000) / 1000.0 - 0.5;
+    }
+
+    var checksum = 0;
+    var energy: float = 0.0;
+    for (var n = 63; n < 2048; n = n + 1) {
+        var acc: float = 0.0;
+        for (var k = 0; k < 64; k = k + 1) {
+            acc = acc + coef[k] * x[n - k];
+        }
+        energy = energy + acc * acc;
+        if (n % 64 == 0) {
+            checksum = checksum + int(acc * 100000.0);
+        }
+    }
+    checksum = checksum + int(energy * 1000.0);
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeFir()
+{
+    Workload w;
+    w.name = "fir";
+    w.description = "64-tap FP FIR filter (DSP kernel; fits the L0 "
+                    "buffer)";
+    w.source = buildSource();
+    w.reference = reference;
+    w.isDspKernel = true;
+    return w;
+}
+
+} // namespace tepic::workloads

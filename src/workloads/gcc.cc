@@ -1,0 +1,201 @@
+/**
+ * @file
+ * `gcc`: a reduction-engine stand-in for SPECint95 126.gcc — a large
+ * family of generated "reduce" handlers selected through a binary
+ * dispatch tree (the shape a compiler gives a big switch), plus an
+ * open-addressing symbol table. Dominated by unpredictable indirect
+ * control flow over a wide instruction footprint, exactly the profile
+ * that stresses the ICache in the paper's cache study.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kHandlers = 100;
+constexpr int kIterations = 30000;
+constexpr int kTableSize = 512;
+
+/** Handler semantics, parameterised identically in both worlds. */
+std::int32_t
+reduce(int n, std::int32_t x, std::int32_t y)
+{
+    const int s = n % 13 + 1;
+    const std::int32_t k = wrap32(std::int64_t(n) * 919393 + 77);
+    std::int32_t t = 0;
+    switch (n % 6) {
+      case 0: t = add32(x, y); break;
+      case 1: t = wrap32(std::int64_t(x) - y); break;
+      case 2: t = mul32(x, y); break;
+      case 3: t = x & y; break;
+      case 4: t = x | y; break;
+      case 5: t = x ^ y; break;
+    }
+    t = t ^ shr32(t, s);
+    t = add32(t, k);
+    if (t & 1)
+        t = add32(mul32(t, 3), 1);
+    else
+        t = shr32(t, 1);
+    return t;
+}
+
+const char *kOpNames[6] = {"+", "-", "*", "&", "|", "^"};
+
+std::string
+emitHandlers()
+{
+    std::ostringstream os;
+    for (int n = 0; n < kHandlers; ++n) {
+        const int s = n % 13 + 1;
+        const std::int64_t k = std::int64_t(n) * 919393 + 77;
+        os << "func reduce_" << n << "(x, y): int {\n"
+           << "    var t = x " << kOpNames[n % 6] << " y;\n"
+           << "    t = t ^ (t >> " << s << ");\n"
+           << "    t = t + " << k << ";\n"
+           << "    if (t & 1) { t = t * 3 + 1; } else { t = t >> 1; }\n"
+           << "    return t;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t keys[kTableSize] = {0};
+    std::int32_t vals[kTableSize] = {0};
+
+    auto sym_insert = [&](std::int32_t key, std::int32_t val) {
+        std::int32_t h = mul32(key, 40503) & (kTableSize - 1);
+        for (int probe = 0; probe < 16; ++probe) {
+            const std::int32_t slot = (h + probe) & (kTableSize - 1);
+            if (keys[slot] == 0 || keys[slot] == key) {
+                keys[slot] = key;
+                vals[slot] = val;
+                return;
+            }
+        }
+        keys[h] = key;
+        vals[h] = val;
+    };
+    auto sym_lookup = [&](std::int32_t key) -> std::int32_t {
+        std::int32_t h = mul32(key, 40503) & (kTableSize - 1);
+        for (int probe = 0; probe < 16; ++probe) {
+            const std::int32_t slot = (h + probe) & (kTableSize - 1);
+            if (keys[slot] == key)
+                return vals[slot];
+            if (keys[slot] == 0)
+                return 0 - 1;
+        }
+        return 0 - 1;
+    };
+
+    Lcg lcg(777);
+    std::int32_t a0 = 1, a1 = 2, a2 = 3, a3 = 5;
+    std::int32_t checksum = 0;
+    for (std::int32_t iter = 0; iter < kIterations; ++iter) {
+        const std::int32_t r = lcg.next();
+        const std::int32_t op = r % kHandlers;
+        const std::int32_t x = a0 ^ iter;
+        const std::int32_t y = add32(a1, r);
+        const std::int32_t v = reduce(op, x, y);
+        a0 = a1;
+        a1 = a2;
+        a2 = a3;
+        a3 = v;
+        if (r % 7 == 0) {
+            sym_insert(v | 1, iter);
+        } else if (r % 11 == 0) {
+            checksum = add32(checksum, sym_lookup(v | 1));
+        }
+        checksum = add32(mul32(checksum, 33), shr32(v, 5));
+    }
+    for (int s = 0; s < kTableSize; ++s)
+        checksum = add32(checksum, keys[s] ^ vals[s]);
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var keys[" << kTableSize << "];\n"
+       << "var vals[" << kTableSize << "];\n"
+       << kLcgTinkerc
+       << emitHandlers()
+       << emitBinaryDispatch2("dispatch", "reduce_", kHandlers)
+       << R"TINKER(
+func sym_insert(key, val) {
+    var h = (key * 40503) & 511;
+    for (var probe = 0; probe < 16; probe = probe + 1) {
+        var slot = (h + probe) & 511;
+        if (keys[slot] == 0 || keys[slot] == key) {
+            keys[slot] = key;
+            vals[slot] = val;
+            return;
+        }
+    }
+    keys[h] = key;
+    vals[h] = val;
+}
+
+func sym_lookup(key): int {
+    var h = (key * 40503) & 511;
+    for (var probe = 0; probe < 16; probe = probe + 1) {
+        var slot = (h + probe) & 511;
+        if (keys[slot] == key) { return vals[slot]; }
+        if (keys[slot] == 0) { return 0 - 1; }
+    }
+    return 0 - 1;
+}
+
+func main(): int {
+    lcg_init(777);
+    var a0 = 1; var a1 = 2; var a2 = 3; var a3 = 5;
+    var checksum = 0;
+    for (var iter = 0; iter < )TINKER" << kIterations << R"TINKER(; iter = iter + 1) {
+        var r = lcg_next();
+        var op = r % )TINKER" << kHandlers << R"TINKER(;
+        var x = a0 ^ iter;
+        var y = a1 + r;
+        var v = dispatch(op, x, y);
+        a0 = a1; a1 = a2; a2 = a3; a3 = v;
+        if (r % 7 == 0) {
+            sym_insert(v | 1, iter);
+        } else { if (r % 11 == 0) {
+            checksum = checksum + sym_lookup(v | 1);
+        } }
+        checksum = checksum * 33 + (v >> 5);
+    }
+    for (var s = 0; s < )TINKER" << kTableSize << R"TINKER(; s = s + 1) {
+        checksum = checksum + (keys[s] ^ vals[s]);
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeGcc()
+{
+    Workload w;
+    w.name = "gcc";
+    w.description = "reduction engine with 100 generated handlers and "
+                    "a symbol table (126.gcc-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Source-generation helpers for the workload suite: handler families
+ * and binary dispatch trees. The generated dispatchers model what a
+ * compiler emits for big `switch` statements (tinkerc has no switch),
+ * and give the SPEC-shaped workloads their instruction footprint.
+ */
+
+#ifndef TEPIC_WORKLOADS_GEN_HH
+#define TEPIC_WORKLOADS_GEN_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tepic::workloads {
+
+/**
+ * Emit `func <name>(op, x, y): int` that binary-searches op in
+ * [0, count) and tail-calls `<prefix><k>(x, y)`.
+ */
+inline std::string
+emitBinaryDispatch2(const std::string &name, const std::string &prefix,
+                    int count)
+{
+    std::ostringstream os;
+    std::function<void(int, int, int)> emit = [&](int lo, int hi,
+                                                  int depth) {
+        const std::string pad(std::size_t(depth) * 4 + 4, ' ');
+        if (hi - lo == 1) {
+            os << pad << "return " << prefix << lo << "(x, y);\n";
+            return;
+        }
+        const int mid = lo + (hi - lo) / 2;
+        os << pad << "if (op < " << mid << ") {\n";
+        emit(lo, mid, depth + 1);
+        os << pad << "} else {\n";
+        emit(mid, hi, depth + 1);
+        os << pad << "}\n";
+    };
+    os << "func " << name << "(op, x, y): int {\n";
+    emit(0, count, 0);
+    os << "}\n";
+    return os.str();
+}
+
+/** Single-argument variant: `<prefix><k>(x)`. */
+inline std::string
+emitBinaryDispatch1(const std::string &name, const std::string &prefix,
+                    int count)
+{
+    std::ostringstream os;
+    std::function<void(int, int, int)> emit = [&](int lo, int hi,
+                                                  int depth) {
+        const std::string pad(std::size_t(depth) * 4 + 4, ' ');
+        if (hi - lo == 1) {
+            os << pad << "return " << prefix << lo << "(x);\n";
+            return;
+        }
+        const int mid = lo + (hi - lo) / 2;
+        os << pad << "if (op < " << mid << ") {\n";
+        emit(lo, mid, depth + 1);
+        os << pad << "} else {\n";
+        emit(mid, hi, depth + 1);
+        os << pad << "}\n";
+    };
+    os << "func " << name << "(op, x): int {\n";
+    emit(0, count, 0);
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace tepic::workloads
+
+#endif // TEPIC_WORKLOADS_GEN_HH

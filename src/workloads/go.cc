@@ -1,0 +1,172 @@
+/**
+ * @file
+ * `go`: board-evaluation stand-in for SPECint95 099.go — a 19x19
+ * board, neighbourhood pattern extraction with edge-condition
+ * branches, 36 generated pattern scorers behind a dispatch tree, and a
+ * periodic influence-decay sweep. Highly branchy with data-dependent
+ * outcomes, one of the benchmarks where the paper's Compressed scheme
+ * loses to Base.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kSide = 19;
+constexpr int kPoints = kSide * kSide;  // 361
+constexpr int kScorers = 36;
+constexpr int kIterations = 6000;
+
+std::int32_t
+score(int n, std::int32_t x)
+{
+    std::int32_t t = add32(mul32(x, n % 7 + 1), n * 13);
+    t = t ^ shr32(t, n % 11 + 1);
+    if (t % 3 == 0)
+        t = add32(t, n);
+    else
+        t = wrap32(std::int64_t(t) - n);
+    return t % 128;
+}
+
+std::string
+emitScorers()
+{
+    std::ostringstream os;
+    for (int n = 0; n < kScorers; ++n) {
+        os << "func score_" << n << "(x): int {\n"
+           << "    var t = x * " << n % 7 + 1 << " + " << n * 13
+           << ";\n"
+           << "    t = t ^ (t >> " << n % 11 + 1 << ");\n"
+           << "    if (t % 3 == 0) { t = t + " << n
+           << "; } else { t = t - " << n << "; }\n"
+           << "    return t % 128;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t board[kPoints];
+    std::int32_t influence[kPoints] = {0};
+    Lcg lcg(4242);
+    for (int i = 0; i < kPoints; ++i)
+        board[i] = lcg.next() % 3;
+
+    std::int32_t checksum = 0;
+    for (std::int32_t iter = 0; iter < kIterations; ++iter) {
+        const std::int32_t r = lcg.next();
+        const std::int32_t p = r % kPoints;
+        const std::int32_t row = p / kSide;
+        const std::int32_t col = p % kSide;
+        std::int32_t up = 0;
+        std::int32_t down = 0;
+        std::int32_t left = 0;
+        std::int32_t right = 0;
+        if (row > 0)
+            up = board[p - kSide];
+        if (row < kSide - 1)
+            down = board[p + kSide];
+        if (col > 0)
+            left = board[p - 1];
+        if (col < kSide - 1)
+            right = board[p + 1];
+        const std::int32_t code =
+            (up + left * 3 + down * 9 + right * 27) % 36;
+        const std::int32_t s =
+            score(code, add32(mul32(board[p], 64), p));
+        influence[p] = add32(influence[p], s);
+        board[p] = (add32(board[p], s & 3)) % 3;
+        checksum = add32(mul32(checksum, 7), s);
+
+        if (iter % 300 == 299) {
+            for (int i = 0; i < kPoints; ++i) {
+                influence[i] = wrap32(std::int64_t(influence[i]) -
+                                      shr32(influence[i], 2));
+            }
+        }
+    }
+    for (int i = 0; i < kPoints; ++i) {
+        checksum = add32(checksum, mul32(influence[i], i % 17));
+        checksum = checksum ^ board[i];
+    }
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var board[" << kPoints << "];\n"
+       << "var influence[" << kPoints << "];\n"
+       << kLcgTinkerc
+       << emitScorers()
+       << emitBinaryDispatch1("score_dispatch", "score_", kScorers)
+       << R"TINKER(
+func decay() {
+    for (var i = 0; i < 361; i = i + 1) {
+        influence[i] = influence[i] - (influence[i] >> 2);
+    }
+}
+
+func main(): int {
+    lcg_init(4242);
+    for (var i = 0; i < 361; i = i + 1) {
+        board[i] = lcg_next() % 3;
+        influence[i] = 0;
+    }
+
+    var checksum = 0;
+    for (var iter = 0; iter < )TINKER" << kIterations
+       << R"TINKER(; iter = iter + 1) {
+        var r = lcg_next();
+        var p = r % 361;
+        var row = p / 19;
+        var col = p % 19;
+        var up = 0; var down = 0; var left = 0; var right = 0;
+        if (row > 0) { up = board[p - 19]; }
+        if (row < 18) { down = board[p + 19]; }
+        if (col > 0) { left = board[p - 1]; }
+        if (col < 18) { right = board[p + 1]; }
+        var code = (up + left * 3 + down * 9 + right * 27) % 36;
+        var s = score_dispatch(code, board[p] * 64 + p);
+        influence[p] = influence[p] + s;
+        board[p] = (board[p] + (s & 3)) % 3;
+        checksum = checksum * 7 + s;
+
+        if (iter % 300 == 299) { decay(); }
+    }
+    for (var i = 0; i < 361; i = i + 1) {
+        checksum = checksum + influence[i] * (i % 17);
+        checksum = checksum ^ board[i];
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeGo()
+{
+    Workload w;
+    w.name = "go";
+    w.description = "19x19 board evaluation with 36 generated pattern "
+                    "scorers (099.go-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

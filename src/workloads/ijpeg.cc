@@ -1,0 +1,174 @@
+/**
+ * @file
+ * `ijpeg`: integer-DCT image compression stand-in for SPECint95
+ * 132.ijpeg — fixed-point 8x8 forward DCT over a stream of blocks,
+ * quantisation, and a colour-space transform. Loop-dominated with
+ * high ILP in the inner products; small hot footprint (the paper's
+ * ijpeg is another benchmark where Compressed trails Base — tight
+ * loops blunt the compressed cache's capacity advantage).
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kBlocks = 48;
+constexpr int kPixels = 4096;
+
+/** Fixed-point DCT basis, scaled by 1024: shared literal source. */
+const std::int32_t *
+cosTable()
+{
+    static std::int32_t table[64];
+    static bool built = false;
+    if (!built) {
+        for (int u = 0; u < 8; ++u)
+            for (int x = 0; x < 8; ++x)
+                table[u * 8 + x] = std::int32_t(std::lround(
+                    std::cos((2 * x + 1) * u * M_PI / 16.0) * 1024.0));
+        built = true;
+    }
+    return table;
+}
+
+std::int32_t
+reference()
+{
+    const std::int32_t *ctab = cosTable();
+    Lcg lcg(31415);
+    std::int32_t checksum = 0;
+
+    std::int32_t block[64];
+    std::int32_t rowres[64];
+    for (int b = 0; b < kBlocks; ++b) {
+        for (int i = 0; i < 64; ++i)
+            block[i] = lcg.next() % 256 - 128;
+        // Row pass.
+        for (int y = 0; y < 8; ++y) {
+            for (int u = 0; u < 8; ++u) {
+                std::int32_t sum = 0;
+                for (int x = 0; x < 8; ++x)
+                    sum = add32(sum, mul32(block[y * 8 + x],
+                                           ctab[u * 8 + x]));
+                rowres[y * 8 + u] = sum / 1024;
+            }
+        }
+        // Column pass + quantisation.
+        for (int u = 0; u < 8; ++u) {
+            for (int v = 0; v < 8; ++v) {
+                std::int32_t sum = 0;
+                for (int y = 0; y < 8; ++y)
+                    sum = add32(sum, mul32(rowres[y * 8 + u],
+                                           ctab[v * 8 + y]));
+                const std::int32_t coef = sum / 1024;
+                const std::int32_t q = 8 + (u + v) * 4;
+                const std::int32_t val = coef / q;
+                checksum = add32(checksum,
+                                 mul32(val, (u * 8 + v) % 13 + 1));
+            }
+        }
+        checksum = checksum ^ shr32(checksum, 11);
+    }
+
+    // Colour transform pass over a pixel stream.
+    for (int i = 0; i < kPixels; ++i) {
+        const std::int32_t r = lcg.next() % 256;
+        const std::int32_t g = lcg.next() % 256;
+        const std::int32_t bl = lcg.next() % 256;
+        const std::int32_t y =
+            shr32(add32(add32(mul32(r, 77), mul32(g, 151)),
+                        mul32(bl, 28)), 8);
+        const std::int32_t cb = shr32(wrap32(std::int64_t(bl) - y), 1);
+        checksum = add32(checksum, add32(y, cb & 15));
+    }
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    const std::int32_t *ctab = cosTable();
+    std::ostringstream os;
+    os << "var ctab[64] = ";
+    for (int i = 0; i < 64; ++i)
+        os << (i ? ", " : "") << ctab[i];
+    os << ";\n"
+       << "var block[64];\n"
+       << "var rowres[64];\n"
+       << kLcgTinkerc
+       << R"TINKER(
+func dct_block(): int {
+    // Row pass.
+    for (var y = 0; y < 8; y = y + 1) {
+        for (var u = 0; u < 8; u = u + 1) {
+            var sum = 0;
+            for (var x = 0; x < 8; x = x + 1) {
+                sum = sum + block[y * 8 + x] * ctab[u * 8 + x];
+            }
+            rowres[y * 8 + u] = sum / 1024;
+        }
+    }
+    // Column pass + quantisation, returning the block's contribution.
+    var acc = 0;
+    for (var u = 0; u < 8; u = u + 1) {
+        for (var v = 0; v < 8; v = v + 1) {
+            var sum = 0;
+            for (var y = 0; y < 8; y = y + 1) {
+                sum = sum + rowres[y * 8 + u] * ctab[v * 8 + y];
+            }
+            var coef = sum / 1024;
+            var q = 8 + (u + v) * 4;
+            var val = coef / q;
+            acc = acc + val * ((u * 8 + v) % 13 + 1);
+        }
+    }
+    return acc;
+}
+
+func main(): int {
+    lcg_init(31415);
+    var checksum = 0;
+    for (var b = 0; b < )TINKER" << kBlocks << R"TINKER(; b = b + 1) {
+        for (var i = 0; i < 64; i = i + 1) {
+            block[i] = lcg_next() % 256 - 128;
+        }
+        checksum = checksum + dct_block();
+        checksum = checksum ^ (checksum >> 11);
+    }
+
+    for (var i = 0; i < )TINKER" << kPixels << R"TINKER(; i = i + 1) {
+        var r = lcg_next() % 256;
+        var g = lcg_next() % 256;
+        var bl = lcg_next() % 256;
+        var y = (r * 77 + g * 151 + bl * 28) >> 8;
+        var cb = (bl - y) >> 1;
+        checksum = checksum + y + (cb & 15);
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeIjpeg()
+{
+    Workload w;
+    w.name = "ijpeg";
+    w.description = "fixed-point 8x8 DCT + colour transform "
+                    "(132.ijpeg-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

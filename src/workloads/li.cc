@@ -1,0 +1,191 @@
+/**
+ * @file
+ * `li`: a list-processing stand-in for SPECint95 130.li — cons cells
+ * allocated from twin car/cdr arenas, build/map/filter/fold passes
+ * and a recursive fold (deep call chains exercise the stack and the
+ * call/return prediction path of the ATB).
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kArena = 16384;
+constexpr int kGenerations = 40;
+constexpr int kListLen = 350;
+constexpr int kXforms = 96;
+
+/** Element transform, parameterised identically in both worlds. */
+std::int32_t
+xform(int n, std::int32_t x)
+{
+    std::int32_t t = add32(mul32(x, n % 9 + 2), n * 6151);
+    t = t ^ shr32(t, n % 8 + 3);
+    t = add32(t, mul32(t & 255, n % 5 + 1));
+    return t % 9973;
+}
+
+std::string
+emitXforms()
+{
+    std::ostringstream os;
+    for (int n = 0; n < kXforms; ++n) {
+        os << "func xform_" << n << "(x): int {\n"
+           << "    var t = x * " << n % 9 + 2 << " + " << n * 6151
+           << ";\n"
+           << "    t = t ^ (t >> " << n % 8 + 3 << ");\n"
+           << "    t = t + (t & 255) * " << n % 5 + 1 << ";\n"
+           << "    return t % 9973;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t car[kArena];
+    std::int32_t cdr[kArena];
+    std::int32_t freep = 1;
+
+    auto cons = [&](std::int32_t a, std::int32_t d) {
+        car[freep] = a;
+        cdr[freep] = d;
+        freep = freep + 1;
+        return freep - 1;
+    };
+    std::function<std::int32_t(std::int32_t)> sum_list =
+        [&](std::int32_t l) -> std::int32_t {
+        if (l == 0)
+            return 0;
+        return add32(car[l], sum_list(cdr[l]));
+    };
+    std::function<std::int32_t(std::int32_t)> length =
+        [&](std::int32_t l) -> std::int32_t {
+        if (l == 0)
+            return 0;
+        return add32(1, length(cdr[l]));
+    };
+
+    std::int32_t checksum = 0;
+    Lcg lcg(2718);
+    for (std::int32_t gen = 0; gen < kGenerations; ++gen) {
+        freep = 1;
+        std::int32_t list = 0;
+        for (int i = 0; i < kListLen; ++i)
+            list = cons(lcg.next(), list);
+
+        // map: per-element generated transform (builds in reverse).
+        std::int32_t mapped = 0;
+        std::int32_t opi = gen;
+        for (std::int32_t l = list; l != 0; l = cdr[l]) {
+            mapped = cons(xform(opi % kXforms, car[l]), mapped);
+            opi = opi + 1;
+        }
+
+        // filter: odd elements only (reverses again).
+        std::int32_t odds = 0;
+        for (std::int32_t l = mapped; l != 0; l = cdr[l])
+            if (car[l] & 1)
+                odds = cons(car[l], odds);
+
+        checksum = add32(checksum,
+                         mul32(sum_list(odds), gen + 1));
+        checksum = add32(checksum, length(mapped));
+        checksum = checksum ^ shr32(checksum, 13);
+    }
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var car_[" << kArena << "];\n"
+       << "var cdr_[" << kArena << "];\n"
+       << "var freep = 1;\n"
+       << kLcgTinkerc
+       << emitXforms()
+       << emitBinaryDispatch1("xform_dispatch", "xform_", kXforms)
+       << R"TINKER(
+func cons(a, d): int {
+    car_[freep] = a;
+    cdr_[freep] = d;
+    freep = freep + 1;
+    return freep - 1;
+}
+
+func sum_list(l): int {
+    if (l == 0) { return 0; }
+    return car_[l] + sum_list(cdr_[l]);
+}
+
+func length(l): int {
+    if (l == 0) { return 0; }
+    return 1 + length(cdr_[l]);
+}
+
+func map_xform(list, gen): int {
+    var mapped = 0;
+    var opi = gen;
+    for (var l = list; l != 0; l = cdr_[l]) {
+        mapped = cons(xform_dispatch(opi % 96, car_[l]), mapped);
+        opi = opi + 1;
+    }
+    return mapped;
+}
+
+func filter_odd(list): int {
+    var odds = 0;
+    for (var l = list; l != 0; l = cdr_[l]) {
+        if (car_[l] & 1) { odds = cons(car_[l], odds); }
+    }
+    return odds;
+}
+
+func main(): int {
+    lcg_init(2718);
+    var checksum = 0;
+    for (var gen = 0; gen < )TINKER" << kGenerations
+       << R"TINKER(; gen = gen + 1) {
+        freep = 1;
+        var list = 0;
+        for (var i = 0; i < )TINKER" << kListLen
+       << R"TINKER(; i = i + 1) {
+            list = cons(lcg_next(), list);
+        }
+        var mapped = map_xform(list, gen);
+        var odds = filter_odd(mapped);
+        checksum = checksum + sum_list(odds) * (gen + 1);
+        checksum = checksum + length(mapped);
+        checksum = checksum ^ (checksum >> 13);
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeLi()
+{
+    Workload w;
+    w.name = "li";
+    w.description = "cons-arena list build/map/filter/fold with deep "
+                    "recursion and 96 generated transforms "
+                    "(130.li-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * `m88ksim`: an instruction-set-interpreter stand-in for SPECint95
+ * 124.m88ksim — a fetch/decode/execute loop over synthetic
+ * instruction memory with a 16-way major-opcode decode, 32 generated
+ * ALU sub-handlers behind a dispatch tree, a register file and a data
+ * memory. The dispatch loop's unpredictable branches made m88ksim one
+ * of the paper's Compressed-loses-to-Base cases.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kImem = 2048;
+constexpr int kDmem = 1024;
+constexpr int kAluOps = 32;
+constexpr int kSteps = 60000;
+
+std::int32_t
+alu(int n, std::int32_t x, std::int32_t y)
+{
+    std::int32_t t;
+    switch (n % 4) {
+      case 0: t = add32(x, y); break;
+      case 1: t = x ^ y; break;
+      case 2: t = wrap32(std::int64_t(x) - y); break;
+      default: t = x | y; break;
+    }
+    t = add32(t, mul32(n, 2654435));
+    t = t ^ shr32(t, n % 9 + 2);
+    if (t < 0)
+        t = wrap32(std::int64_t(0) - t);
+    return t;
+}
+
+std::string
+emitAluHandlers()
+{
+    static const char *ops[4] = {"+", "^", "-", "|"};
+    std::ostringstream os;
+    for (int n = 0; n < kAluOps; ++n) {
+        os << "func alu_" << n << "(x, y): int {\n"
+           << "    var t = x " << ops[n % 4] << " y;\n"
+           << "    t = t + " << std::int64_t(n) * 2654435 << ";\n"
+           << "    t = t ^ (t >> " << n % 9 + 2 << ");\n"
+           << "    if (t < 0) { t = 0 - t; }\n"
+           << "    return t;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t imem[kImem];
+    std::int32_t dmem[kDmem] = {0};
+    std::int32_t regs[16];
+
+    Lcg lcg(88000);
+    for (int i = 0; i < kImem; ++i)
+        imem[i] = lcg.next();
+    for (int i = 0; i < 16; ++i)
+        regs[i] = i * 3 + 1;
+
+    std::int32_t pc = 0;
+    std::int32_t checksum = 0;
+    for (std::int32_t step = 0; step < kSteps; ++step) {
+        const std::int32_t ins = imem[pc];
+        const std::int32_t op = shr32(ins, 11) & 15;
+        const std::int32_t rd = shr32(ins, 7) & 15;
+        const std::int32_t rs = shr32(ins, 3) & 15;
+        const std::int32_t imm = ins & 127;
+        std::int32_t next_pc = (pc + 1) % kImem;
+
+        if (op < 8) {
+            const std::int32_t subop = op * 4 + (ins & 3);
+            regs[rd] = alu(subop, regs[rs], regs[(rd + rs) & 15]);
+        } else if (op == 8) {
+            regs[rd] = dmem[(add32(regs[rs], imm)) & (kDmem - 1)];
+        } else if (op == 9) {
+            dmem[(add32(regs[rs], imm)) & (kDmem - 1)] = regs[rd];
+        } else if (op == 10) {
+            if (regs[rs] != 0)
+                next_pc = (add32(pc, imm)) % kImem;
+        } else if (op == 11) {
+            regs[rd] = imm;
+        } else if (op == 12) {
+            regs[rd] = regs[rs] < regs[(rd + 1) & 15] ? 1 : 0;
+        } else if (op == 13) {
+            regs[rd] = shl32(regs[rs], imm & 7);
+        } else if (op == 14) {
+            regs[rd] = shr32(regs[rs], imm & 7);
+        } else {
+            checksum = add32(checksum, regs[rs]);
+        }
+        pc = next_pc;
+    }
+
+    for (int i = 0; i < 16; ++i)
+        checksum = checksum ^ regs[i];
+    checksum = add32(checksum, pc);
+    for (int i = 0; i < kDmem; i += 64)
+        checksum = add32(checksum, dmem[i]);
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var imem[" << kImem << "];\n"
+       << "var dmem[" << kDmem << "];\n"
+       << "var regs[16];\n"
+       << kLcgTinkerc
+       << emitAluHandlers()
+       << emitBinaryDispatch2("alu_dispatch", "alu_", kAluOps)
+       << R"TINKER(
+func main(): int {
+    lcg_init(88000);
+    for (var i = 0; i < 2048; i = i + 1) { imem[i] = lcg_next(); }
+    for (var i = 0; i < 16; i = i + 1) { regs[i] = i * 3 + 1; }
+
+    var pc = 0;
+    var checksum = 0;
+    for (var step = 0; step < )TINKER" << kSteps
+       << R"TINKER(; step = step + 1) {
+        var ins = imem[pc];
+        var op = (ins >> 11) & 15;
+        var rd = (ins >> 7) & 15;
+        var rs = (ins >> 3) & 15;
+        var imm = ins & 127;
+        var next_pc = (pc + 1) % 2048;
+
+        if (op < 8) {
+            var subop = op * 4 + (ins & 3);
+            regs[rd] = alu_dispatch(subop, regs[rs],
+                                    regs[(rd + rs) & 15]);
+        } else { if (op == 8) {
+            regs[rd] = dmem[(regs[rs] + imm) & 1023];
+        } else { if (op == 9) {
+            dmem[(regs[rs] + imm) & 1023] = regs[rd];
+        } else { if (op == 10) {
+            if (regs[rs] != 0) { next_pc = (pc + imm) % 2048; }
+        } else { if (op == 11) {
+            regs[rd] = imm;
+        } else { if (op == 12) {
+            if (regs[rs] < regs[(rd + 1) & 15]) { regs[rd] = 1; }
+            else { regs[rd] = 0; }
+        } else { if (op == 13) {
+            regs[rd] = regs[rs] << (imm & 7);
+        } else { if (op == 14) {
+            regs[rd] = regs[rs] >> (imm & 7);
+        } else {
+            checksum = checksum + regs[rs];
+        } } } } } } } }
+        pc = next_pc;
+    }
+
+    for (var i = 0; i < 16; i = i + 1) { checksum = checksum ^ regs[i]; }
+    checksum = checksum + pc;
+    for (var i = 0; i < 1024; i = i + 64) {
+        checksum = checksum + dmem[i];
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeM88ksim()
+{
+    Workload w;
+    w.name = "m88ksim";
+    w.description = "synthetic-ISA interpreter with 32 generated ALU "
+                    "handlers (124.m88ksim-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * `matmul`: repeated 24x24 integer matrix multiply with feedback — the
+ * second DSP-style kernel: three tight nested loops with high ILP and
+ * a small instruction footprint.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kDim = 24;
+constexpr int kReps = 40;
+
+std::int32_t
+reference()
+{
+    std::int32_t a[kDim * kDim];
+    std::int32_t b[kDim * kDim];
+    std::int32_t c[kDim * kDim];
+    Lcg lcg(606);
+    for (int i = 0; i < kDim * kDim; ++i) {
+        a[i] = lcg.next() % 100;
+        b[i] = lcg.next() % 100;
+    }
+
+    std::int32_t checksum = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        for (int i = 0; i < kDim; ++i) {
+            for (int j = 0; j < kDim; ++j) {
+                std::int32_t sum = 0;
+                for (int k = 0; k < kDim; ++k)
+                    sum = add32(sum, mul32(a[i * kDim + k],
+                                           b[k * kDim + j]));
+                c[i * kDim + j] = sum;
+            }
+        }
+        for (int i = 0; i < kDim * kDim; ++i) {
+            checksum = checksum ^ c[i];
+            a[i] = c[i] & 1023;
+        }
+        checksum = add32(checksum, rep);
+    }
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var a[" << kDim * kDim << "];\n"
+       << "var b[" << kDim * kDim << "];\n"
+       << "var c[" << kDim * kDim << "];\n"
+       << kLcgTinkerc
+       << R"TINKER(
+func main(): int {
+    lcg_init(606);
+    for (var i = 0; i < 576; i = i + 1) {
+        a[i] = lcg_next() % 100;
+        b[i] = lcg_next() % 100;
+    }
+
+    var checksum = 0;
+    for (var rep = 0; rep < )TINKER" << kReps
+       << R"TINKER(; rep = rep + 1) {
+        for (var i = 0; i < 24; i = i + 1) {
+            for (var j = 0; j < 24; j = j + 1) {
+                var sum = 0;
+                for (var k = 0; k < 24; k = k + 1) {
+                    sum = sum + a[i * 24 + k] * b[k * 24 + j];
+                }
+                c[i * 24 + j] = sum;
+            }
+        }
+        for (var i = 0; i < 576; i = i + 1) {
+            checksum = checksum ^ c[i];
+            a[i] = c[i] & 1023;
+        }
+        checksum = checksum + rep;
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeMatmul()
+{
+    Workload w;
+    w.name = "matmul";
+    w.description = "24x24 integer matmul with feedback (DSP kernel)";
+    w.source = buildSource();
+    w.reference = reference;
+    w.isDspKernel = true;
+    return w;
+}
+
+} // namespace tepic::workloads

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * `perl`: a string/associative-array stand-in for SPECint95 134.perl —
+ * word synthesis into byte buffers, djb2 hashing, an open-addressing
+ * hash table, and 128 generated "builtin" handlers dispatched on the
+ * hash (interpreter-style op dispatch).
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kTable = 1024;
+constexpr int kBuiltins = 128;
+constexpr int kIterations = 12000;
+
+std::int32_t
+builtin(int n, std::int32_t x)
+{
+    std::int32_t t = mul32(x, n % 5 + 3);
+    t = add32(t, mul32(n, 104729));
+    t = t ^ shr32(t, n % 7 + 4);
+    t = add32(mul32(t, 2621), n * 1013904);
+    t = t ^ shl32(t, n % 4 + 2);
+    if ((t & 7) == n % 8)
+        t = add32(t, 911);
+    return t % 65536;
+}
+
+std::string
+emitBuiltins()
+{
+    std::ostringstream os;
+    for (int n = 0; n < kBuiltins; ++n) {
+        os << "func builtin_" << n << "(x): int {\n"
+           << "    var t = x * " << n % 5 + 3 << ";\n"
+           << "    t = t + " << std::int64_t(n) * 104729 << ";\n"
+           << "    t = t ^ (t >> " << n % 7 + 4 << ");\n"
+           << "    t = t * 2621 + " << std::int64_t(n) * 1013904
+           << ";\n"
+           << "    t = t ^ (t << " << n % 4 + 2 << ");\n"
+           << "    if ((t & 7) == " << n % 8
+           << ") { t = t + 911; }\n"
+           << "    return t % 65536;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t hkeys[kTable] = {0};
+    std::int32_t hvals[kTable] = {0};
+    Lcg lcg(13);
+    std::int32_t checksum = 0;
+
+    for (std::int32_t iter = 0; iter < kIterations; ++iter) {
+        const std::int32_t r = lcg.next();
+        const std::int32_t len = 3 + r % 10;
+        std::int32_t h = 5381;
+        for (std::int32_t j = 0; j < len; ++j) {
+            const std::int32_t c = lcg.next() % 96 + 32;
+            h = add32(mul32(h, 33), c);
+        }
+        const std::int32_t key = h | 1;
+
+        // Insert or bump.
+        std::int32_t slot = (h & 0x7fffffff) % kTable;
+        bool stored = false;
+        for (int probe = 0; probe < 8 && !stored; ++probe) {
+            const std::int32_t s =
+                wrap32(std::int64_t(slot) + probe) % kTable;
+            if (hkeys[s] == 0 || hkeys[s] == key) {
+                hkeys[s] = key;
+                hvals[s] = add32(hvals[s], 1);
+                stored = true;
+            }
+        }
+        if (!stored)
+            checksum = add32(checksum, 1);
+
+        const std::int32_t op = (h & 0x7fffffff) % kBuiltins;
+        const std::int32_t b = builtin(op, h);
+        checksum = add32(mul32(checksum, 131), b);
+    }
+    for (int s = 0; s < kTable; ++s)
+        checksum = add32(checksum,
+                         mul32(hvals[s], (hkeys[s] & 255) + 1));
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var hkeys[" << kTable << "];\n"
+       << "var hvals[" << kTable << "];\n"
+       << kLcgTinkerc
+       << emitBuiltins()
+       << emitBinaryDispatch1("builtin_dispatch", "builtin_",
+                              kBuiltins)
+       << R"TINKER(
+func table_bump(key, h): int {
+    // Returns 1 when the table was full along the probe path.
+    var slot = (h & 0x7FFFFFFF) % 1024;
+    for (var probe = 0; probe < 8; probe = probe + 1) {
+        var s = (slot + probe) % 1024;
+        if (hkeys[s] == 0 || hkeys[s] == key) {
+            hkeys[s] = key;
+            hvals[s] = hvals[s] + 1;
+            return 0;
+        }
+    }
+    return 1;
+}
+
+func main(): int {
+    lcg_init(13);
+    var checksum = 0;
+    for (var iter = 0; iter < )TINKER" << kIterations
+       << R"TINKER(; iter = iter + 1) {
+        var r = lcg_next();
+        var len = 3 + r % 10;
+        var h = 5381;
+        for (var j = 0; j < len; j = j + 1) {
+            var c = lcg_next() % 96 + 32;
+            h = h * 33 + c;
+        }
+        var key = h | 1;
+        checksum = checksum + table_bump(key, h);
+
+        var op = (h & 0x7FFFFFFF) % )TINKER" << kBuiltins
+       << R"TINKER(;
+        var b = builtin_dispatch(op, h);
+        checksum = checksum * 131 + b;
+    }
+    for (var s = 0; s < 1024; s = s + 1) {
+        checksum = checksum + hvals[s] * ((hkeys[s] & 255) + 1);
+    }
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makePerl()
+{
+    Workload w;
+    w.name = "perl";
+    w.description = "word hashing + assoc table + 128 generated "
+                    "builtins (134.perl-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

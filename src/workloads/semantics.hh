@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Exact tinkerc integer semantics for the native reference
+ * implementations. Every reference must use these helpers wherever
+ * overflow or shifting can occur, so the native result matches the
+ * emulated program bit for bit.
+ */
+
+#ifndef TEPIC_WORKLOADS_SEMANTICS_HH
+#define TEPIC_WORKLOADS_SEMANTICS_HH
+
+#include <cstdint>
+
+namespace tepic::workloads {
+
+/** 32-bit two's-complement wrap (tinkerc int). */
+inline std::int32_t
+wrap32(std::int64_t v)
+{
+    return std::int32_t(std::uint32_t(std::uint64_t(v)));
+}
+
+inline std::int32_t
+mul32(std::int32_t a, std::int32_t b)
+{
+    return wrap32(std::int64_t(a) * b);
+}
+
+inline std::int32_t
+add32(std::int32_t a, std::int32_t b)
+{
+    return wrap32(std::int64_t(a) + b);
+}
+
+/** tinkerc `<<`: shift amount masked to 5 bits, result wrapped. */
+inline std::int32_t
+shl32(std::int32_t a, std::int32_t b)
+{
+    return wrap32(std::int64_t(a) << (b & 31));
+}
+
+/** tinkerc `>>`: logical right shift on the 32-bit pattern. */
+inline std::int32_t
+shr32(std::int32_t a, std::int32_t b)
+{
+    return std::int32_t(std::uint32_t(a) >> (b & 31));
+}
+
+/**
+ * The shared linear congruential generator every workload uses for
+ * input synthesis. tinkerc form:
+ *
+ *   seed = seed * 1103515245 + 12345;
+ *   value = (seed >> 16) & 32767;
+ */
+class Lcg
+{
+  public:
+    explicit Lcg(std::int32_t seed) : seed_(seed) {}
+
+    std::int32_t
+    next()
+    {
+        seed_ = add32(mul32(seed_, 1103515245), 12345);
+        return shr32(seed_, 16) & 32767;
+    }
+
+    std::int32_t seed() const { return seed_; }
+
+  private:
+    std::int32_t seed_;
+};
+
+/** tinkerc source fragment implementing the same LCG. */
+inline const char *kLcgTinkerc = R"(
+var lcg_seed = 0;
+func lcg_init(seed) { lcg_seed = seed; }
+func lcg_next(): int {
+    lcg_seed = lcg_seed * 1103515245 + 12345;
+    return (lcg_seed >> 16) & 32767;
+}
+)";
+
+} // namespace tepic::workloads
+
+#endif // TEPIC_WORKLOADS_SEMANTICS_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * `vortex`: an object-database stand-in for SPECint95 147.vortex — a
+ * sorted in-memory table with binary-search lookup, shifting inserts,
+ * range queries, updates, a compaction policy, and 64 generated
+ * validators run on every lookup, scan record and update. Pointer-chasing-free but memory and
+ * branch heavy, with a wide static footprint.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "workloads/gen.hh"
+#include "workloads/semantics.hh"
+
+namespace tepic::workloads {
+
+namespace {
+
+constexpr int kCapacity = 600;
+constexpr int kValidators = 128;
+constexpr int kTransactions = 4000;
+
+std::int32_t
+validate(int n, std::int32_t x)
+{
+    std::int32_t t = x ^ mul32(n, 37813);
+    t = add32(t, shl32(t, n % 5 + 1));
+    t = t ^ shr32(t, n % 6 + 3);
+    t = add32(mul32(t, 73), n * 524287);
+    t = t ^ shr32(t, n % 9 + 2);
+    return t & 0xffff;
+}
+
+std::string
+emitValidators()
+{
+    std::ostringstream os;
+    for (int n = 0; n < kValidators; ++n) {
+        os << "func validate_" << n << "(x): int {\n"
+           << "    var t = x ^ " << std::int64_t(n) * 37813 << ";\n"
+           << "    t = t + (t << " << n % 5 + 1 << ");\n"
+           << "    t = t ^ (t >> " << n % 6 + 3 << ");\n"
+           << "    t = t * 73 + " << std::int64_t(n) * 524287
+           << ";\n"
+           << "    t = t ^ (t >> " << n % 9 + 2 << ");\n"
+           << "    return t & 0xFFFF;\n"
+           << "}\n";
+    }
+    return os.str();
+}
+
+std::int32_t
+reference()
+{
+    std::int32_t dbkey[kCapacity];
+    std::int32_t dbval[kCapacity];
+    std::int32_t count = 0;
+    Lcg lcg(147147);
+    std::int32_t checksum = 0;
+
+    // Lower-bound binary search.
+    auto lower = [&](std::int32_t key) {
+        std::int32_t lo = 0;
+        std::int32_t hi = count;
+        while (lo < hi) {
+            const std::int32_t mid = (lo + hi) / 2;
+            if (dbkey[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    };
+
+    for (std::int32_t txn = 0; txn < kTransactions; ++txn) {
+        const std::int32_t r = lcg.next();
+        const std::int32_t key = r;
+        const std::int32_t kind = r % 5;
+        if (kind <= 1) {
+            // Insert (compact by halving when full).
+            if (count >= kCapacity) {
+                std::int32_t w = 0;
+                for (std::int32_t i = 0; i < count; i += 2) {
+                    dbkey[w] = dbkey[i];
+                    dbval[w] = dbval[i];
+                    w = w + 1;
+                }
+                count = w;
+                checksum = add32(checksum, 7777);
+            }
+            const std::int32_t pos = lower(key);
+            for (std::int32_t i = count; i > pos; --i) {
+                dbkey[i] = dbkey[i - 1];
+                dbval[i] = dbval[i - 1];
+            }
+            dbkey[pos] = key;
+            dbval[pos] = add32(mul32(txn, 17), 1);
+            count = count + 1;
+        } else if (kind == 2) {
+            const std::int32_t pos = lower(key);
+            const std::int32_t probe =
+                pos < count ? dbval[pos] : key;
+            const std::int32_t v = validate(
+                (key & 0x7fffffff) % kValidators, probe);
+            checksum = add32(checksum, v);
+            if (pos < count && dbkey[pos] == key)
+                checksum = add32(checksum, 3);
+        } else if (kind == 3) {
+            // Range scan: validate up to 32 records from lower(key).
+            std::int32_t pos = lower(key % 16384);
+            std::int32_t steps = 0;
+            std::int32_t acc = 0;
+            while (pos < count && steps < 32) {
+                acc = add32(acc, validate(
+                    (dbval[pos] & 0x7fffffff) % kValidators,
+                    dbval[pos]));
+                pos = pos + 1;
+                steps = steps + 1;
+            }
+            checksum = add32(checksum, acc);
+        } else {
+            // Validated update in place.
+            const std::int32_t pos = lower(key);
+            if (pos < count && dbkey[pos] == key) {
+                dbval[pos] = add32(dbval[pos], validate(
+                    (txn & 0x7fffffff) % kValidators, txn));
+            }
+        }
+        checksum = checksum ^ shr32(checksum, 19);
+    }
+
+    for (std::int32_t i = 0; i < count; i += 7)
+        checksum = add32(checksum, dbkey[i] ^ dbval[i]);
+    checksum = add32(checksum, count);
+    return checksum;
+}
+
+std::string
+buildSource()
+{
+    std::ostringstream os;
+    os << "var dbkey[" << kCapacity << "];\n"
+       << "var dbval[" << kCapacity << "];\n"
+       << "var count = 0;\n"
+       << kLcgTinkerc
+       << emitValidators()
+       << emitBinaryDispatch1("validate_dispatch", "validate_",
+                              kValidators)
+       << R"TINKER(
+func lower(key): int {
+    var lo = 0;
+    var hi = count;
+    while (lo < hi) {
+        var mid = (lo + hi) / 2;
+        if (dbkey[mid] < key) { lo = mid + 1; } else { hi = mid; }
+    }
+    return lo;
+}
+
+func insert(key, val): int {
+    // Returns 7777 when a compaction happened, else 0.
+    var bonus = 0;
+    if (count >= )TINKER" << kCapacity << R"TINKER() {
+        var w = 0;
+        for (var i = 0; i < count; i = i + 2) {
+            dbkey[w] = dbkey[i];
+            dbval[w] = dbval[i];
+            w = w + 1;
+        }
+        count = w;
+        bonus = 7777;
+    }
+    var pos = lower(key);
+    for (var i = count; i > pos; i = i - 1) {
+        dbkey[i] = dbkey[i - 1];
+        dbval[i] = dbval[i - 1];
+    }
+    dbkey[pos] = key;
+    dbval[pos] = val;
+    count = count + 1;
+    return bonus;
+}
+
+func main(): int {
+    lcg_init(147147);
+    var checksum = 0;
+    for (var txn = 0; txn < )TINKER" << kTransactions
+       << R"TINKER(; txn = txn + 1) {
+        var r = lcg_next();
+        var key = r;
+        var kind = r % 5;
+        if (kind <= 1) {
+            checksum = checksum + insert(key, txn * 17 + 1);
+        } else { if (kind == 2) {
+            var pos = lower(key);
+            var probe = key;
+            if (pos < count) { probe = dbval[pos]; }
+            var op = (key & 0x7FFFFFFF) % )TINKER" << kValidators
+       << R"TINKER(;
+            checksum = checksum + validate_dispatch(op, probe);
+            if (pos < count && dbkey[pos] == key) {
+                checksum = checksum + 3;
+            }
+        } else { if (kind == 3) {
+            var pos = lower(key % 16384);
+            var steps = 0;
+            var acc = 0;
+            while (pos < count && steps < 32) {
+                acc = acc + validate_dispatch(
+                    (dbval[pos] & 0x7FFFFFFF) % 128, dbval[pos]);
+                pos = pos + 1;
+                steps = steps + 1;
+            }
+            checksum = checksum + acc;
+        } else {
+            var pos = lower(key);
+            if (pos < count && dbkey[pos] == key) {
+                dbval[pos] = dbval[pos] + validate_dispatch(
+                    (txn & 0x7FFFFFFF) % 128, txn);
+            }
+        } } }
+        checksum = checksum ^ (checksum >> 19);
+    }
+
+    for (var i = 0; i < count; i = i + 7) {
+        checksum = checksum + (dbkey[i] ^ dbval[i]);
+    }
+    checksum = checksum + count;
+    return checksum;
+}
+)TINKER";
+    return os.str();
+}
+
+} // namespace
+
+Workload
+makeVortex()
+{
+    Workload w;
+    w.name = "vortex";
+    w.description = "sorted-table database with shifting inserts and "
+                    "128 generated validators (147.vortex-shaped)";
+    w.source = buildSource();
+    w.reference = reference;
+    return w;
+}
+
+} // namespace tepic::workloads

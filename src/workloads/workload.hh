@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The workload suite.
+ *
+ * The paper evaluates on SPECint95 compiled by LEGO; those sources and
+ * that compiler are not available, so the suite provides eight
+ * synthetic tinkerc programs named and shaped after the SPECint95
+ * benchmarks the paper reports (compress, gcc, go, ijpeg, li, m88ksim,
+ * perl, vortex) plus two DSP kernels (fir, matmul) that exercise the
+ * paper's "tight loops fit the L0 buffer completely" claim (§4).
+ *
+ * Every workload carries a *native reference*: the same algorithm
+ * implemented directly in C++ with identical 32-bit semantics. The
+ * emulated exit value must equal the reference result — this is the
+ * correctness oracle for the whole compiler + emulator stack.
+ *
+ * Several workloads generate part of their source programmatically
+ * (dispatcher handler families) so the static code footprint exceeds
+ * the 16 KB instruction cache, as SPECint95's does; the generators and
+ * the references derive handler semantics from the same index formula.
+ */
+
+#ifndef TEPIC_WORKLOADS_WORKLOAD_HH
+#define TEPIC_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tepic::workloads {
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string source;                       ///< tinkerc text
+    std::function<std::int32_t()> reference;  ///< native oracle
+    bool isDspKernel = false;
+};
+
+/** All workloads, SPEC-shaped first, DSP kernels last. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up by name (fatal if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+// Individual constructors (one translation unit each).
+Workload makeCompress();
+Workload makeGcc();
+Workload makeGo();
+Workload makeIjpeg();
+Workload makeLi();
+Workload makeM88ksim();
+Workload makePerl();
+Workload makeVortex();
+Workload makeFir();
+Workload makeMatmul();
+
+} // namespace tepic::workloads
+
+#endif // TEPIC_WORKLOADS_WORKLOAD_HH

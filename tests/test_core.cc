@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Integration tests over the core pipeline: full artefact builds with
+ * round-trip verification, summary consistency, the fetch-simulation
+ * shape properties the paper's conclusions rest on, and the ATT
+ * overhead accounting of Figure 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "fetch/att.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+using core::Artifacts;
+using fetch::SchemeClass;
+
+const Artifacts &
+gccArtifacts()
+{
+    static const Artifacts artifacts = core::buildArtifacts(
+        workloads::workloadByName("gcc").source);
+    return artifacts;
+}
+
+const Artifacts &
+firArtifacts()
+{
+    static const Artifacts artifacts = core::buildArtifacts(
+        workloads::workloadByName("fir").source);
+    return artifacts;
+}
+
+TEST(CorePipeline, RoundTripsAllSchemes)
+{
+    core::verifyRoundTrips(gccArtifacts());
+    core::verifyRoundTrips(firArtifacts());
+}
+
+TEST(CorePipeline, SummariesAreConsistent)
+{
+    const auto rows = core::summarise(gccArtifacts());
+    // base + byte + 6 streams + full + tailored.
+    ASSERT_EQ(rows.size(), 10u);
+    EXPECT_EQ(rows.front().name, "base");
+    EXPECT_DOUBLE_EQ(rows.front().ratioVsBase, 1.0);
+    EXPECT_EQ(rows.front().decoderTransistors, 0u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.codeBits, 0u);
+        if (row.name != "base") {
+            EXPECT_LT(row.ratioVsBase, 1.0) << row.name;
+            EXPECT_GT(row.decoderTransistors, 0u) << row.name;
+        }
+    }
+}
+
+TEST(CorePipeline, Figure5SizeOrdering)
+{
+    const auto &a = gccArtifacts();
+    const double full = a.ratio(a.fullImage.image);
+    const double byte = a.ratio(a.byteImage.image);
+    const double tailored = a.ratio(a.tailoredImage);
+    // Full is the best compressor; everything beats base.
+    EXPECT_LT(full, tailored);
+    EXPECT_LT(full, byte);
+    EXPECT_LT(tailored, 1.0);
+    EXPECT_LT(byte, 1.0);
+    for (const auto &stream : a.streamImages)
+        EXPECT_LT(full, a.ratio(stream.image) + 1e-12)
+            << stream.streamConfig.name;
+}
+
+TEST(CorePipeline, StreamSelectionHelpers)
+{
+    const auto &a = gccArtifacts();
+    const std::size_t by_size = a.bestStreamBySize();
+    const std::size_t by_decoder = a.bestStreamByDecoder();
+    for (std::size_t i = 0; i < a.streamImages.size(); ++i) {
+        EXPECT_LE(a.streamImages[by_size].image.bitSize,
+                  a.streamImages[i].image.bitSize);
+    }
+    EXPECT_LT(by_decoder, a.streamImages.size());
+}
+
+TEST(CorePipeline, Figure13IpcShape)
+{
+    const auto &a = gccArtifacts();
+    const auto base = core::runFetch(a, SchemeClass::kBase);
+    const auto tailored = core::runFetch(a, SchemeClass::kTailored);
+    const auto compressed = core::runFetch(a, SchemeClass::kCompressed);
+
+    // Everything is bounded by ideal.
+    EXPECT_LE(base.ipc(), base.idealIpc());
+    EXPECT_LE(tailored.ipc(), tailored.idealIpc());
+    EXPECT_LE(compressed.ipc(), compressed.idealIpc());
+    // All schemes deliver the same dynamic op stream.
+    EXPECT_EQ(base.opsDelivered, tailored.opsDelivered);
+    EXPECT_EQ(base.opsDelivered, compressed.opsDelivered);
+    // Denser images cannot hit less: tailored and compressed images
+    // are strictly smaller, so their line working sets are smaller.
+    EXPECT_GE(tailored.l1HitRate(), base.l1HitRate() - 1e-9);
+    EXPECT_GE(compressed.l1HitRate(), tailored.l1HitRate() - 1e-9);
+    // gcc's footprint exceeds the cache: the capacity advantage must
+    // put tailored above base (the paper's headline claim).
+    EXPECT_GT(tailored.ipc(), base.ipc());
+}
+
+TEST(CorePipeline, Figure14BitFlipsTrackCompression)
+{
+    const auto &a = gccArtifacts();
+    const auto base = core::runFetch(a, SchemeClass::kBase);
+    const auto tailored = core::runFetch(a, SchemeClass::kTailored);
+    const auto compressed = core::runFetch(a, SchemeClass::kCompressed);
+    EXPECT_LT(tailored.busBitFlips, base.busBitFlips);
+    EXPECT_LT(compressed.busBitFlips, tailored.busBitFlips);
+}
+
+TEST(CorePipeline, DspKernelLivesInTheBuffer)
+{
+    // The paper's §4 claim: DSP kernels fit the 32-op L0 buffer and
+    // run at uncompressed speed under the compressed scheme.
+    const auto &a = firArtifacts();
+    const auto base = core::runFetch(a, SchemeClass::kBase);
+    const auto compressed = core::runFetch(a, SchemeClass::kCompressed);
+    const double l0_rate = double(compressed.l0Hits) /
+                           double(compressed.l0Hits +
+                                  compressed.l0Misses);
+    EXPECT_GT(l0_rate, 0.8);
+    EXPECT_GT(compressed.ipc(), 0.97 * base.ipc());
+}
+
+TEST(CorePipeline, AttOverheadIsModest)
+{
+    // Figure 7: the ATT adds roughly 15.5% to the (original) image.
+    // Our entry model lands in the same regime.
+    const auto &a = gccArtifacts();
+    const auto att =
+        fetch::Att::build(a.fullImage.image, a.compiled.program);
+    const double vs_original =
+        att.overheadVs(a.compiled.program.baselineBits());
+    EXPECT_GT(vs_original, 0.02);
+    EXPECT_LT(vs_original, 0.30);
+}
+
+TEST(CorePipeline, ImageForSelectsTheRightImage)
+{
+    const auto &a = gccArtifacts();
+    EXPECT_EQ(&core::imageFor(a, SchemeClass::kBase), &a.baseImage);
+    EXPECT_EQ(&core::imageFor(a, SchemeClass::kCompressed),
+              &a.fullImage.image);
+    EXPECT_EQ(&core::imageFor(a, SchemeClass::kTailored),
+              &a.tailoredImage);
+}
+
+TEST(CorePipeline, NonProfileGuidedStillWorks)
+{
+    core::PipelineConfig config;
+    config.profileGuided = false;
+    config.buildAllStreamConfigs = false;
+    const auto a = core::buildArtifacts(
+        workloads::workloadByName("matmul").source, config);
+    EXPECT_TRUE(a.streamImages.empty());
+    EXPECT_EQ(a.execution.exitValue,
+              workloads::workloadByName("matmul").reference());
+    core::verifyRoundTrips(a);
+}
+
+} // namespace

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Fetch-subsystem tests: the Table-1 cycle model (checked cell by
+ * cell against the paper), the banked cache's restricted-placement
+ * behaviour, the L0 buffer, the ATB with its coupled predictor, and
+ * end-to-end fetch-simulation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "fetch/att.hh"
+#include "fetch/banked_cache.hh"
+#include "fetch/cycle_model.hh"
+#include "fetch/fetch_sim.hh"
+#include "fetch/l0_buffer.hh"
+#include "isa/baseline.hh"
+#include "schemes/huffman_scheme.hh"
+#include "sim/emulator.hh"
+
+namespace {
+
+using namespace tepic;
+using fetch::blockCycles;
+using fetch::CyclePenalties;
+using fetch::FetchEvent;
+using fetch::SchemeClass;
+
+/**
+ * Table 1 of the paper, verified literally: a single-MOP, single-op,
+ * n-line block must cost exactly the table's cell.
+ */
+TEST(CycleModel, Table1BaseColumn)
+{
+    const std::uint32_t n = 4;  // memory lines
+    auto cost = [&](bool pred_ok, bool hit) {
+        FetchEvent ev;
+        ev.predictionCorrect = pred_ok;
+        ev.l1Hit = hit;
+        return blockCycles(SchemeClass::kBase, ev, 1, 1, n);
+    };
+    EXPECT_EQ(cost(true, true), 1u);            // 1 cycle
+    EXPECT_EQ(cost(true, false), 1u + (n - 1)); // 1+(n-1)
+    EXPECT_EQ(cost(false, true), 2u);           // 2 cycles
+    EXPECT_EQ(cost(false, false), 8u + (n - 1)); // 8+(n-1)
+}
+
+TEST(CycleModel, Table1TailoredColumn)
+{
+    const std::uint32_t n = 4;
+    auto cost = [&](bool pred_ok, bool hit) {
+        FetchEvent ev;
+        ev.predictionCorrect = pred_ok;
+        ev.l1Hit = hit;
+        return blockCycles(SchemeClass::kTailored, ev, 1, 1, n);
+    };
+    EXPECT_EQ(cost(true, true), 1u);
+    EXPECT_EQ(cost(true, false), 2u + (n - 1)); // 2+(n-1)
+    EXPECT_EQ(cost(false, true), 2u);
+    EXPECT_EQ(cost(false, false), 9u + (n - 1)); // 9+(n-1)
+}
+
+TEST(CycleModel, Table1CompressedColumn)
+{
+    const std::uint32_t n = 4;
+    auto cost = [&](bool pred_ok, bool hit, bool l0) {
+        FetchEvent ev;
+        ev.predictionCorrect = pred_ok;
+        ev.l1Hit = hit;
+        ev.l0Hit = l0;
+        return blockCycles(SchemeClass::kCompressed, ev, 1, 1, n);
+    };
+    // Buffer-hit rows: flat 1 cycle in every column.
+    EXPECT_EQ(cost(true, true, true), 1u);
+    EXPECT_EQ(cost(true, false, true), 1u);
+    EXPECT_EQ(cost(false, true, true), 1u);
+    EXPECT_EQ(cost(false, false, true), 1u);
+    // Buffer-miss rows.
+    EXPECT_EQ(cost(true, true, false), 1u);             // 1+(n-1)@hit
+    EXPECT_EQ(cost(true, false, false), 3u + (n - 1));  // 3+(n-1)
+    EXPECT_EQ(cost(false, true, false), 3u);            // decode stage
+    EXPECT_EQ(cost(false, false, false), 10u + (n - 1)); // 10+(n-1)
+}
+
+TEST(CycleModel, StreamsOneMopPerCycle)
+{
+    FetchEvent ok;
+    EXPECT_EQ(blockCycles(SchemeClass::kBase, ok, 12, 30, 3), 12u);
+    EXPECT_EQ(blockCycles(SchemeClass::kTailored, ok, 12, 30, 3), 12u);
+    FetchEvent l0;
+    l0.l0Hit = true;
+    EXPECT_EQ(blockCycles(SchemeClass::kCompressed, l0, 12, 30, 3),
+              12u);
+}
+
+TEST(CycleModel, RejectsBadShapes)
+{
+    FetchEvent ev;
+    EXPECT_ANY_THROW(blockCycles(SchemeClass::kBase, ev, 0, 0, 1));
+    EXPECT_ANY_THROW(blockCycles(SchemeClass::kBase, ev, 2, 1, 1));
+}
+
+TEST(BankedCache, HitAfterFill)
+{
+    fetch::BankedCache cache({16, 2, 32});
+    auto first = cache.accessBlock(0, 40);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.blockLines, 2u);  // bytes 0..39 span 2 lines
+    EXPECT_EQ(first.linesFilled, 2u);
+    auto second = cache.accessBlock(0, 40);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BankedCache, LineSpanComputation)
+{
+    fetch::BankedCache cache({16, 2, 32});
+    // A block straddling a line boundary: bytes 30..41.
+    EXPECT_EQ(cache.accessBlock(30, 12).blockLines, 2u);
+    // Exactly one line.
+    EXPECT_EQ(cache.accessBlock(64, 32).blockLines, 1u);
+    // One byte.
+    EXPECT_EQ(cache.accessBlock(200, 1).blockLines, 1u);
+}
+
+TEST(BankedCache, LruEvictionWithinSet)
+{
+    // 1 set, 2 ways, 32-byte lines: three conflicting lines.
+    fetch::BankedCache cache({1, 2, 32});
+    cache.accessBlock(0, 8);    // line 0
+    cache.accessBlock(32, 8);   // line 1
+    cache.accessBlock(0, 8);    // touch line 0 (now MRU)
+    cache.accessBlock(64, 8);   // line 2 evicts line 1
+    EXPECT_TRUE(cache.accessBlock(0, 8).hit);
+    EXPECT_FALSE(cache.accessBlock(32, 8).hit);  // evicted
+}
+
+TEST(BankedCache, RestrictedPlacementPartialIsMiss)
+{
+    // A 2-line block whose second line gets evicted must re-fetch the
+    // whole block (restricted placement, §3.4).
+    fetch::BankedCache cache({1, 2, 32});
+    cache.accessBlock(0, 64);    // lines 0,1 fill both ways of set 0
+    EXPECT_TRUE(cache.accessBlock(0, 64).hit);
+    cache.accessBlock(96, 8);    // line 3 evicts one of them
+    auto again = cache.accessBlock(0, 64);
+    EXPECT_FALSE(again.hit);
+    EXPECT_EQ(again.linesFilled, 2u);  // whole block refilled
+}
+
+TEST(BankedCache, PaperGeometries)
+{
+    EXPECT_EQ(fetch::CacheConfig::paperCompressed().capacityBytes(),
+              16u * 1024);
+    EXPECT_EQ(fetch::CacheConfig::paperBase().capacityBytes(),
+              20u * 1024);
+}
+
+TEST(L0Buffer, HitMissAndCapacity)
+{
+    fetch::L0Buffer buf(32);
+    EXPECT_FALSE(buf.access(1, 10));
+    EXPECT_TRUE(buf.access(1, 10));
+    EXPECT_FALSE(buf.access(2, 10));
+    EXPECT_FALSE(buf.access(3, 10));
+    // 30 ops resident; block 4 (10 ops) evicts LRU block 1.
+    EXPECT_FALSE(buf.access(4, 10));
+    EXPECT_FALSE(buf.access(1, 10));  // was evicted
+}
+
+TEST(L0Buffer, OversizedBlocksBypass)
+{
+    fetch::L0Buffer buf(32);
+    EXPECT_FALSE(buf.access(7, 100));
+    EXPECT_FALSE(buf.access(7, 100));  // never cached
+    EXPECT_EQ(buf.hits(), 0u);
+    // Normal blocks still work.
+    EXPECT_FALSE(buf.access(8, 32));
+    EXPECT_TRUE(buf.access(8, 32));
+}
+
+namespace {
+
+/** Compiled three-block program + image + ATT for ATB tests. */
+struct AtbFixture
+{
+    compiler::CompiledProgram compiled;
+    isa::Image image;
+    fetch::Att att;
+
+    AtbFixture()
+        : compiled(compiler::compileSource(R"(
+            func main(): int {
+                var s = 0;
+                for (var i = 0; i < 10; i = i + 1) { s = s + i; }
+                return s;
+            }
+          )")),
+          image(isa::buildBaselineImage(compiled.program)),
+          att(fetch::Att::build(image, compiled.program))
+    {
+    }
+};
+
+} // namespace
+
+TEST(Att, EntriesMirrorImageAndCfg)
+{
+    AtbFixture fx;
+    ASSERT_EQ(fx.att.entries().size(),
+              fx.compiled.program.blocks().size());
+    for (const auto &blk : fx.compiled.program.blocks()) {
+        const auto &entry = fx.att.entry(blk.id);
+        EXPECT_EQ(entry.byteAddress,
+                  fx.image.blocks[blk.id].bitOffset / 8);
+        EXPECT_EQ(entry.numOps, fx.image.blocks[blk.id].numOps);
+        EXPECT_EQ(entry.fallthrough, blk.fallthrough);
+        EXPECT_EQ(entry.staticTarget, blk.branchTarget);
+    }
+    EXPECT_GT(fx.att.entryBits(), 16u);
+    EXPECT_EQ(fx.att.totalBits(),
+              fx.att.entryBits() * fx.att.entries().size());
+}
+
+TEST(Atb, LruAndPredictorLearning)
+{
+    AtbFixture fx;
+    fetch::Atb atb(fx.att, 2);
+
+    EXPECT_FALSE(atb.access(0));
+    EXPECT_TRUE(atb.access(0));
+    EXPECT_FALSE(atb.access(1));
+    EXPECT_FALSE(atb.access(2));  // evicts block 0 (LRU)
+    EXPECT_FALSE(atb.access(0));  // re-miss
+
+    // Predictor: after repeated taken outcomes to block 9, a block
+    // with a fallthrough flips to predicting the target.
+    fetch::Atb atb2(fx.att, 8);
+    // Find a block with a fallthrough successor.
+    isa::BlockId with_fall = isa::kNoBlock;
+    for (const auto &blk : fx.compiled.program.blocks()) {
+        if (blk.fallthrough != isa::kNoBlock) {
+            with_fall = blk.id;
+            break;
+        }
+    }
+    ASSERT_NE(with_fall, isa::kNoBlock);
+    const isa::BlockId fall =
+        fx.att.entry(with_fall).fallthrough;
+    atb2.access(with_fall);
+    // Cold counter (weakly not-taken): predicts fallthrough.
+    EXPECT_EQ(atb2.predictNext(with_fall), fall);
+    atb2.update(with_fall, true, 2);
+    atb2.update(with_fall, true, 2);
+    EXPECT_EQ(atb2.predictNext(with_fall), 2u);
+    atb2.update(with_fall, false, fall);
+    atb2.update(with_fall, false, fall);
+    EXPECT_EQ(atb2.predictNext(with_fall), fall);
+}
+
+TEST(FetchSim, InvariantsOnRealWorkload)
+{
+    auto compiled = compiler::compileSource(R"(
+        func f(x): int {
+            if (x % 3 == 0) { return x * 2; }
+            return x + 1;
+        }
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 500; i = i + 1) { s = s + f(i); }
+            return s;
+        }
+    )");
+    auto emu = sim::emulate(compiled.program, compiled.data);
+    const auto image = isa::buildBaselineImage(compiled.program);
+
+    const auto stats = fetch::simulateFetch(
+        image, compiled.program, emu.trace,
+        fetch::FetchConfig::paper(SchemeClass::kBase));
+
+    EXPECT_EQ(stats.blocksFetched, emu.trace.events.size());
+    EXPECT_EQ(stats.opsDelivered, emu.dynamicOps);
+    EXPECT_EQ(stats.idealCycles, emu.dynamicMops);
+    EXPECT_GE(stats.cycles, stats.idealCycles);
+    EXPECT_EQ(stats.predictionsCorrect + stats.predictionsWrong,
+              stats.blocksFetched);
+    EXPECT_EQ(stats.l1Hits + stats.l1Misses, stats.blocksFetched);
+    EXPECT_LE(stats.ipc(), stats.idealIpc());
+    EXPECT_GT(stats.l1HitRate(), 0.9);  // tiny program, warm cache
+    // Misses moved real bytes.
+    EXPECT_GT(stats.busBitFlips, 0u);
+    EXPECT_GT(stats.bytesTransferred, 0u);
+}
+
+TEST(FetchSim, PerfectPredictionOnStraightLine)
+{
+    // A single-block program mispredicts at most the halt transition.
+    auto compiled = compiler::compileSource(
+        "func main(): int { return 1 + 2 + 3; }");
+    auto emu = sim::emulate(compiled.program, compiled.data);
+    const auto image = isa::buildBaselineImage(compiled.program);
+    const auto stats = fetch::simulateFetch(
+        image, compiled.program, emu.trace,
+        fetch::FetchConfig::paper(SchemeClass::kBase));
+    EXPECT_EQ(stats.predictionsWrong, 0u);
+}
+
+TEST(FetchSim, TinyLoopLivesInL0)
+{
+    // A loop body far below 32 ops: after warmup, essentially every
+    // fetch is an L0 hit under the compressed scheme.
+    auto compiled = compiler::compileSource(R"(
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 2000; i = i + 1) { s = s + i; }
+            return s;
+        }
+    )");
+    auto emu = sim::emulate(compiled.program, compiled.data);
+    const auto full = schemes::compressFull(compiled.program);
+    const auto stats = fetch::simulateFetch(
+        full.image, compiled.program, emu.trace,
+        fetch::FetchConfig::paper(SchemeClass::kCompressed));
+    EXPECT_GT(double(stats.l0Hits) /
+                  double(stats.l0Hits + stats.l0Misses),
+              0.95);
+    // With the L0 covering the loop, compressed IPC ~= ideal.
+    EXPECT_GT(stats.ipc() / stats.idealIpc(), 0.95);
+}
+
+} // namespace

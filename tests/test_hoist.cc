@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Speculative-hoisting tests: semantics preservation across the
+ * oracle programs, the S-bit marking, safety restrictions (memory,
+ * predicates, faulting ops never move), and the ILP benefit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asmgen/hoist.hh"
+#include "compiler/driver.hh"
+#include "sim/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+
+compiler::CompileOptions
+withHoist(bool enabled)
+{
+    compiler::CompileOptions options;
+    options.hoist.enabled = enabled;
+    return options;
+}
+
+TEST(Hoist, SemanticsPreservedOnBranchyPrograms)
+{
+    const char *programs[] = {
+        R"(func main(): int {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i % 3 == 0) { s = s + i * 7; }
+                else { s = s - i; }
+            }
+            return s;
+        })",
+        R"(var t[32];
+        func main(): int {
+            var acc = 1;
+            for (var i = 0; i < 32; i = i + 1) {
+                if (acc & 1) { t[i] = acc; acc = acc * 3 + 1; }
+                else { t[i] = 0 - acc; acc = acc / 2; }
+            }
+            var s = 0;
+            for (var i = 0; i < 32; i = i + 1) { s = s ^ t[i]; }
+            return s;
+        })",
+    };
+    for (const char *src : programs) {
+        auto on = compiler::compileSource(src, withHoist(true));
+        auto off = compiler::compileSource(src, withHoist(false));
+        EXPECT_EQ(sim::emulate(on.program, on.data).exitValue,
+                  sim::emulate(off.program, off.data).exitValue);
+    }
+}
+
+TEST(Hoist, WorkloadOraclesSurviveHoisting)
+{
+    // The strongest check: two full workloads, hoisting on, exact
+    // oracle match. (The whole suite runs with hoisting on in
+    // test_workloads — this pins the property to the pass.)
+    for (const char *name : {"go", "m88ksim"}) {
+        const auto &w = workloads::workloadByName(name);
+        auto compiled =
+            compiler::compileSource(w.source, withHoist(true));
+        EXPECT_GT(compiled.hoistStats.hoistedOps, 0u) << name;
+        EXPECT_EQ(sim::emulate(compiled.program,
+                               compiled.data).exitValue,
+                  w.reference())
+            << name;
+    }
+}
+
+TEST(Hoist, MarksSpeculativeBit)
+{
+    const char *src = R"(
+        func main(): int {
+            var s = 1;
+            for (var i = 0; i < 50; i = i + 1) {
+                if (i & 1) { s = s * 2 + 1; s = s ^ 3; s = s + 7; }
+                else { s = s + 1; }
+            }
+            return s;
+        }
+    )";
+    auto on = compiler::compileSource(src, withHoist(true));
+    unsigned speculative = 0;
+    for (const auto &blk : on.program.blocks())
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                if (op.speculative())
+                    ++speculative;
+    EXPECT_EQ(speculative, on.hoistStats.hoistedOps);
+
+    auto off = compiler::compileSource(src, withHoist(false));
+    for (const auto &blk : off.program.blocks())
+        for (const auto &mop : blk.mops)
+            for (const auto &op : mop.ops())
+                EXPECT_FALSE(op.speculative());
+    EXPECT_EQ(off.hoistStats.hoistedOps, 0u);
+}
+
+TEST(Hoist, NeverMovesMemoryBranchesOrFaultingOps)
+{
+    // Every speculative op in the output must be a hoistable kind.
+    const auto &w = workloads::workloadByName("vortex");
+    auto compiled = compiler::compileSource(w.source, withHoist(true));
+    for (const auto &blk : compiled.program.blocks()) {
+        for (const auto &mop : blk.mops) {
+            for (const auto &op : mop.ops()) {
+                if (!op.speculative())
+                    continue;
+                EXPECT_FALSE(op.isMemory());
+                EXPECT_FALSE(op.isBranch());
+                EXPECT_EQ(op.pred(), isa::kPredTrue);
+                EXPECT_FALSE(op.opType() == isa::OpType::kInt &&
+                             (op.opcode() == isa::Opcode::kDiv ||
+                              op.opcode() == isa::Opcode::kRem));
+                EXPECT_NE(op.format(), isa::Format::kIntCmpp);
+            }
+        }
+    }
+}
+
+TEST(Hoist, RaisesIlpOnBranchyCode)
+{
+    const auto &w = workloads::workloadByName("go");
+    auto on = compiler::compileSource(w.source, withHoist(true));
+    auto off = compiler::compileSource(w.source, withHoist(false));
+    // Fewer MOPs for (almost) the same ops = denser schedule.
+    EXPECT_GT(on.schedStats.ilp(), off.schedStats.ilp());
+}
+
+TEST(Hoist, BudgetRespected)
+{
+    compiler::CompileOptions tight;
+    tight.hoist.maxOpsPerEdge = 1;
+    const auto &w = workloads::workloadByName("go");
+    auto one = compiler::compileSource(w.source, tight);
+    auto four = compiler::compileSource(w.source, withHoist(true));
+    EXPECT_LE(one.hoistStats.hoistedOps, four.hoistStats.hoistedOps);
+    EXPECT_LE(one.hoistStats.hoistedOps, one.hoistStats.edgesConsidered);
+}
+
+} // namespace

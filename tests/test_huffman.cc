@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Huffman engine tests: package-merge length-limited codes, canonical
+ * assignment, prefix-freeness, round trips and entropy bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "huffman/huffman.hh"
+#include "support/bitstream.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using tepic::huffman::CodeTable;
+using tepic::huffman::packageMergeLengths;
+using tepic::huffman::SymbolHistogram;
+
+TEST(PackageMerge, SingleSymbol)
+{
+    const auto lengths = packageMergeLengths({42}, 16);
+    ASSERT_EQ(lengths.size(), 1u);
+    EXPECT_EQ(lengths[0], 1u);
+}
+
+TEST(PackageMerge, TwoSymbols)
+{
+    const auto lengths = packageMergeLengths({1, 1000}, 16);
+    EXPECT_EQ(lengths[0], 1u);
+    EXPECT_EQ(lengths[1], 1u);
+}
+
+TEST(PackageMerge, ClassicExample)
+{
+    // Freqs 1,1,2,3,5 -> unbounded Huffman lengths 4,4,3,2,1 (or an
+    // equivalent-cost assignment).
+    const auto lengths = packageMergeLengths({1, 1, 2, 3, 5}, 16);
+    std::uint64_t cost = 0;
+    const std::uint64_t freqs[] = {1, 1, 2, 3, 5};
+    for (std::size_t i = 0; i < 5; ++i)
+        cost += freqs[i] * lengths[i];
+    EXPECT_EQ(cost, 1 * 4 + 1 * 4 + 2 * 3 + 3 * 2 + 5 * 1);
+}
+
+TEST(PackageMerge, RespectsTheBound)
+{
+    // A Fibonacci-like distribution forces long unbounded codes.
+    std::vector<std::uint64_t> freqs;
+    std::uint64_t a = 1;
+    std::uint64_t b = 1;
+    for (int i = 0; i < 24; ++i) {
+        freqs.push_back(a);
+        const std::uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    for (unsigned bound : {6u, 8u, 12u, 16u}) {
+        const auto lengths = packageMergeLengths(freqs, bound);
+        for (auto len : lengths) {
+            EXPECT_GE(len, 1u);
+            EXPECT_LE(len, bound);
+        }
+    }
+}
+
+TEST(PackageMerge, KraftInequalityHolds)
+{
+    tepic::support::Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint64_t> freqs;
+        const int n = int(rng.range(2, 300));
+        for (int i = 0; i < n; ++i)
+            freqs.push_back(rng.below(10000) + 1);
+        const auto lengths = packageMergeLengths(freqs, 16);
+        double kraft = 0.0;
+        for (auto len : lengths)
+            kraft += std::ldexp(1.0, -int(len));
+        EXPECT_LE(kraft, 1.0 + 1e-9);
+    }
+}
+
+TEST(PackageMerge, TighterBoundNeverBeatsLooser)
+{
+    std::vector<std::uint64_t> freqs;
+    tepic::support::Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        freqs.push_back(rng.below(5000) + 1);
+    auto cost = [&](unsigned bound) {
+        const auto lengths = packageMergeLengths(freqs, bound);
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < freqs.size(); ++i)
+            total += freqs[i] * lengths[i];
+        return total;
+    };
+    EXPECT_GE(cost(7), cost(10));
+    EXPECT_GE(cost(10), cost(16));
+}
+
+TEST(CodeTable, CanonicalCodesArePrefixFree)
+{
+    SymbolHistogram hist;
+    tepic::support::Rng rng(3);
+    for (int i = 0; i < 200; ++i)
+        hist.add(std::uint64_t(i), rng.below(1000) + 1);
+    const CodeTable table = CodeTable::build(hist, 16);
+    const auto &entries = table.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        for (std::size_t j = i + 1; j < entries.size(); ++j) {
+            const auto &a = entries[i];
+            const auto &b = entries[j];
+            const unsigned min_len = std::min(a.length, b.length);
+            EXPECT_NE(a.code >> (a.length - min_len),
+                      b.code >> (b.length - min_len))
+                << "codes for symbols " << a.symbol << " and "
+                << b.symbol << " collide as prefixes";
+        }
+    }
+}
+
+TEST(CodeTable, EncodeDecodeRoundTrip)
+{
+    SymbolHistogram hist;
+    hist.add(10, 100);
+    hist.add(20, 30);
+    hist.add(30, 1);
+    const CodeTable table = CodeTable::build(hist, 8);
+
+    tepic::support::BitWriter writer;
+    const std::uint64_t message[] = {10, 30, 10, 20, 10, 10, 30};
+    for (auto sym : message)
+        table.encode(sym, writer);
+    tepic::support::BitReader reader(writer.bytes().data(),
+                                     writer.bitSize());
+    for (auto sym : message)
+        EXPECT_EQ(table.decode(reader), sym);
+}
+
+TEST(CodeTable, FrequentSymbolsGetShorterCodes)
+{
+    SymbolHistogram hist;
+    hist.add(1, 1000000);
+    hist.add(2, 10);
+    hist.add(3, 10);
+    hist.add(4, 1);
+    const CodeTable table = CodeTable::build(hist, 16);
+    EXPECT_LT(table.codeLength(1), table.codeLength(4));
+    EXPECT_EQ(table.codeLength(1), 1u);
+}
+
+TEST(CodeTable, UnknownSymbolPanics)
+{
+    SymbolHistogram hist;
+    hist.add(1, 1);
+    hist.add(2, 1);
+    const CodeTable table = CodeTable::build(hist, 8);
+    tepic::support::BitWriter writer;
+    EXPECT_ANY_THROW(table.encode(99, writer));
+    EXPECT_ANY_THROW(table.codeLength(99));
+}
+
+TEST(CodeTable, EncodedBitsMatchesManualSum)
+{
+    SymbolHistogram hist;
+    hist.add(7, 5);
+    hist.add(8, 3);
+    hist.add(9, 2);
+    const CodeTable table = CodeTable::build(hist, 8);
+    std::uint64_t manual = 0;
+    manual += 5 * table.codeLength(7);
+    manual += 3 * table.codeLength(8);
+    manual += 2 * table.codeLength(9);
+    EXPECT_EQ(table.encodedBits(hist), manual);
+}
+
+TEST(Histogram, Entropy)
+{
+    SymbolHistogram hist;
+    hist.add(0, 1);
+    hist.add(1, 1);
+    EXPECT_NEAR(hist.entropyBits(), 1.0, 1e-12);
+    SymbolHistogram skew;
+    skew.add(0, 1);
+    EXPECT_NEAR(skew.entropyBits(), 0.0, 1e-12);
+}
+
+/** Property: random histograms round-trip and sit near entropy. */
+class HuffmanProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HuffmanProperty, RoundTripAndEntropyBound)
+{
+    tepic::support::Rng rng(std::uint64_t(GetParam()) * 104729 + 7);
+    SymbolHistogram hist;
+    const int n = int(rng.range(2, 400));
+    for (int i = 0; i < n; ++i)
+        hist.add(rng.next() & 0xffff, rng.below(5000) + 1);
+    const CodeTable table = CodeTable::build(hist, 16);
+
+    // Average code length within [H, H+1) for unbounded Huffman; the
+    // 16-bit bound can add a little, so allow slack.
+    const double total = double(hist.totalCount());
+    const double avg = double(table.encodedBits(hist)) / total;
+    EXPECT_GE(avg + 1e-9, hist.entropyBits());
+    EXPECT_LE(avg, hist.entropyBits() + 1.5);
+
+    // Encode a random message and decode it back.
+    std::vector<std::uint64_t> symbols;
+    for (const auto &[sym, count] : hist.counts())
+        symbols.push_back(sym);
+    tepic::support::BitWriter writer;
+    std::vector<std::uint64_t> message;
+    for (int i = 0; i < 1000; ++i) {
+        const auto sym = symbols[rng.below(symbols.size())];
+        message.push_back(sym);
+        table.encode(sym, writer);
+    }
+    tepic::support::BitReader reader(writer.bytes().data(),
+                                     writer.bitSize());
+    for (auto sym : message)
+        ASSERT_EQ(table.decode(reader), sym);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * TEPIC ISA tests: format layouts against Table 2 of the paper,
+ * encode/decode round trips across all formats, MOP invariants, and
+ * baseline image construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/baseline.hh"
+#include "isa/machine.hh"
+#include "isa/operation.hh"
+#include "isa/program.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace tepic::isa;
+
+TEST(IsaFormats, AllFormatsAreFortyBits)
+{
+    for (unsigned f = 0; f < kNumFormats; ++f) {
+        unsigned total = 0;
+        for (const auto &spec : formatFields(Format(f)))
+            total += spec.width;
+        EXPECT_EQ(total, kOpBits) << formatName(Format(f));
+    }
+}
+
+TEST(IsaFormats, AllFormatsShareTheHeader)
+{
+    // Every format starts T(1) S(1) OPT(2) OPCODE(5): the decoder
+    // selects the format after 9 bits (§2.3 relies on this).
+    for (unsigned f = 0; f < kNumFormats; ++f) {
+        const auto fields = formatFields(Format(f));
+        ASSERT_GE(fields.size(), 4u);
+        EXPECT_EQ(fields[0].kind, FieldKind::kTail);
+        EXPECT_EQ(fields[0].width, 1u);
+        EXPECT_EQ(fields[1].kind, FieldKind::kSpec);
+        EXPECT_EQ(fields[1].width, 1u);
+        EXPECT_EQ(fields[2].kind, FieldKind::kOpType);
+        EXPECT_EQ(fields[2].width, 2u);
+        EXPECT_EQ(fields[3].kind, FieldKind::kOpcode);
+        EXPECT_EQ(fields[3].width, 5u);
+    }
+}
+
+TEST(IsaFormats, Table2SpotChecks)
+{
+    // Load-immediate carries a 20-bit immediate; branch a 16-bit
+    // target; IntCmpp a 3-bit D1 modifier (Table 2).
+    auto has_field = [](Format f, FieldKind kind, unsigned width) {
+        for (const auto &spec : formatFields(f))
+            if (spec.kind == kind && spec.width == width)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_field(Format::kLoadImm, FieldKind::kImm, 20));
+    EXPECT_TRUE(has_field(Format::kBranch, FieldKind::kTarget, 16));
+    EXPECT_TRUE(has_field(Format::kIntCmpp, FieldKind::kD1, 3));
+    EXPECT_TRUE(has_field(Format::kLoad, FieldKind::kLat, 5));
+    EXPECT_TRUE(has_field(Format::kFloatAlu, FieldKind::kSd, 1));
+    EXPECT_TRUE(has_field(Format::kStore, FieldKind::kTcs, 2));
+}
+
+TEST(IsaFormats, FormatSelection)
+{
+    EXPECT_EQ(formatFor(OpType::kInt, Opcode::kAdd), Format::kIntAlu);
+    EXPECT_EQ(formatFor(OpType::kInt, Opcode::kLdi), Format::kLoadImm);
+    EXPECT_EQ(formatFor(OpType::kInt, Opcode::kCmppLt),
+              Format::kIntCmpp);
+    EXPECT_EQ(formatFor(OpType::kFloat, Opcode::kFadd),
+              Format::kFloatAlu);
+    EXPECT_EQ(formatFor(OpType::kMemory, Opcode::kLoad), Format::kLoad);
+    EXPECT_EQ(formatFor(OpType::kMemory, Opcode::kFstore),
+              Format::kStore);
+    EXPECT_EQ(formatFor(OpType::kBranch, Opcode::kBrct),
+              Format::kBranch);
+}
+
+TEST(Operation, EncodeDecodeSimple)
+{
+    Operation op = Operation::make(OpType::kInt, Opcode::kAdd);
+    op.setDest(3);
+    op.setSrc1(1);
+    op.setSrc2(2);
+    op.setPred(0);
+    op.setTail(true);
+    const Operation back = Operation::decode(op.encode());
+    EXPECT_EQ(back, op);
+    EXPECT_TRUE(back.tail());
+    EXPECT_EQ(back.dest(), 3u);
+}
+
+TEST(Operation, ReservedBitsEncodeAsZero)
+{
+    Operation op = Operation::make(OpType::kInt, Opcode::kAdd);
+    const std::uint64_t bits = op.encode();
+    // Bits 13..20 (from MSB of the 40) are the IntAlu reserved field.
+    EXPECT_EQ((bits >> 11) & 0xff, 0u);
+}
+
+TEST(Operation, SettingReservedNonZeroPanics)
+{
+    Operation op = Operation::make(OpType::kInt, Opcode::kAdd);
+    EXPECT_ANY_THROW(op.setField(FieldKind::kReserved, 1));
+}
+
+TEST(Operation, OverflowingFieldPanicsOnEncode)
+{
+    Operation op = Operation::make(OpType::kInt, Opcode::kAdd);
+    op.setDest(40);  // 5-bit field
+    EXPECT_FALSE(op.valid());
+    EXPECT_ANY_THROW(op.encode());
+}
+
+TEST(Operation, ToStringDisassembles)
+{
+    Operation op = Operation::make(OpType::kInt, Opcode::kAdd);
+    op.setDest(3);
+    op.setSrc1(1);
+    op.setSrc2(2);
+    EXPECT_EQ(op.toString(), "add r3, r1, r2");
+    op.setPred(7);
+    op.setTail(true);
+    EXPECT_EQ(op.toString(), "add r3, r1, r2 if p7 ;;");
+}
+
+/** Round-trip every opcode of every type with randomised fields. */
+struct OpCase
+{
+    OpType type;
+    Opcode opcode;
+};
+
+class OperationRoundTrip : public ::testing::TestWithParam<OpCase>
+{
+};
+
+TEST_P(OperationRoundTrip, RandomFieldsSurvive)
+{
+    tepic::support::Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        Operation op =
+            Operation::make(GetParam().type, GetParam().opcode);
+        for (const auto &spec : formatFields(op.format())) {
+            if (spec.kind == FieldKind::kOpType ||
+                spec.kind == FieldKind::kOpcode ||
+                spec.kind == FieldKind::kReserved) {
+                continue;
+            }
+            const std::uint32_t value = std::uint32_t(
+                rng.next() & ((std::uint64_t(1) << spec.width) - 1));
+            op.setField(spec.kind, value);
+        }
+        const Operation back = Operation::decode(op.encode());
+        EXPECT_EQ(back, op) << op.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OperationRoundTrip,
+    ::testing::Values(
+        OpCase{OpType::kInt, Opcode::kAdd},
+        OpCase{OpType::kInt, Opcode::kSub},
+        OpCase{OpType::kInt, Opcode::kMul},
+        OpCase{OpType::kInt, Opcode::kDiv},
+        OpCase{OpType::kInt, Opcode::kRem},
+        OpCase{OpType::kInt, Opcode::kAnd},
+        OpCase{OpType::kInt, Opcode::kOr},
+        OpCase{OpType::kInt, Opcode::kXor},
+        OpCase{OpType::kInt, Opcode::kShl},
+        OpCase{OpType::kInt, Opcode::kShr},
+        OpCase{OpType::kInt, Opcode::kSra},
+        OpCase{OpType::kInt, Opcode::kMov},
+        OpCase{OpType::kInt, Opcode::kLdi},
+        OpCase{OpType::kInt, Opcode::kCmppEq},
+        OpCase{OpType::kInt, Opcode::kCmppNe},
+        OpCase{OpType::kInt, Opcode::kCmppLt},
+        OpCase{OpType::kInt, Opcode::kCmppLe},
+        OpCase{OpType::kInt, Opcode::kCmppGt},
+        OpCase{OpType::kInt, Opcode::kCmppGe},
+        OpCase{OpType::kFloat, Opcode::kFadd},
+        OpCase{OpType::kFloat, Opcode::kFsub},
+        OpCase{OpType::kFloat, Opcode::kFmul},
+        OpCase{OpType::kFloat, Opcode::kFdiv},
+        OpCase{OpType::kFloat, Opcode::kFmov},
+        OpCase{OpType::kFloat, Opcode::kItof},
+        OpCase{OpType::kFloat, Opcode::kFtoi},
+        OpCase{OpType::kFloat, Opcode::kFcmppEq},
+        OpCase{OpType::kFloat, Opcode::kFcmppLt},
+        OpCase{OpType::kFloat, Opcode::kFcmppLe},
+        OpCase{OpType::kMemory, Opcode::kLoad},
+        OpCase{OpType::kMemory, Opcode::kStore},
+        OpCase{OpType::kMemory, Opcode::kFload},
+        OpCase{OpType::kMemory, Opcode::kFstore},
+        OpCase{OpType::kBranch, Opcode::kBr},
+        OpCase{OpType::kBranch, Opcode::kBrct},
+        OpCase{OpType::kBranch, Opcode::kBrcf},
+        OpCase{OpType::kBranch, Opcode::kCall},
+        OpCase{OpType::kBranch, Opcode::kRet},
+        OpCase{OpType::kBranch, Opcode::kBrlc}),
+    [](const auto &info) {
+        std::string name =
+            std::string(opTypeName(info.param.type)) + "_" +
+            tepic::isa::opcodeName(info.param.type,
+                                   info.param.opcode);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Mop, TailBitMaintenance)
+{
+    Mop mop;
+    Operation a = Operation::make(OpType::kInt, Opcode::kAdd);
+    Operation b = Operation::make(OpType::kInt, Opcode::kSub);
+    mop.append(a);
+    EXPECT_TRUE(mop.ops()[0].tail());
+    mop.append(b);
+    EXPECT_FALSE(mop.ops()[0].tail());
+    EXPECT_TRUE(mop.ops()[1].tail());
+}
+
+TEST(Mop, MachineConstraints)
+{
+    const MachineConfig machine = MachineConfig::paperDefault();
+    Mop mop;
+    for (int i = 0; i < 6; ++i)
+        mop.append(Operation::make(OpType::kInt, Opcode::kAdd));
+    EXPECT_TRUE(mop.respectsMachine(machine));
+    mop.append(Operation::make(OpType::kInt, Opcode::kAdd));
+    EXPECT_FALSE(mop.respectsMachine(machine));  // 7 > issue width
+
+    Mop mem_mop;
+    mem_mop.append(Operation::make(OpType::kMemory, Opcode::kLoad));
+    mem_mop.append(Operation::make(OpType::kMemory, Opcode::kStore));
+    EXPECT_TRUE(mem_mop.respectsMachine(machine));
+    mem_mop.append(Operation::make(OpType::kMemory, Opcode::kLoad));
+    EXPECT_FALSE(mem_mop.respectsMachine(machine));  // 3 memory units
+}
+
+TEST(Machine, Latencies)
+{
+    EXPECT_EQ(operationLatency(
+                  Operation::make(OpType::kInt, Opcode::kAdd)), 1u);
+    EXPECT_EQ(operationLatency(
+                  Operation::make(OpType::kInt, Opcode::kMul)), 3u);
+    EXPECT_EQ(operationLatency(
+                  Operation::make(OpType::kInt, Opcode::kDiv)), 8u);
+    EXPECT_EQ(operationLatency(
+                  Operation::make(OpType::kMemory, Opcode::kLoad)), 2u);
+    EXPECT_EQ(operationLatency(
+                  Operation::make(OpType::kFloat, Opcode::kFdiv)), 12u);
+}
+
+namespace {
+
+/** A two-block straight-line program for image tests. */
+VliwProgram
+tinyProgram()
+{
+    VliwProgram prog;
+    VliwBlock &b0 = prog.addBlock();
+    Mop m0;
+    Operation ldi = Operation::make(OpType::kInt, Opcode::kLdi);
+    ldi.setDest(3);
+    ldi.setImm(7);
+    m0.append(ldi);
+    Operation add = Operation::make(OpType::kInt, Opcode::kAdd);
+    add.setDest(4);
+    add.setSrc1(3);
+    add.setSrc2(3);
+    m0.append(add);
+    b0.mops.push_back(m0);
+    b0.fallthrough = 1;
+
+    VliwBlock &b1 = prog.addBlock();
+    Mop m1;
+    Operation ret = Operation::make(OpType::kBranch, Opcode::kRet);
+    ret.setSrc1(kRegLink);
+    m1.append(ret);
+    b1.mops.push_back(m1);
+    return prog;
+}
+
+} // namespace
+
+TEST(BaselineImage, LayoutAndRoundTrip)
+{
+    const VliwProgram prog = tinyProgram();
+    const Image image = buildBaselineImage(prog);
+    EXPECT_EQ(image.bitSize, 3 * kOpBits);
+    EXPECT_EQ(image.blocks.size(), 2u);
+    EXPECT_EQ(image.blocks[0].bitOffset % 8, 0u);  // byte aligned
+    EXPECT_EQ(image.blocks[1].bitOffset % 8, 0u);
+    EXPECT_EQ(image.blocks[0].numOps, 2u);
+    EXPECT_EQ(image.blocks[0].numMops, 1u);
+
+    const auto decoded = decodeBaselineImage(image);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0][0], prog.blocks()[0].mops[0].ops()[0]);
+    EXPECT_EQ(decoded[0][1], prog.blocks()[0].mops[0].ops()[1]);
+    EXPECT_EQ(decoded[1][0], prog.blocks()[1].mops[0].ops()[0]);
+}
+
+TEST(Program, ValidateCatchesInteriorBranch)
+{
+    VliwProgram prog = tinyProgram();
+    // Inject a branch into the middle of block 0.
+    Mop branch_mop;
+    Operation br = Operation::make(OpType::kBranch, Opcode::kBr);
+    br.setTarget(1);
+    branch_mop.append(br);
+    prog.blocks()[0].mops.insert(prog.blocks()[0].mops.begin(),
+                                 branch_mop);
+    EXPECT_ANY_THROW(prog.validate(MachineConfig::paperDefault()));
+}
+
+TEST(Program, ValidateCatchesBrokenTailBit)
+{
+    VliwProgram prog = tinyProgram();
+    prog.blocks()[0].mops[0].ops()[0].setTail(true);  // not last op
+    EXPECT_ANY_THROW(prog.validate(MachineConfig::paperDefault()));
+}
+
+TEST(Program, CountsAndSizes)
+{
+    const VliwProgram prog = tinyProgram();
+    EXPECT_EQ(prog.opCount(), 3u);
+    EXPECT_EQ(prog.mopCount(), 2u);
+    EXPECT_EQ(prog.baselineBits(), 120u);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Power-model and decoder-cost tests: bus bit-flip accounting against
+ * hand-computed sequences, and the paper's §3.5 transistor-count
+ * formula evaluated at known points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "decoder/complexity.hh"
+#include "power/bitflips.hh"
+#include "schemes/huffman_scheme.hh"
+#include "schemes/tailored.hh"
+
+namespace {
+
+using namespace tepic;
+
+TEST(BusModel, HandComputedFlips)
+{
+    power::BusModel bus(1);  // 1-byte bus for easy counting
+    const std::uint8_t a[] = {0xff};
+    bus.transfer(a);
+    EXPECT_EQ(bus.bitFlips(), 8u);  // from idle 0x00 to 0xff
+    const std::uint8_t b[] = {0xff};
+    bus.transfer(b);
+    EXPECT_EQ(bus.bitFlips(), 8u);  // unchanged bus: no flips
+    const std::uint8_t c[] = {0x0f};
+    bus.transfer(c);
+    EXPECT_EQ(bus.bitFlips(), 12u);  // high nibble toggles
+    EXPECT_EQ(bus.beats(), 3u);
+    EXPECT_EQ(bus.bytesTransferred(), 3u);
+}
+
+TEST(BusModel, WideBusPadsWithZeros)
+{
+    power::BusModel bus(8);
+    const std::uint8_t data[] = {0xff, 0xff, 0xff};  // one beat
+    bus.transfer(data);
+    EXPECT_EQ(bus.beats(), 1u);
+    EXPECT_EQ(bus.bitFlips(), 24u);
+    const std::uint8_t more[12] = {0};  // two beats of zeros
+    bus.transfer(more);
+    EXPECT_EQ(bus.beats(), 3u);
+    EXPECT_EQ(bus.bitFlips(), 24u + 24u);  // first beat clears 24 ones
+}
+
+TEST(BusModel, StatePersistsAcrossTransfers)
+{
+    power::BusModel bus(2);
+    const std::uint8_t a[] = {0xaa, 0xaa};
+    const std::uint8_t b[] = {0x55, 0x55};
+    bus.transfer(a);
+    const auto after_a = bus.bitFlips();
+    bus.transfer(b);
+    EXPECT_EQ(bus.bitFlips() - after_a, 16u);  // full toggle
+}
+
+TEST(DecoderCost, FormulaAtKnownPoints)
+{
+    // T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n
+    decoder::HuffmanDecoderParams p;
+    p.n = 1;
+    p.m = 8;
+    p.k = 2;
+    // 2*8*1 + 4*8*(2-1-1) + 2 = 16 + 0 + 2
+    EXPECT_EQ(decoder::huffmanDecoderTransistors(p), 18u);
+
+    p.n = 4;
+    p.m = 8;
+    // 2*8*15 + 4*8*(16-8-1) + 8 = 240 + 224 + 8
+    EXPECT_EQ(decoder::huffmanDecoderTransistors(p), 472u);
+
+    p.n = 16;
+    p.m = 40;
+    const std::uint64_t expect = 2ull * 40 * 65535 +
+                                 4ull * 40 * (65536 - 32768 - 1) +
+                                 32;
+    EXPECT_EQ(decoder::huffmanDecoderTransistors(p), expect);
+}
+
+TEST(DecoderCost, GrowsWithDepthAndSymbolWidth)
+{
+    decoder::HuffmanDecoderParams small{8, 100, 8};
+    decoder::HuffmanDecoderParams deeper{12, 100, 8};
+    decoder::HuffmanDecoderParams wider{8, 100, 40};
+    EXPECT_LT(decoder::huffmanDecoderTransistors(small),
+              decoder::huffmanDecoderTransistors(deeper));
+    EXPECT_LT(decoder::huffmanDecoderTransistors(small),
+              decoder::huffmanDecoderTransistors(wider));
+}
+
+TEST(DecoderCost, SchemeOrderingOnRealProgram)
+{
+    auto compiled = compiler::compileSource(R"(
+        var data[128];
+        func work(a, b): int { return a * b + (a ^ b); }
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 128; i = i + 1) {
+                data[i] = work(i, s);
+                s = s + data[i] % 97;
+            }
+            return s;
+        }
+    )");
+    const auto &program = compiled.program;
+    const auto byte_cost = decoder::decoderTransistors(
+        schemes::compressByte(program));
+    const auto full_cost = decoder::decoderTransistors(
+        schemes::compressFull(program));
+    const auto tailored_cost = decoder::tailoredDecoderTransistors(
+        schemes::TailoredIsa::build(program));
+
+    // The paper's Figure 10 ordering: tailored (a small PLA) is far
+    // cheaper than any Huffman decoder; byte-wise is the smallest of
+    // the Huffman options.
+    EXPECT_LT(tailored_cost, byte_cost);
+    EXPECT_LT(byte_cost, full_cost);
+}
+
+TEST(DecoderCost, TailoredPlaTracksOpcodeCount)
+{
+    auto tiny = compiler::compileSource(
+        "func main(): int { return 1; }");
+    auto bigger = compiler::compileSource(R"(
+        var a[16];
+        func main(): int {
+            var s = 0;
+            var f: float = 1.0;
+            for (var i = 0; i < 16; i = i + 1) {
+                a[i] = i * 3 - (i >> 1);
+                s = s ^ a[i];
+                f = f * 1.5;
+            }
+            return s + int(f) % 100;
+        }
+    )");
+    const auto tiny_isa =
+        schemes::TailoredIsa::build(tiny.program);
+    const auto big_isa =
+        schemes::TailoredIsa::build(bigger.program);
+    EXPECT_LT(tiny_isa.distinctOpcodes(), big_isa.distinctOpcodes());
+    EXPECT_LT(decoder::tailoredDecoderTransistors(tiny_isa),
+              decoder::tailoredDecoderTransistors(big_isa));
+}
+
+} // namespace

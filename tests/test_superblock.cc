@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Complex-fetch-unit tests: unit formation respects side-entrance /
+ * side-exit / call constraints, geometry is consistent, and the unit
+ * simulator conserves the op stream while reducing ATT entries and
+ * predictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "core/pipeline.hh"
+#include "fetch/superblock.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+
+struct Built
+{
+    compiler::CompiledProgram compiled;
+    sim::EmulationResult emu;
+    isa::Image image;
+};
+
+Built
+build(const char *src)
+{
+    Built b;
+    b.compiled = compiler::compileSource(src);
+    b.emu = sim::emulate(b.compiled.program, b.compiled.data);
+    b.image = isa::buildBaselineImage(b.compiled.program);
+    return b;
+}
+
+const char *kBiasedLoop = R"(
+    func main(): int {
+        var s = 0;
+        for (var i = 0; i < 3000; i = i + 1) {
+            if (i % 100 == 0) { s = s + 1000; }  // rare side path
+            s = s + i;
+            if (i % 97 == 0) { s = s ^ 5; }      // rare again
+            s = s * 3;
+        }
+        return s;
+    }
+)";
+
+TEST(FetchUnits, FormationBasics)
+{
+    Built b = build(kBiasedLoop);
+    const auto units = fetch::formFetchUnits(b.compiled.program,
+                                             b.emu.trace);
+    EXPECT_EQ(units.headOf.size(), b.compiled.program.blocks().size());
+    EXPECT_GT(units.multiBlockUnits, 0u);
+    EXPECT_LT(units.units, b.compiled.program.blocks().size());
+    // Partition sanity: every block's head is a head; members are
+    // consecutive.
+    for (std::size_t blk = 0; blk < units.headOf.size(); ++blk) {
+        const isa::BlockId head = units.headOf[blk];
+        EXPECT_TRUE(units.isHead(head));
+        EXPECT_GE(isa::BlockId(blk), head);
+        EXPECT_LT(isa::BlockId(blk), head + units.lengthOf[head]);
+    }
+}
+
+TEST(FetchUnits, CallsAreNeverAbsorbed)
+{
+    Built b = build(R"(
+        func f(x): int { return x + 1; }
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) { s = s + f(i); }
+            return s;
+        }
+    )");
+    const auto units = fetch::formFetchUnits(b.compiled.program,
+                                             b.emu.trace);
+    // A block ending in call/ret must be a unit tail (its follower
+    // starts a new unit).
+    for (const auto &blk : b.compiled.program.blocks()) {
+        bool call_or_ret = false;
+        if (!blk.mops.empty())
+            for (const auto &op : blk.mops.back().ops())
+                if (op.isBranch() &&
+                    (op.opcode() == isa::Opcode::kCall ||
+                     op.opcode() == isa::Opcode::kRet))
+                    call_or_ret = true;
+        if (call_or_ret && blk.id + 1 < units.headOf.size())
+            EXPECT_TRUE(units.isHead(isa::BlockId(blk.id + 1)))
+                << "block " << blk.id;
+    }
+}
+
+TEST(FetchUnits, SimulationConservesOpsAndCutsPredictions)
+{
+    Built b = build(kBiasedLoop);
+    const auto units = fetch::formFetchUnits(b.compiled.program,
+                                             b.emu.trace);
+    const auto config =
+        fetch::FetchConfig::paper(fetch::SchemeClass::kBase);
+    const auto plain = fetch::simulateFetch(
+        b.image, b.compiled.program, b.emu.trace, config);
+    const auto unit = fetch::simulateUnitFetch(
+        b.image, b.compiled.program, b.emu.trace, units, config);
+
+    EXPECT_EQ(unit.fetch.opsDelivered, plain.opsDelivered);
+    EXPECT_EQ(unit.fetch.idealCycles, plain.idealCycles);
+    EXPECT_EQ(unit.fetch.blocksFetched, plain.blocksFetched);
+    // One prediction per unit traversal, not per block.
+    EXPECT_LT(unit.fetch.predictionsCorrect +
+                  unit.fetch.predictionsWrong,
+              plain.predictionsCorrect + plain.predictionsWrong);
+    EXPECT_LT(unit.attEntries, b.compiled.program.blocks().size());
+    EXPECT_LE(unit.sideExitRate(), 1.0);
+}
+
+TEST(FetchUnits, DegenerateUnitsMatchPlainSim)
+{
+    // With absorption disabled (maxBlocks = 1) the unit simulator
+    // must agree with the plain one on every headline number.
+    Built b = build(kBiasedLoop);
+    fetch::FetchUnitConfig no_merge;
+    no_merge.maxBlocks = 1;
+    const auto units = fetch::formFetchUnits(b.compiled.program,
+                                             b.emu.trace, no_merge);
+    EXPECT_EQ(units.units, b.compiled.program.blocks().size());
+    const auto config =
+        fetch::FetchConfig::paper(fetch::SchemeClass::kBase);
+    const auto plain = fetch::simulateFetch(
+        b.image, b.compiled.program, b.emu.trace, config);
+    const auto unit = fetch::simulateUnitFetch(
+        b.image, b.compiled.program, b.emu.trace, units, config);
+    EXPECT_EQ(unit.fetch.cycles, plain.cycles);
+    EXPECT_EQ(unit.fetch.l1Misses, plain.l1Misses);
+    EXPECT_EQ(unit.fetch.predictionsWrong, plain.predictionsWrong);
+    EXPECT_EQ(unit.fetch.busBitFlips, plain.busBitFlips);
+    EXPECT_EQ(unit.sideExits, 0u);
+}
+
+TEST(FetchUnits, WorksOnRealWorkloads)
+{
+    for (const char *name : {"go", "m88ksim"}) {
+        const auto artifacts = core::buildArtifacts(
+            workloads::workloadByName(name).source);
+        const auto units = fetch::formFetchUnits(
+            artifacts.compiled.program, artifacts.execution.trace);
+        const auto config =
+            fetch::FetchConfig::paper(fetch::SchemeClass::kBase);
+        const auto unit = fetch::simulateUnitFetch(
+            artifacts.baseImage, artifacts.compiled.program,
+            artifacts.execution.trace, units, config);
+        EXPECT_EQ(unit.fetch.opsDelivered,
+                  artifacts.execution.dynamicOps)
+            << name;
+        EXPECT_GT(unit.fetch.ipc(), 0.5) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the support substrate: bit streams, statistics,
+ * text tables and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitstream.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace {
+
+using tepic::support::BitReader;
+using tepic::support::BitWriter;
+
+TEST(BitStream, SingleBits)
+{
+    BitWriter w;
+    w.writeBit(true);
+    w.writeBit(false);
+    w.writeBit(true);
+    EXPECT_EQ(w.bitSize(), 3u);
+    EXPECT_EQ(w.byteSize(), 1u);
+    EXPECT_EQ(w.bytes()[0], 0b10100000);
+
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_TRUE(r.readBit());
+    EXPECT_FALSE(r.readBit());
+    EXPECT_TRUE(r.readBit());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitStream, MsbFirstFieldOrder)
+{
+    BitWriter w;
+    w.writeBits(0b101, 3);
+    w.writeBits(0xff, 8);
+    w.writeBits(0, 5);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.readBits(3), 0b101u);
+    EXPECT_EQ(r.readBits(8), 0xffu);
+    EXPECT_EQ(r.readBits(5), 0u);
+}
+
+TEST(BitStream, ByteAlignment)
+{
+    BitWriter w;
+    w.writeBits(1, 1);
+    w.alignToByte();
+    EXPECT_EQ(w.bitSize(), 8u);
+    w.writeBits(0xab, 8);
+    EXPECT_EQ(w.bytes()[1], 0xab);
+    w.alignToByte();
+    EXPECT_EQ(w.bitSize(), 16u);  // already aligned: no-op
+}
+
+TEST(BitStream, SeekAndReread)
+{
+    BitWriter w;
+    w.writeBits(0x1234, 16);
+    w.writeBits(0x5678, 16);
+    BitReader r(w.bytes().data(), w.bitSize());
+    r.seek(16);
+    EXPECT_EQ(r.readBits(16), 0x5678u);
+    r.seek(0);
+    EXPECT_EQ(r.readBits(16), 0x1234u);
+}
+
+TEST(BitStream, SixtyFourBitValues)
+{
+    BitWriter w;
+    const std::uint64_t value = 0xdeadbeefcafebabeull;
+    w.writeBits(value, 64);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.readBits(64), value);
+}
+
+TEST(BitStream, OverrunPanics)
+{
+    BitWriter w;
+    w.writeBits(3, 2);
+    BitReader r(w.bytes().data(), w.bitSize());
+    r.readBits(2);
+    EXPECT_ANY_THROW(r.readBits(1));
+}
+
+TEST(BitStream, ValueWiderThanFieldPanics)
+{
+    BitWriter w;
+    EXPECT_ANY_THROW(w.writeBits(4, 2));
+}
+
+/** Property: any sequence of (value,width) fields round-trips. */
+class BitStreamRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitStreamRoundTrip, RandomFields)
+{
+    tepic::support::Rng rng(std::uint64_t(GetParam()) * 7919 + 1);
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 500; ++i) {
+        const unsigned width = unsigned(rng.range(1, 64));
+        const std::uint64_t value = width == 64
+            ? rng.next()
+            : rng.next() & ((std::uint64_t(1) << width) - 1);
+        fields.emplace_back(value, width);
+        w.writeBits(value, width);
+    }
+    BitReader r(w.bytes().data(), w.bitSize());
+    for (const auto &[value, width] : fields)
+        EXPECT_EQ(r.readBits(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamRoundTrip,
+                         ::testing::Range(0, 8));
+
+TEST(Stats, ScalarStat)
+{
+    tepic::support::ScalarStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Histogram)
+{
+    tepic::support::Histogram h;
+    h.sample(1, 2);
+    h.sample(3, 2);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(tepic::support::median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(tepic::support::median({4.0, 1.0, 2.0, 3.0}),
+                     2.5);
+    EXPECT_DOUBLE_EQ(tepic::support::median({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(tepic::support::geomean({2.0, 8.0}), 4.0);
+    EXPECT_ANY_THROW(tepic::support::geomean({1.0, -1.0}));
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    tepic::support::Rng a(42);
+    tepic::support::Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+    tepic::support::Rng c(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = c.below(10);
+        EXPECT_LT(v, 10u);
+        const auto r = c.range(-5, 5);
+        EXPECT_GE(r, -5);
+        EXPECT_LE(r, 5);
+    }
+    EXPECT_FALSE(c.chance(0.0));
+    EXPECT_TRUE(c.chance(1.0));
+}
+
+TEST(TextTable, RendersAligned)
+{
+    tepic::support::TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(TextTable, Formatting)
+{
+    EXPECT_EQ(tepic::support::TextTable::num(1.2345, 2), "1.23");
+    EXPECT_EQ(tepic::support::TextTable::percent(0.643, 1), "64.3%");
+}
+
+TEST(TextTable, RowArityChecked)
+{
+    tepic::support::TextTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_ANY_THROW(t.addRow({"only-one"}));
+}
+
+} // namespace

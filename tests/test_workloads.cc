@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Workload correctness: every tinkerc workload, compiled and emulated,
+ * must produce exactly its native C++ reference result. This is the
+ * master oracle for the compiler, scheduler, register allocator and
+ * emulator acting together. Also checks the structural properties the
+ * experiments rely on (footprints, trace shapes, DSP-kernel loop
+ * sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "sim/emulator.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using tepic::compiler::compileSource;
+using tepic::workloads::allWorkloads;
+using tepic::workloads::Workload;
+using tepic::workloads::workloadByName;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadTest, MatchesNativeReference)
+{
+    const Workload &w = workloadByName(GetParam());
+    auto compiled = compileSource(w.source);
+    auto result = tepic::sim::emulate(compiled.program, compiled.data);
+    EXPECT_EQ(result.exitValue, w.reference())
+        << "workload " << w.name
+        << " diverged from its native reference";
+    EXPECT_GT(result.dynamicOps, 10000u)
+        << w.name << " should do non-trivial work";
+}
+
+TEST_P(WorkloadTest, ProfileGuidedRecompileMatchesToo)
+{
+    const Workload &w = workloadByName(GetParam());
+    auto compiled = compileSource(w.source);
+    auto first = tepic::sim::emulate(compiled.program, compiled.data);
+    tepic::compiler::applyProfileAndRelayout(
+        compiled, first.blockCounts,
+        tepic::isa::MachineConfig::paperDefault());
+    auto second = tepic::sim::emulate(compiled.program, compiled.data);
+    EXPECT_EQ(second.exitValue, w.reference());
+    // Straightened hot paths drop jumps, but speculative hoisting may
+    // execute a few extra ops on taken paths; allow a 2% band.
+    EXPECT_LE(second.dynamicOps,
+              first.dynamicOps + first.dynamicOps / 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::Values("compress", "gcc", "go", "ijpeg", "li",
+                      "m88ksim", "perl", "vortex", "fir", "matmul"),
+    [](const auto &info) { return info.param; });
+
+TEST(WorkloadSuite, HasTenWorkloads)
+{
+    EXPECT_EQ(allWorkloads().size(), 10u);
+}
+
+TEST(WorkloadSuite, SpecShapedFootprintsExceedDspKernels)
+{
+    // The generated dispatcher families must give the SPEC-shaped
+    // workloads a much larger static footprint than the DSP kernels.
+    std::size_t min_spec = SIZE_MAX;
+    std::size_t max_dsp = 0;
+    for (const auto &w : allWorkloads()) {
+        auto compiled = compileSource(w.source);
+        const std::size_t bytes = compiled.program.baselineBits() / 8;
+        if (w.isDspKernel)
+            max_dsp = std::max(max_dsp, bytes);
+        else
+            min_spec = std::min(min_spec, bytes);
+    }
+    EXPECT_GT(min_spec, max_dsp);
+}
+
+TEST(WorkloadSuite, DispatcherWorkloadsExceedCacheCapacity)
+{
+    // gcc/go/m88ksim-style workloads must not fit the 16 KB cache, or
+    // the capacity experiments of Figure 13 degenerate.
+    for (const char *name : {"gcc", "go"}) {
+        auto compiled = compileSource(workloadByName(name).source);
+        EXPECT_GT(compiled.program.baselineBits() / 8, 16u * 1024)
+            << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * tepicc — the command-line driver for the whole toolchain.
+ *
+ *   tepicc run        <prog>            compile + emulate, print exit value
+ *   tepicc disasm     <prog>            scheduled VLIW disassembly
+ *   tepicc ir         <prog>            optimised IR dump
+ *   tepicc stats      <prog>            compile/schedule/regalloc stats
+ *   tepicc compress   <prog>            per-scheme size + decoder table
+ *   tepicc fetch      <prog> [scheme]   fetch simulation (base|compressed|tailored)
+ *   tepicc verilog    <prog>            tailored-ISA decoder Verilog
+ *   tepicc trace      <prog> [N]        first N dynamic block-trace events
+ *   tepicc verify     <prog>            round-trip + fetch self-check
+ *   tepicc workloads                    list built-in workloads
+ *
+ * <prog> is a tinkerc file path or a built-in workload name.
+ * Global flags: --no-pgo (single-pass layout), -O0 (optimiser off).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/irgen.hh"
+#include "compiler/parser.hh"
+#include "core/pipeline.hh"
+#include "decoder/complexity.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: tepicc <command> [args]\n"
+        "  run|disasm|ir|stats|compress|fetch|verilog|trace|verify "
+        "<prog>\n"
+        "  workloads\n"
+        "flags: --no-pgo, -O0\n"
+        "<prog> = tinkerc file or built-in workload name\n");
+    return 2;
+}
+
+std::string
+loadSource(const std::string &arg)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (w.name == arg)
+            return w.source;
+    std::ifstream in(arg);
+    if (!in) {
+        std::fprintf(stderr,
+                     "tepicc: '%s' is neither a built-in workload nor "
+                     "a readable file\n", arg.c_str());
+        std::exit(1);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+struct Options
+{
+    bool pgo = true;
+    bool optimise = true;
+    std::vector<std::string> positional;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-pgo") == 0)
+            opts.pgo = false;
+        else if (std::strcmp(argv[i], "-O0") == 0)
+            opts.optimise = false;
+        else
+            opts.positional.push_back(argv[i]);
+    }
+    return opts;
+}
+
+core::PipelineConfig
+pipelineConfig(const Options &opts)
+{
+    core::PipelineConfig config;
+    config.profileGuided = opts.pgo;
+    if (!opts.optimise)
+        config.compile.opt = compiler::OptConfig::none();
+    return config;
+}
+
+compiler::CompileOptions
+compileOptions(const Options &opts)
+{
+    compiler::CompileOptions options;
+    if (!opts.optimise)
+        options.opt = compiler::OptConfig::none();
+    return options;
+}
+
+int
+cmdRun(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    auto compiled = compiler::compileSource(source,
+                                            compileOptions(opts));
+    auto result = sim::emulate(compiled.program, compiled.data);
+    std::printf("exit value: %d\n", result.exitValue);
+    std::printf("dynamic: %lu ops, %lu MOPs, %lu blocks\n",
+                (unsigned long)result.dynamicOps,
+                (unsigned long)result.dynamicMops,
+                (unsigned long)result.dynamicBlocks);
+    return 0;
+}
+
+int
+cmdDisasm(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    auto compiled = compiler::compileSource(source,
+                                            compileOptions(opts));
+    std::fputs(compiled.program.toString().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdIr(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    auto module = compiler::generateIr(compiler::parse(source));
+    if (opts.optimise)
+        compiler::optimise(module);
+    std::fputs(module.toString().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdStats(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    auto compiled = compiler::compileSource(source,
+                                            compileOptions(opts));
+    const auto &prog = compiled.program;
+    std::printf("blocks:            %zu\n", prog.blocks().size());
+    std::printf("ops:               %zu\n", prog.opCount());
+    std::printf("MOPs:              %zu\n", prog.mopCount());
+    std::printf("static ILP:        %.3f ops/MOP\n",
+                compiled.schedStats.ilp());
+    std::printf("baseline image:    %zu bytes\n",
+                prog.baselineBits() / 8);
+    std::printf("regalloc:          %u intervals, %u spills, %u "
+                "callee-saved regs\n",
+                compiled.raStats.intervals, compiled.raStats.spills,
+                compiled.raStats.calleeSavedUsed);
+    std::printf("data segment:      %zu bytes @0x%x\n",
+                compiled.data.bytes.size(), compiled.data.base);
+    return 0;
+}
+
+int
+cmdCompress(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    const auto artifacts =
+        core::buildArtifacts(source, pipelineConfig(opts));
+    core::verifyRoundTrips(artifacts);
+    support::TextTable table;
+    table.setHeader({"scheme", "bytes", "vs base", "decoder T"});
+    for (const auto &row : core::summarise(artifacts)) {
+        table.addRow({row.name, std::to_string(row.codeBits / 8),
+                      support::TextTable::percent(row.ratioVsBase),
+                      std::to_string(row.decoderTransistors)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdFetch(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    const auto artifacts =
+        core::buildArtifacts(source, pipelineConfig(opts));
+    std::vector<fetch::SchemeClass> schemes;
+    if (opts.positional.size() > 2) {
+        const std::string &which = opts.positional[2];
+        if (which == "base")
+            schemes = {fetch::SchemeClass::kBase};
+        else if (which == "compressed")
+            schemes = {fetch::SchemeClass::kCompressed};
+        else if (which == "tailored")
+            schemes = {fetch::SchemeClass::kTailored};
+        else
+            return usage();
+    } else {
+        schemes = {fetch::SchemeClass::kBase,
+                   fetch::SchemeClass::kCompressed,
+                   fetch::SchemeClass::kTailored};
+    }
+    support::TextTable table;
+    table.setHeader({"scheme", "IPC", "ideal", "L1 hit", "pred"});
+    for (auto scheme : schemes) {
+        const auto stats = core::runFetch(artifacts, scheme);
+        table.addRow({fetch::schemeClassName(scheme),
+                      support::TextTable::num(stats.ipc(), 3),
+                      support::TextTable::num(stats.idealIpc(), 3),
+                      support::TextTable::percent(stats.l1HitRate(), 2),
+                      support::TextTable::percent(
+                          stats.predictionAccuracy(), 1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdVerify(const Options &opts)
+{
+    // Full self-check: compile, emulate, build every image, verify
+    // all round trips, and cross-check the three fetch organisations
+    // deliver the identical op stream.
+    const auto source = loadSource(opts.positional[1]);
+    const auto artifacts =
+        core::buildArtifacts(source, pipelineConfig(opts));
+    core::verifyRoundTrips(artifacts);
+    std::printf("round trips: ok (base, byte, 6 streams, full, "
+                "tailored)\n");
+    const auto base =
+        core::runFetch(artifacts, fetch::SchemeClass::kBase);
+    const auto comp =
+        core::runFetch(artifacts, fetch::SchemeClass::kCompressed);
+    const auto tail =
+        core::runFetch(artifacts, fetch::SchemeClass::kTailored);
+    if (base.opsDelivered != comp.opsDelivered ||
+        base.opsDelivered != tail.opsDelivered) {
+        std::printf("FAIL: fetch organisations disagree on the op "
+                    "stream\n");
+        return 1;
+    }
+    std::printf("fetch: ok (%lu ops delivered by all three "
+                "organisations)\n",
+                (unsigned long)base.opsDelivered);
+    std::printf("exit value: %d\n", artifacts.execution.exitValue);
+    return 0;
+}
+
+int
+cmdVerilog(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    core::PipelineConfig config = pipelineConfig(opts);
+    config.buildAllStreamConfigs = false;
+    const auto artifacts = core::buildArtifacts(source, config);
+    std::fputs(artifacts.tailoredIsa.emitVerilog("tailored_decoder")
+                   .c_str(), stdout);
+    return 0;
+}
+
+int
+cmdTrace(const Options &opts)
+{
+    const auto source = loadSource(opts.positional[1]);
+    auto compiled = compiler::compileSource(source,
+                                            compileOptions(opts));
+    auto result = sim::emulate(compiled.program, compiled.data);
+    std::size_t limit = 50;
+    if (opts.positional.size() > 2)
+        limit = std::size_t(std::atoll(opts.positional[2].c_str()));
+    limit = std::min(limit, result.trace.events.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+        const auto &ev = result.trace.events[i];
+        const auto &blk = compiled.program.block(ev.block);
+        std::printf("%6zu  B%-5u %-24s -> B%-5u %s\n", i, ev.block,
+                    blk.label.c_str(), ev.next,
+                    ev.branchTaken ? "taken" : "fallthrough");
+    }
+    std::printf("... %zu events total\n", result.trace.events.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    if (opts.positional.empty())
+        return usage();
+    const std::string &cmd = opts.positional[0];
+
+    if (cmd == "workloads") {
+        for (const auto &w : workloads::allWorkloads())
+            std::printf("%-10s %s\n", w.name.c_str(),
+                        w.description.c_str());
+        return 0;
+    }
+    if (opts.positional.size() < 2)
+        return usage();
+
+    if (cmd == "run")
+        return cmdRun(opts);
+    if (cmd == "disasm")
+        return cmdDisasm(opts);
+    if (cmd == "ir")
+        return cmdIr(opts);
+    if (cmd == "stats")
+        return cmdStats(opts);
+    if (cmd == "compress")
+        return cmdCompress(opts);
+    if (cmd == "fetch")
+        return cmdFetch(opts);
+    if (cmd == "verilog")
+        return cmdVerilog(opts);
+    if (cmd == "verify")
+        return cmdVerify(opts);
+    if (cmd == "trace")
+        return cmdTrace(opts);
+    return usage();
+}
