@@ -39,7 +39,8 @@ printAblation()
                 fetch::FetchConfig::paper(SchemeClass::kCompressed);
             config.l0CapacityOps = s;
             const auto stats = core::runFetch(
-                named.artifacts, SchemeClass::kCompressed, config);
+                named.artifacts(), SchemeClass::kCompressed,
+                config);
             row.push_back(TextTable::num(stats.ipc(), 3));
             if (s == 32) {
                 hit32 = stats.l0Hits + stats.l0Misses
@@ -60,7 +61,7 @@ printAblation()
 void
 BM_L0Buffer(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     auto config = fetch::FetchConfig::paper(SchemeClass::kCompressed);
     config.l0CapacityOps = unsigned(state.range(0));
     for (auto _ : state) {
@@ -74,4 +75,7 @@ BENCHMARK(BM_L0Buffer)->Arg(8)->Arg(32)->Arg(128)
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printAblation)
+TEPIC_BENCH_MAIN(printAblation,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTrace}))

@@ -34,7 +34,7 @@ printAblation()
     table.setHeader(header);
 
     for (const auto &named : bench::allArtifacts()) {
-        const auto &program = named.artifacts.compiled.program;
+        const auto &program = named.artifacts().compiled.program;
         std::vector<std::string> row{named.name};
         std::vector<std::string> costs;
         for (unsigned b : bounds) {
@@ -50,7 +50,7 @@ printAblation()
             }
             if (ok) {
                 row.push_back(TextTable::percent(
-                    named.artifacts.ratio(img.image)));
+                    named.artifacts().ratio(img.image)));
                 costs.push_back(TextTable::num(
                     double(decoder::decoderTransistors(img)) / 1000.0,
                     0));
@@ -73,7 +73,7 @@ void
 BM_PackageMerge(benchmark::State &state)
 {
     const auto &program =
-        bench::allArtifacts().front().artifacts.compiled.program;
+        bench::allArtifacts().front().artifacts().compiled.program;
     huffman::SymbolHistogram hist;
     for (const auto &blk : program.blocks())
         for (const auto &mop : blk.mops)
@@ -90,4 +90,6 @@ BENCHMARK(BM_PackageMerge)->Arg(12)->Arg(16)->Arg(20)
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printAblation)
+TEPIC_BENCH_MAIN(printAblation,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase}))

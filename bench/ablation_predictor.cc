@@ -48,7 +48,7 @@ printAblation()
     for (const auto &named : bench::allArtifacts()) {
         if (named.isDspKernel)
             continue;
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto base2 =
             runWith(a, SchemeClass::kBase, PredictorKind::kBimodal);
         const auto baseg =
@@ -89,7 +89,7 @@ printAblation()
 void
 BM_GsharePredictor(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
         auto stats = runWith(a, SchemeClass::kBase,
                              PredictorKind::kGshare);
@@ -100,4 +100,8 @@ BENCHMARK(BM_GsharePredictor)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printAblation)
+TEPIC_BENCH_MAIN(printAblation,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase,
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTrace}))

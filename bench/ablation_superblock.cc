@@ -20,6 +20,19 @@ using support::TextTable;
 void
 printAblation()
 {
+    // This harness requests only {Base, Trace}: the selective-build
+    // contract says the engine must not have touched any Huffman or
+    // tailored builder. Enforced here so a regression fails loudly.
+    const auto engine_stats = bench::benchEngine().stats();
+    TEPIC_ASSERT(engine_stats.huffmanImages() == 0 &&
+                     engine_stats.tailoredImages == 0,
+                 "base-only bench built compressed images: ",
+                 engine_stats.huffmanImages(), " huffman, ",
+                 engine_stats.tailoredImages, " tailored");
+    std::fprintf(stderr,
+                 "[bench] selective build check: 0 huffman, 0 "
+                 "tailored images built for a base-only request\n");
+
     std::printf("=== Ablation: basic-block vs complex (superblock) "
                 "fetch units ===\n\n");
 
@@ -30,15 +43,15 @@ printAblation()
 
     std::vector<double> gains;
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto units = fetch::formFetchUnits(
-            a.compiled.program, a.execution.trace);
+            a.compiled.program, a.trace());
         const auto config = fetch::FetchConfig::paper(
             SchemeClass::kBase);
         const auto plain = core::runFetch(a, SchemeClass::kBase);
         const auto unit = fetch::simulateUnitFetch(
-            a.baseImage, a.compiled.program, a.execution.trace,
-            units, config);
+            a.baseImage(), a.compiled.program, a.trace(), units,
+            config);
         gains.push_back(unit.fetch.ipc() / plain.ipc());
 
         const std::uint64_t plain_preds =
@@ -71,7 +84,7 @@ printAblation()
 void
 BM_UnitFormation(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
         auto units = fetch::formFetchUnits(a.compiled.program,
                                            a.execution.trace);
@@ -82,4 +95,7 @@ BENCHMARK(BM_UnitFormation)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printAblation)
+TEPIC_BENCH_MAIN(printAblation,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase,
+                     tepic::core::ArtifactKind::kTrace}))

@@ -1,11 +1,23 @@
 /**
  * @file
- * Shared plumbing for the figure-reproduction harnesses: build the
- * full artefact set once per binary, cache it, and print paper-style
- * tables. Every bench binary follows the same pattern:
+ * Shared plumbing for the figure-reproduction harnesses, built on the
+ * parallel artifact engine. Every bench binary follows the same
+ * pattern:
  *
- *   1. print the reproduced table/figure rows (the deliverable),
- *   2. hand control to google-benchmark for the timing section.
+ *   1. parse the shared BenchOptions CLI layer (--workloads=,
+ *      --schemes=, --jobs=) before google-benchmark sees argv,
+ *   2. build the requested artefacts for the requested workloads —
+ *      up front, in main, so build logging never interleaves with
+ *      benchmark output and build failures surface before timings,
+ *   3. print the reproduced table/figure rows (the deliverable),
+ *   4. hand control to google-benchmark for the timing section.
+ *
+ * Each binary declares the artefact kinds it actually consumes via
+ * TEPIC_BENCH_MAIN's request argument; the engine builds nothing
+ * else. `--schemes=` narrows (or widens) that set from the command
+ * line, `--workloads=` selects a workload subset, and `--jobs=`
+ * controls engine parallelism (output is bit-identical for any jobs
+ * value — the determinism guarantee is tested in tests/test_engine).
  */
 
 #ifndef TEPIC_BENCH_COMMON_HH
@@ -13,49 +25,204 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "workloads/workload.hh"
 
 namespace tepic::bench {
 
+/** The shared CLI layer, parsed before google-benchmark init. */
+struct BenchOptions
+{
+    std::vector<std::string> workloads;  ///< empty = the full suite
+    core::ArtifactRequest request;       ///< what to build
+    unsigned jobs = 0;                   ///< 0 = hardware concurrency
+};
+
+/**
+ * Parse and strip the harness flags from argv. `--schemes=` replaces
+ * the binary's default request but inherits its trace bit (traces are
+ * an input of the fetch sims, not a scheme a user would think to
+ * list).
+ */
+inline BenchOptions
+parseBenchOptions(int *argc, char **argv,
+                  core::ArtifactRequest default_request)
+{
+    BenchOptions options;
+    options.request = default_request;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--workloads=", 12) == 0) {
+            std::string list(arg + 12);
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > pos) {
+                    options.workloads.push_back(
+                        list.substr(pos, comma - pos));
+                }
+                pos = comma + 1;
+            }
+        } else if (std::strncmp(arg, "--schemes=", 10) == 0) {
+            auto parsed = core::ArtifactRequest::parse(arg + 10);
+            if (default_request.has(core::ArtifactKind::kTrace))
+                parsed = parsed.with(core::ArtifactKind::kTrace);
+            options.request = parsed;
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            options.jobs = unsigned(std::atoi(arg + 7));
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+    }
+    *argc = out;
+    return options;
+}
+
 struct NamedArtifacts
 {
     std::string name;
     bool isDspKernel = false;
-    core::Artifacts artifacts;
+    std::shared_ptr<const core::Artifacts> ptr;
+
+    const core::Artifacts &artifacts() const { return *ptr; }
 };
 
-/** Build (once) the artefacts for every workload in the suite. */
-inline const std::vector<NamedArtifacts> &
-allArtifacts()
+namespace detail {
+
+inline std::unique_ptr<core::ArtifactEngine> &
+engineSlot()
 {
-    static const std::vector<NamedArtifacts> artifacts = [] {
-        std::vector<NamedArtifacts> list;
-        for (const auto &w : workloads::allWorkloads()) {
-            std::fprintf(stderr, "[bench] building artifacts for %s\n",
-                         w.name.c_str());
-            NamedArtifacts named;
-            named.name = w.name;
-            named.isDspKernel = w.isDspKernel;
-            named.artifacts = core::buildArtifacts(w.source);
-            list.push_back(std::move(named));
-        }
-        return list;
-    }();
+    static std::unique_ptr<core::ArtifactEngine> engine;
+    return engine;
+}
+
+inline std::vector<NamedArtifacts> &
+artifactsSlot()
+{
+    static std::vector<NamedArtifacts> artifacts;
     return artifacts;
 }
 
-/** Standard bench main: print the table, then run timings. */
-#define TEPIC_BENCH_MAIN(print_fn)                                     \
+} // namespace detail
+
+/** The binary's engine; valid after buildAllArtifacts(). */
+inline core::ArtifactEngine &
+benchEngine()
+{
+    auto &engine = detail::engineSlot();
+    TEPIC_ASSERT(engine != nullptr,
+                 "benchEngine() used before buildAllArtifacts()");
+    return *engine;
+}
+
+/**
+ * Build the requested artefacts for every selected workload, batched
+ * through the engine. Called from TEPIC_BENCH_MAIN before any table
+ * printing or benchmark registration; all logging goes to stderr so
+ * stdout tables stay byte-identical across --jobs values.
+ */
+inline void
+buildAllArtifacts(const BenchOptions &options)
+{
+    auto &engine = detail::engineSlot();
+    TEPIC_ASSERT(engine == nullptr,
+                 "buildAllArtifacts() called twice");
+    engine = std::make_unique<core::ArtifactEngine>(options.jobs);
+
+    std::vector<const workloads::Workload *> selected;
+    if (options.workloads.empty()) {
+        for (const auto &w : workloads::allWorkloads())
+            selected.push_back(&w);
+    } else {
+        for (const auto &name : options.workloads)
+            selected.push_back(&workloads::workloadByName(name));
+    }
+
+    std::vector<core::BuildRequest> requests;
+    requests.reserve(selected.size());
+    for (const auto *w : selected) {
+        std::fprintf(stderr,
+                     "[bench] requesting {%s} for %s\n",
+                     options.request.toString().c_str(),
+                     w->name.c_str());
+        requests.push_back(
+            core::BuildRequest{w->source, options.request, {}});
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto built = engine->buildMany(requests);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+
+    auto &list = detail::artifactsSlot();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        list.push_back(NamedArtifacts{selected[i]->name,
+                                      selected[i]->isDspKernel,
+                                      std::move(built[i])});
+    }
+
+    const auto stats = engine->stats();
+    std::fprintf(stderr,
+                 "[bench] built %zu workloads in %lld ms with %u "
+                 "jobs (%llu compiles, %llu huffman images, %llu "
+                 "tailored, %llu ATTs, %llu cache hits)\n",
+                 list.size(), (long long)elapsed.count(),
+                 engine->jobs(),
+                 (unsigned long long)stats.compiles,
+                 (unsigned long long)stats.huffmanImages(),
+                 (unsigned long long)stats.tailoredImages,
+                 (unsigned long long)stats.attBuilds,
+                 (unsigned long long)stats.cacheHits);
+}
+
+/** Artefacts for every selected workload, in suite order. */
+inline const std::vector<NamedArtifacts> &
+allArtifacts()
+{
+    const auto &list = detail::artifactsSlot();
+    TEPIC_ASSERT(!list.empty(),
+                 "allArtifacts() used before buildAllArtifacts() — "
+                 "bench binaries must go through TEPIC_BENCH_MAIN");
+    return list;
+}
+
+/** Lookup by workload name; null when not in the selected subset. */
+inline const NamedArtifacts *
+findArtifacts(const std::string &name)
+{
+    for (const auto &named : allArtifacts())
+        if (named.name == name)
+            return &named;
+    return nullptr;
+}
+
+/**
+ * Standard bench main: parse the shared CLI layer, build the
+ * requested artefacts, print the table, then run timings.
+ */
+#define TEPIC_BENCH_MAIN(print_fn, default_request)                    \
     int                                                                \
     main(int argc, char **argv)                                        \
     {                                                                  \
+        const auto bench_options = ::tepic::bench::parseBenchOptions(  \
+            &argc, argv, (default_request));                           \
+        ::tepic::bench::buildAllArtifacts(bench_options);              \
         print_fn();                                                    \
         ::benchmark::Initialize(&argc, argv);                          \
         ::benchmark::RunSpecifiedBenchmarks();                         \

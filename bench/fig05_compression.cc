@@ -40,7 +40,7 @@ printFigure5()
     std::vector<double> tail_r;
 
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const std::size_t by_size = a.bestStreamBySize();
         const std::size_t by_dec = a.bestStreamByDecoder();
 
@@ -51,11 +51,11 @@ printFigure5()
                 for (const auto &op : mop.ops())
                     ops.add(op.encode());
 
-        const double byte = a.ratio(a.byteImage.image);
-        const double stream = a.ratio(a.streamImages[by_dec].image);
-        const double stream1 = a.ratio(a.streamImages[by_size].image);
-        const double full = a.ratio(a.fullImage.image);
-        const double tailored = a.ratio(a.tailoredImage);
+        const double byte = a.ratio(a.byteImage().image);
+        const double stream = a.ratio(a.streamImage(by_dec).image);
+        const double stream1 = a.ratio(a.streamImage(by_size).image);
+        const double full = a.ratio(a.fullImage().image);
+        const double tailored = a.ratio(a.tailoredImage());
         byte_r.push_back(byte);
         stream_r.push_back(stream);
         stream1_r.push_back(stream1);
@@ -91,10 +91,10 @@ printFigure5()
         double transistors = 0.0;
         for (const auto &named : arts) {
             sizes.push_back(
-                named.artifacts.ratio(
-                    named.artifacts.streamImages[s].image));
+                named.artifacts().ratio(
+                    named.artifacts().streamImage(s).image));
             transistors += double(decoder::decoderTransistors(
-                named.artifacts.streamImages[s]));
+                named.artifacts().streamImage(s)));
         }
         streams.addRow({schemes::allStreamConfigs()[s].name,
                         TextTable::percent(support::mean(sizes)),
@@ -111,13 +111,13 @@ printFigure5()
     dict.setHeader({"workload", "dict256 size", "dict hit%",
                     "huff-full size", "dict decoder kT"});
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto img =
             schemes::compressDictionary(a.compiled.program);
         dict.addRow({named.name,
                      TextTable::percent(a.ratio(img.image)),
                      TextTable::percent(img.hitRate(), 1),
-                     TextTable::percent(a.ratio(a.fullImage.image)),
+                     TextTable::percent(a.ratio(a.fullImage().image)),
                      TextTable::num(
                          double(schemes::dictionaryDecoderTransistors(
                              img)) / 1000.0, 0)});
@@ -131,7 +131,7 @@ void
 BM_CompressFull(benchmark::State &state)
 {
     const auto &program =
-        bench::allArtifacts().front().artifacts.compiled.program;
+        bench::allArtifacts().front().artifacts().compiled.program;
     for (auto _ : state) {
         auto img = schemes::compressFull(program);
         benchmark::DoNotOptimize(img.image.bitSize);
@@ -143,7 +143,7 @@ void
 BM_CompressByte(benchmark::State &state)
 {
     const auto &program =
-        bench::allArtifacts().front().artifacts.compiled.program;
+        bench::allArtifacts().front().artifacts().compiled.program;
     for (auto _ : state) {
         auto img = schemes::compressByte(program);
         benchmark::DoNotOptimize(img.image.bitSize);
@@ -155,7 +155,7 @@ void
 BM_TailorEncode(benchmark::State &state)
 {
     const auto &program =
-        bench::allArtifacts().front().artifacts.compiled.program;
+        bench::allArtifacts().front().artifacts().compiled.program;
     for (auto _ : state) {
         auto isa = schemes::TailoredIsa::build(program);
         auto img = isa.encode(program);
@@ -166,4 +166,10 @@ BENCHMARK(BM_TailorEncode)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printFigure5)
+TEPIC_BENCH_MAIN(printFigure5,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase,
+                     tepic::core::ArtifactKind::kByte,
+                     tepic::core::ArtifactKind::kStream,
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTailored}))

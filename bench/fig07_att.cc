@@ -31,16 +31,15 @@ printFigure7()
 
     std::vector<double> overheads;
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
-        const auto att = fetch::Att::build(a.fullImage.image,
-                                           a.compiled.program);
+        const auto &a = named.artifacts();
+        const auto &att = a.att();
         const double code_kb =
-            double(a.fullImage.image.bitSize) / 8.0 / 1024.0;
+            double(a.fullImage().image.bitSize) / 8.0 / 1024.0;
         const double att_kb = double(att.totalBits()) / 8.0 / 1024.0;
         const double vs_original =
             att.overheadVs(a.compiled.program.baselineBits());
         const double vs_full =
-            att.overheadVs(a.fullImage.image.bitSize);
+            att.overheadVs(a.fullImage().image.bitSize);
         overheads.push_back(vs_original);
 
         const auto stats =
@@ -67,13 +66,19 @@ printFigure7()
     // ATB entry-count sensitivity on the largest workload.
     TextTable sweep;
     sweep.setHeader({"ATB entries", "hit%", "IPC (compressed, gcc)"});
-    const auto &gcc = bench::allArtifacts()[1];
+    const auto *gcc = bench::findArtifacts("gcc");
+    if (gcc == nullptr) {
+        std::printf("(gcc not in --workloads subset; skipping the "
+                    "ATB sweep)\n");
+        return;
+    }
     for (unsigned entries : {8u, 16u, 32u, 64u, 128u, 256u}) {
         auto config =
             fetch::FetchConfig::paper(fetch::SchemeClass::kCompressed);
         config.atbEntries = entries;
         const auto stats = core::runFetch(
-            gcc.artifacts, fetch::SchemeClass::kCompressed, config);
+            gcc->artifacts(), fetch::SchemeClass::kCompressed,
+            config);
         sweep.addRow({std::to_string(entries),
                       TextTable::percent(
                           double(stats.atbHits) /
@@ -86,9 +91,9 @@ printFigure7()
 void
 BM_AttBuild(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
-        auto att = fetch::Att::build(a.fullImage.image,
+        auto att = fetch::Att::build(a.fullImage().image,
                                      a.compiled.program);
         benchmark::DoNotOptimize(att.totalBits());
     }
@@ -97,4 +102,8 @@ BENCHMARK(BM_AttBuild)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printFigure7)
+TEPIC_BENCH_MAIN(printFigure7,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kAtt,
+                     tepic::core::ArtifactKind::kTrace}))

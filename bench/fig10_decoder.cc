@@ -37,20 +37,20 @@ printFigure10()
     std::vector<double> full_t;
     std::vector<double> tail_t;
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto kT = [](std::uint64_t t) {
             return double(t) / 1000.0;
         };
         const double byte =
-            kT(decoder::decoderTransistors(a.byteImage));
+            kT(decoder::decoderTransistors(a.byteImage()));
         const double stream = kT(decoder::decoderTransistors(
-            a.streamImages[a.bestStreamByDecoder()]));
+            a.streamImage(a.bestStreamByDecoder())));
         const double stream1 = kT(decoder::decoderTransistors(
-            a.streamImages[a.bestStreamBySize()]));
+            a.streamImage(a.bestStreamBySize())));
         const double full =
-            kT(decoder::decoderTransistors(a.fullImage));
+            kT(decoder::decoderTransistors(a.fullImage()));
         const double tailored =
-            kT(decoder::tailoredDecoderTransistors(a.tailoredIsa));
+            kT(decoder::tailoredDecoderTransistors(a.tailoredIsa()));
         byte_t.push_back(byte);
         stream_t.push_back(stream);
         stream1_t.push_back(stream1);
@@ -70,7 +70,13 @@ printFigure10()
     std::printf("%s\n", table.render().c_str());
 
     // Dictionary shapes behind the model, for the largest workload.
-    const auto &gcc = bench::allArtifacts()[1].artifacts;
+    const auto *gcc_named = bench::findArtifacts("gcc");
+    if (gcc_named == nullptr) {
+        std::printf("(gcc not in --workloads subset; skipping the "
+                    "dictionary-shape table)\n");
+        return;
+    }
+    const auto &gcc = gcc_named->artifacts();
     TextTable dict;
     dict.setHeader({"scheme (gcc)", "tables", "max n", "entries k",
                     "m bits"});
@@ -88,9 +94,9 @@ printFigure10()
                      std::to_string(max_n), std::to_string(k),
                      std::to_string(max_m)});
     };
-    row("byte", gcc.byteImage);
-    row("stream_1", gcc.streamImages[gcc.bestStreamBySize()]);
-    row("full", gcc.fullImage);
+    row("byte", gcc.byteImage());
+    row("stream_1", gcc.streamImage(gcc.bestStreamBySize()));
+    row("full", gcc.fullImage());
     std::printf("%s\n", dict.render().c_str());
     std::printf("(reference hardware, Section 3.5: 114-entry decoder "
                 "with 1-16 bit codes = 10k-28k transistors)\n");
@@ -99,10 +105,10 @@ printFigure10()
 void
 BM_DecoderCostModel(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            decoder::decoderTransistors(a.fullImage));
+            decoder::decoderTransistors(a.fullImage()));
     }
 }
 BENCHMARK(BM_DecoderCostModel);
@@ -110,9 +116,9 @@ BENCHMARK(BM_DecoderCostModel);
 void
 BM_VerilogEmission(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
-        auto text = a.tailoredIsa.emitVerilog("decoder");
+        auto text = a.tailoredIsa().emitVerilog("decoder");
         benchmark::DoNotOptimize(text.size());
     }
 }
@@ -120,4 +126,9 @@ BENCHMARK(BM_VerilogEmission)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printFigure10)
+TEPIC_BENCH_MAIN(printFigure10,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kByte,
+                     tepic::core::ArtifactKind::kStream,
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTailored}))

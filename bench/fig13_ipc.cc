@@ -65,7 +65,7 @@ printFigure13()
     std::vector<double> tail_rel;
 
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto base = core::runFetch(a, SchemeClass::kBase);
         const auto comp = core::runFetch(a, SchemeClass::kCompressed);
         const auto tail = core::runFetch(a, SchemeClass::kTailored);
@@ -134,7 +134,7 @@ printFigure13()
 void
 BM_FetchSimBase(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
         auto stats = core::runFetch(a, SchemeClass::kBase);
         benchmark::DoNotOptimize(stats.cycles);
@@ -148,7 +148,7 @@ BENCHMARK(BM_FetchSimBase)->Unit(benchmark::kMillisecond);
 void
 BM_FetchSimCompressed(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     for (auto _ : state) {
         auto stats = core::runFetch(a, SchemeClass::kCompressed);
         benchmark::DoNotOptimize(stats.cycles);
@@ -159,7 +159,7 @@ BENCHMARK(BM_FetchSimCompressed)->Unit(benchmark::kMillisecond);
 void
 BM_Emulate(benchmark::State &state)
 {
-    const auto &a = bench::allArtifacts().front().artifacts;
+    const auto &a = bench::allArtifacts().front().artifacts();
     sim::EmulatorConfig config;
     config.recordTrace = false;
     for (auto _ : state) {
@@ -175,4 +175,9 @@ BENCHMARK(BM_Emulate)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printFigure13)
+TEPIC_BENCH_MAIN(printFigure13,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase,
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTailored,
+                     tepic::core::ArtifactKind::kTrace}))

@@ -28,7 +28,7 @@ printFigure14()
     std::vector<double> comp_rel;
     std::vector<double> tail_rel;
     for (const auto &named : bench::allArtifacts()) {
-        const auto &a = named.artifacts;
+        const auto &a = named.artifacts();
         const auto base = core::runFetch(a, SchemeClass::kBase);
         const auto comp = core::runFetch(a, SchemeClass::kCompressed);
         const auto tail = core::runFetch(a, SchemeClass::kTailored);
@@ -63,7 +63,7 @@ void
 BM_BusTransfer(benchmark::State &state)
 {
     const auto &bytes =
-        bench::allArtifacts().front().artifacts.fullImage.image.bytes;
+        bench::allArtifacts().front().artifacts().fullImage().image.bytes;
     for (auto _ : state) {
         power::BusModel bus(8);
         bus.transfer(bytes);
@@ -76,4 +76,9 @@ BENCHMARK(BM_BusTransfer);
 
 } // namespace
 
-TEPIC_BENCH_MAIN(printFigure14)
+TEPIC_BENCH_MAIN(printFigure14,
+                 (tepic::core::ArtifactRequest{
+                     tepic::core::ArtifactKind::kBase,
+                     tepic::core::ArtifactKind::kFull,
+                     tepic::core::ArtifactKind::kTailored,
+                     tepic::core::ArtifactKind::kTrace}))

@@ -102,16 +102,16 @@ main(int argc, char **argv)
     // Tailored ISA field report: where do the bits go?
     std::printf("tailored ISA: header %u bits (tail 1 + type %u + "
                 "opcode %u), %u distinct opcodes\n",
-                artifacts.tailoredIsa.headerBits(),
-                artifacts.tailoredIsa.opTypeWidth(),
-                artifacts.tailoredIsa.opcodeWidth(),
-                artifacts.tailoredIsa.distinctOpcodes());
+                artifacts.tailoredIsa().headerBits(),
+                artifacts.tailoredIsa().opTypeWidth(),
+                artifacts.tailoredIsa().opcodeWidth(),
+                artifacts.tailoredIsa().distinctOpcodes());
     TextTable formats;
     formats.setHeader({"format", "orig bits", "tailored bits",
                        "dropped fields"});
     for (unsigned f = 0; f < tepic::isa::kNumFormats; ++f) {
         const auto &tf =
-            artifacts.tailoredIsa.format(tepic::isa::Format(f));
+            artifacts.tailoredIsa().format(tepic::isa::Format(f));
         if (!tf.used)
             continue;
         unsigned dropped = 0;
@@ -121,7 +121,7 @@ main(int argc, char **argv)
         formats.addRow({tepic::isa::formatName(tepic::isa::Format(f)),
                         "40",
                         std::to_string(
-                            artifacts.tailoredIsa.headerBits() +
+                            artifacts.tailoredIsa().headerBits() +
                             tf.bodyBits),
                         std::to_string(dropped)});
     }

@@ -2,17 +2,22 @@
  * @file
  * Quickstart: the whole library in one page.
  *
- * Compiles a small tinkerc program, runs it in the emulator, builds
- * every encoded image (baseline / Huffman byte/stream/full / tailored
- * ISA), verifies the round trips, and fetch-simulates the three cache
- * organisations of the paper.
+ * Compiles a small tinkerc program through the artifact engine, runs
+ * it in the emulator, builds every encoded image (baseline / Huffman
+ * byte/stream/full / tailored ISA), verifies the round trips, and
+ * fetch-simulates the three cache organisations of the paper.
+ *
+ * The engine is request-based: ArtifactRequest::all() builds
+ * everything, `{kBase, kTrace}` would build just enough for a
+ * baseline fetch simulation, and repeated build() calls for the same
+ * source and config return the same cached object.
  *
  *   $ ./quickstart
  */
 
 #include <cstdio>
 
-#include "core/pipeline.hh"
+#include "core/artifact_engine.hh"
 #include "support/table.hh"
 
 int
@@ -45,9 +50,12 @@ main()
     )";
 
     // 2. One call: compile (profile-guided), emulate, build every
-    //    encoded image, ready for the fetch simulators.
-    const tepic::core::Artifacts artifacts =
-        tepic::core::buildArtifacts(source);
+    //    requested image, ready for the fetch simulators. The engine
+    //    parallelises across schemes and memoizes by content, so a
+    //    second build() of the same source is free.
+    tepic::core::ArtifactEngine engine;
+    const tepic::core::Artifacts &artifacts = *engine.build(
+        source, tepic::core::ArtifactRequest::all());
 
     std::printf("compiled: %zu blocks, %zu ops, ILP %.2f, "
                 "exit value %d\n",

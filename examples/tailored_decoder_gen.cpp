@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/pipeline.hh"
+#include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
 #include "workloads/workload.hh"
 
@@ -21,19 +21,21 @@ main(int argc, char **argv)
     const std::string name = argc > 1 ? argv[1] : "matmul";
     const auto &workload = tepic::workloads::workloadByName(name);
 
-    tepic::core::PipelineConfig config;
-    config.buildAllStreamConfigs = false;
-    const auto artifacts =
-        tepic::core::buildArtifacts(workload.source, config);
+    // Only the tailored ISA is consumed: request exactly that (the
+    // engine then builds no baseline or Huffman image at all).
+    const auto artifacts = tepic::core::ArtifactEngine::global().build(
+        workload.source,
+        tepic::core::ArtifactRequest{
+            tepic::core::ArtifactKind::kTailored});
 
-    const auto &isa = artifacts.tailoredIsa;
+    const auto &isa = artifacts->tailoredIsa();
     std::fprintf(stderr,
                  "tailored ISA for %s: header %u bits, %u opcodes, "
                  "image %.1f%% of baseline, PLA estimate %lu "
                  "transistors\n",
                  name.c_str(), isa.headerBits(),
                  isa.distinctOpcodes(),
-                 100.0 * artifacts.ratio(artifacts.tailoredImage),
+                 100.0 * artifacts->ratio(artifacts->tailoredImage()),
                  (unsigned long)
                      tepic::decoder::tailoredDecoderTransistors(isa));
 

@@ -1,0 +1,453 @@
+#include "core/artifact_engine.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace tepic::core {
+
+// ---------------------------------------------------------------------------
+// ArtifactKind / ArtifactRequest names.
+
+const char *
+artifactKindName(ArtifactKind kind)
+{
+    switch (kind) {
+      case ArtifactKind::kBase: return "base";
+      case ArtifactKind::kByte: return "byte";
+      case ArtifactKind::kStream: return "stream";
+      case ArtifactKind::kFull: return "full";
+      case ArtifactKind::kTailored: return "tailored";
+      case ArtifactKind::kAtt: return "att";
+      case ArtifactKind::kTrace: return "trace";
+    }
+    TEPIC_PANIC("bad artifact kind");
+}
+
+std::string
+ArtifactRequest::toString() const
+{
+    std::string out;
+    for (unsigned i = 0; i < kNumArtifactKinds; ++i) {
+        if (!has(ArtifactKind(i)))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += artifactKindName(ArtifactKind(i));
+    }
+    return out.empty() ? "none" : out;
+}
+
+ArtifactRequest
+ArtifactRequest::parse(const std::string &csv)
+{
+    ArtifactRequest request;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string name = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            request = request | all();
+            continue;
+        }
+        if (name == "none")
+            continue;
+        bool known = false;
+        for (unsigned i = 0; i < kNumArtifactKinds; ++i) {
+            if (name == artifactKindName(ArtifactKind(i))) {
+                request = request.with(ArtifactKind(i));
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            TEPIC_FATAL("unknown artifact kind '", name,
+                        "' (expected base, byte, stream, full, "
+                        "tailored, att, trace, all or none)");
+        }
+    }
+    return request;
+}
+
+// ---------------------------------------------------------------------------
+// Content-keyed cache key: FNV-1a over source text + every config
+// field that can change the output.
+
+namespace {
+
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    u64(std::uint64_t value)
+    {
+        bytes(&value, sizeof(value));
+    }
+
+    void
+    f64(double value)
+    {
+        std::uint64_t repr;
+        std::memcpy(&repr, &value, sizeof(repr));
+        u64(repr);
+    }
+
+    void
+    str(const std::string &value)
+    {
+        u64(value.size());
+        bytes(value.data(), value.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::uint64_t
+pipelineCacheKey(const std::string &source, const PipelineConfig &config)
+{
+    Fnv1a h;
+    h.str(source);
+
+    const auto &opt = config.compile.opt;
+    h.u64(opt.constantFold);
+    h.u64(opt.copyPropagate);
+    h.u64(opt.localCse);
+    h.u64(opt.branchFold);
+    h.u64(opt.mergeBlocks);
+    h.u64(opt.deadCodeElim);
+
+    const auto &machine = config.compile.machine;
+    h.u64(machine.issueWidth);
+    h.u64(machine.memoryUnits);
+    h.u64(machine.branchUnits);
+
+    h.f64(config.compile.loopWeightFactor);
+    h.u64(config.compile.hoist.enabled);
+    h.u64(config.compile.hoist.maxOpsPerEdge);
+
+    h.u64(config.profileGuided);
+    h.u64(config.huffman.maxCodeLength);
+    h.u64(config.huffman.byteMaxCodeLength);
+
+    h.u64(config.emulator.memoryBytes);
+    h.u64(config.emulator.maxMops);
+    h.u64(config.emulator.recordTrace);
+    return h.value();
+}
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+ArtifactEngine::ArtifactEngine(unsigned jobs)
+{
+    jobs_ = jobs == 0 ? support::ThreadPool::hardwareThreads() : jobs;
+    if (jobs_ > 1)
+        pool_ = std::make_unique<support::ThreadPool>(jobs_);
+}
+
+ArtifactEngine::~ArtifactEngine() = default;
+
+ArtifactEngine &
+ArtifactEngine::global()
+{
+    static ArtifactEngine engine(0);
+    return engine;
+}
+
+void
+ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
+{
+    const bool want_trace = req.request.has(ArtifactKind::kTrace) &&
+                            req.config.emulator.recordTrace;
+    a.request_ = want_trace
+        ? req.request
+        : req.request.without(ArtifactKind::kTrace);
+
+    a.compiled = compiler::compileSource(req.source,
+                                         req.config.compile);
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+
+    if (req.config.profileGuided) {
+        // The profile pass only needs block counts, never the trace.
+        auto profile_config = req.config.emulator;
+        profile_config.recordTrace = false;
+        const auto profile_run = sim::emulate(a.compiled.program,
+                                              a.compiled.data,
+                                              profile_config);
+        emulations_.fetch_add(1, std::memory_order_relaxed);
+        compiler::applyProfileAndRelayout(a.compiled,
+                                          profile_run.blockCounts,
+                                          req.config.compile.machine);
+    }
+
+    auto run_config = req.config.emulator;
+    run_config.recordTrace = want_trace;
+    a.execution = sim::emulate(a.compiled.program, a.compiled.data,
+                               run_config);
+    emulations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
+                            std::vector<std::function<void()>> &tasks,
+                            std::vector<std::function<void()>> &att_tasks)
+{
+    const ArtifactRequest request = req.request;
+    const schemes::HuffmanOptions huffman = req.config.huffman;
+
+    if (request.has(ArtifactKind::kBase)) {
+        tasks.push_back([this, &a] {
+            a.base_ = isa::buildBaselineImage(a.compiled.program);
+            baseImages_.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    if (request.has(ArtifactKind::kByte)) {
+        tasks.push_back([this, &a, huffman] {
+            a.byte_ = schemes::compressByte(a.compiled.program,
+                                            huffman);
+            byteImages_.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    if (request.has(ArtifactKind::kStream)) {
+        const auto &configs = schemes::allStreamConfigs();
+        a.streams_.resize(configs.size());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            tasks.push_back([this, &a, huffman, i, &configs] {
+                a.streams_[i] = schemes::compressStream(
+                    a.compiled.program, configs[i], huffman);
+                streamImages_.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+    }
+    if (request.has(ArtifactKind::kFull)) {
+        tasks.push_back([this, &a, huffman] {
+            a.full_ = schemes::compressFull(a.compiled.program,
+                                            huffman);
+            fullImages_.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    if (request.has(ArtifactKind::kTailored)) {
+        tasks.push_back([this, &a] {
+            a.tailoredIsa_ =
+                schemes::TailoredIsa::build(a.compiled.program);
+            a.tailoredImage_ =
+                a.tailoredIsa_->encode(a.compiled.program);
+            tailoredImages_.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    if (request.has(ArtifactKind::kAtt)) {
+        att_tasks.push_back([this, &a] {
+            a.att_ = fetch::Att::build(a.full_->image,
+                                       a.compiled.program);
+            attBuilds_.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+}
+
+void
+ArtifactEngine::runScheduled(
+    const std::vector<std::function<void()>> &tasks)
+{
+    if (pool_ && tasks.size() > 1) {
+        pool_->parallelFor(tasks.size(),
+                           [&tasks](std::size_t i) { tasks[i](); });
+    } else {
+        for (const auto &task : tasks)
+            task();
+    }
+}
+
+std::shared_ptr<const Artifacts>
+ArtifactEngine::lookup(std::uint64_t key, ArtifactRequest request)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        return nullptr;
+    for (const auto &entry : it->second)
+        if (entry.request.contains(request))
+            return entry.artifacts;
+    return nullptr;
+}
+
+void
+ArtifactEngine::insert(std::uint64_t key, ArtifactRequest request,
+                       std::shared_ptr<const Artifacts> artifacts)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto &entries = cache_[key];
+    // A new superset subsumes older subset entries.
+    std::erase_if(entries, [&](const CacheEntry &entry) {
+        return request.contains(entry.request);
+    });
+    entries.push_back({request, std::move(artifacts)});
+}
+
+void
+ArtifactEngine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    cache_.clear();
+}
+
+std::shared_ptr<const Artifacts>
+ArtifactEngine::build(const std::string &source,
+                      ArtifactRequest request,
+                      const PipelineConfig &config)
+{
+    return buildMany({BuildRequest{source, request, config}}).front();
+}
+
+std::vector<std::shared_ptr<const Artifacts>>
+ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
+{
+    const std::size_t n = requests.size();
+    std::vector<std::shared_ptr<const Artifacts>> results(n);
+
+    // Coalesce batch entries with identical (source, config): one
+    // build with the union of their requests serves all of them.
+    struct Pending
+    {
+        std::uint64_t key = 0;
+        ArtifactRequest request;
+        const BuildRequest *proto = nullptr;
+        std::shared_ptr<Artifacts> building;  ///< null on cache hit
+        std::vector<std::size_t> indices;
+    };
+    std::vector<Pending> pending;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t key =
+            pipelineCacheKey(requests[i].source, requests[i].config);
+        const ArtifactRequest normalized =
+            requests[i].request.normalized();
+        auto it = group_of.find(key);
+        if (it != group_of.end()) {
+            pending[it->second].request =
+                pending[it->second].request | normalized;
+            pending[it->second].indices.push_back(i);
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        group_of.emplace(key, pending.size());
+        Pending p;
+        p.key = key;
+        p.request = normalized;
+        p.proto = &requests[i];
+        p.indices.push_back(i);
+        pending.push_back(std::move(p));
+    }
+
+    // Cache pass: a stored superset satisfies any subset request.
+    std::vector<std::size_t> misses;
+    for (std::size_t g = 0; g < pending.size(); ++g) {
+        auto &p = pending[g];
+        if (auto hit = lookup(p.key, p.request)) {
+            for (std::size_t idx : p.indices)
+                results[idx] = hit;
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+        p.building = std::make_shared<Artifacts>();
+        misses.push_back(g);
+    }
+
+    // Phase 1: the shared compile + emulate stage, one task per
+    // workload, concurrently across workloads.
+    std::vector<BuildRequest> effective(misses.size());
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+        const Pending &p = pending[misses[m]];
+        effective[m] = BuildRequest{p.proto->source, p.request,
+                                    p.proto->config};
+    }
+    const auto compile_one = [&](std::size_t m) {
+        compileStage(*pending[misses[m]].building, effective[m]);
+    };
+    if (pool_ && misses.size() > 1) {
+        pool_->parallelFor(misses.size(), compile_one);
+    } else {
+        for (std::size_t m = 0; m < misses.size(); ++m)
+            compile_one(m);
+    }
+
+    // Phase 2: fan every independent scheme build out as a task;
+    // each writes a pre-assigned slot, so scheduling order cannot
+    // change the result. ATTs run third — they read the Full image.
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::function<void()>> att_tasks;
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+        schemeTasks(*pending[misses[m]].building, effective[m], tasks,
+                    att_tasks);
+    }
+    runScheduled(tasks);
+    runScheduled(att_tasks);
+
+    // Publish in batch order (deterministic cache contents).
+    for (auto &p : pending) {
+        if (!p.building)
+            continue;
+        std::shared_ptr<const Artifacts> done = std::move(p.building);
+        insert(p.key, p.request, done);
+        for (std::size_t idx : p.indices)
+            results[idx] = done;
+    }
+    return results;
+}
+
+Artifacts
+ArtifactEngine::buildUncached(const std::string &source,
+                              ArtifactRequest request,
+                              const PipelineConfig &config)
+{
+    ArtifactEngine serial(1);
+    Artifacts artifacts;
+    const BuildRequest req{source, request.normalized(), config};
+    serial.compileStage(artifacts, req);
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::function<void()>> att_tasks;
+    serial.schemeTasks(artifacts, req, tasks, att_tasks);
+    serial.runScheduled(tasks);
+    serial.runScheduled(att_tasks);
+    return artifacts;
+}
+
+EngineStats
+ArtifactEngine::stats() const
+{
+    EngineStats s;
+    s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    s.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    s.compiles = compiles_.load(std::memory_order_relaxed);
+    s.emulations = emulations_.load(std::memory_order_relaxed);
+    s.baseImages = baseImages_.load(std::memory_order_relaxed);
+    s.byteImages = byteImages_.load(std::memory_order_relaxed);
+    s.streamImages = streamImages_.load(std::memory_order_relaxed);
+    s.fullImages = fullImages_.load(std::memory_order_relaxed);
+    s.tailoredImages =
+        tailoredImages_.load(std::memory_order_relaxed);
+    s.attBuilds = attBuilds_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace tepic::core

@@ -1,19 +1,110 @@
 #include "core/pipeline.hh"
 
+#include <cctype>
+#include <string>
+
+#include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
-#include "fetch/att.hh"
 #include "support/logging.hh"
 
 namespace tepic::core {
 
+namespace {
+
+[[noreturn]] void
+missingArtifact(ArtifactKind kind)
+{
+    std::string enumerator = artifactKindName(kind);
+    enumerator[0] = char(std::toupper(enumerator[0]));
+    TEPIC_FATAL("artifact '", artifactKindName(kind),
+                "' was not requested for this build; add "
+                "ArtifactKind::k", enumerator,
+                " (or use ArtifactRequest::all()) when calling the "
+                "ArtifactEngine");
+}
+
+} // namespace
+
+const isa::Image &
+Artifacts::baseImage() const
+{
+    if (!base_)
+        missingArtifact(ArtifactKind::kBase);
+    return *base_;
+}
+
+const schemes::CompressedImage &
+Artifacts::byteImage() const
+{
+    if (!byte_)
+        missingArtifact(ArtifactKind::kByte);
+    return *byte_;
+}
+
+const schemes::CompressedImage &
+Artifacts::fullImage() const
+{
+    if (!full_)
+        missingArtifact(ArtifactKind::kFull);
+    return *full_;
+}
+
+const std::vector<schemes::CompressedImage> &
+Artifacts::streamImages() const
+{
+    if (!request_.has(ArtifactKind::kStream))
+        missingArtifact(ArtifactKind::kStream);
+    return streams_;
+}
+
+const schemes::CompressedImage &
+Artifacts::streamImage(std::size_t i) const
+{
+    const auto &streams = streamImages();
+    TEPIC_ASSERT(i < streams.size(), "stream index out of range");
+    return streams[i];
+}
+
+const schemes::TailoredIsa &
+Artifacts::tailoredIsa() const
+{
+    if (!tailoredIsa_)
+        missingArtifact(ArtifactKind::kTailored);
+    return *tailoredIsa_;
+}
+
+const isa::Image &
+Artifacts::tailoredImage() const
+{
+    if (!tailoredImage_)
+        missingArtifact(ArtifactKind::kTailored);
+    return *tailoredImage_;
+}
+
+const fetch::Att &
+Artifacts::att() const
+{
+    if (!att_)
+        missingArtifact(ArtifactKind::kAtt);
+    return *att_;
+}
+
+const sim::BlockTrace &
+Artifacts::trace() const
+{
+    if (!request_.has(ArtifactKind::kTrace))
+        missingArtifact(ArtifactKind::kTrace);
+    return execution.trace;
+}
+
 std::size_t
 Artifacts::bestStreamBySize() const
 {
-    TEPIC_ASSERT(!streamImages.empty(), "no stream images built");
+    const auto &streams = streamImages();
+    TEPIC_ASSERT(!streams.empty(), "no stream images built");
     std::size_t best = 0;
-    for (std::size_t i = 1; i < streamImages.size(); ++i)
-        if (streamImages[i].image.bitSize <
-            streamImages[best].image.bitSize) {
+    for (std::size_t i = 1; i < streams.size(); ++i)
+        if (streams[i].image.bitSize < streams[best].image.bitSize) {
             best = i;
         }
     return best;
@@ -22,13 +113,13 @@ Artifacts::bestStreamBySize() const
 std::size_t
 Artifacts::bestStreamByDecoder() const
 {
-    TEPIC_ASSERT(!streamImages.empty(), "no stream images built");
+    const auto &streams = streamImages();
+    TEPIC_ASSERT(!streams.empty(), "no stream images built");
     std::size_t best = 0;
-    std::uint64_t best_cost =
-        decoder::decoderTransistors(streamImages[0]);
-    for (std::size_t i = 1; i < streamImages.size(); ++i) {
+    std::uint64_t best_cost = decoder::decoderTransistors(streams[0]);
+    for (std::size_t i = 1; i < streams.size(); ++i) {
         const std::uint64_t cost =
-            decoder::decoderTransistors(streamImages[i]);
+            decoder::decoderTransistors(streams[i]);
         if (cost < best_cost) {
             best = i;
             best_cost = cost;
@@ -40,32 +131,10 @@ Artifacts::bestStreamByDecoder() const
 Artifacts
 buildArtifacts(const std::string &source, const PipelineConfig &config)
 {
-    Artifacts a;
-    a.compiled = compiler::compileSource(source, config.compile);
-    if (config.profileGuided) {
-        auto profile_run = sim::emulate(a.compiled.program,
-                                        a.compiled.data,
-                                        config.emulator);
-        compiler::applyProfileAndRelayout(a.compiled,
-                                          profile_run.blockCounts,
-                                          config.compile.machine);
-    }
-    a.execution = sim::emulate(a.compiled.program, a.compiled.data,
-                               config.emulator);
-
-    a.baseImage = isa::buildBaselineImage(a.compiled.program);
-    a.byteImage = schemes::compressByte(a.compiled.program,
-                                        config.huffman);
-    a.fullImage = schemes::compressFull(a.compiled.program,
-                                        config.huffman);
-    if (config.buildAllStreamConfigs) {
-        for (const auto &cfg : schemes::allStreamConfigs())
-            a.streamImages.push_back(schemes::compressStream(
-                a.compiled.program, cfg, config.huffman));
-    }
-    a.tailoredIsa = schemes::TailoredIsa::build(a.compiled.program);
-    a.tailoredImage = a.tailoredIsa.encode(a.compiled.program);
-    return a;
+    ArtifactRequest request = ArtifactRequest::all();
+    if (!config.buildAllStreamConfigs)
+        request = request.without(ArtifactKind::kStream);
+    return ArtifactEngine::buildUncached(source, request, config);
 }
 
 const isa::Image &
@@ -73,11 +142,11 @@ imageFor(const Artifacts &artifacts, fetch::SchemeClass scheme)
 {
     switch (scheme) {
       case fetch::SchemeClass::kBase:
-        return artifacts.baseImage;
+        return artifacts.baseImage();
       case fetch::SchemeClass::kCompressed:
-        return artifacts.fullImage.image;
+        return artifacts.fullImage().image;
       case fetch::SchemeClass::kTailored:
-        return artifacts.tailoredImage;
+        return artifacts.tailoredImage();
     }
     TEPIC_PANIC("bad scheme class");
 }
@@ -90,7 +159,7 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
         config ? *config : fetch::FetchConfig::paper(scheme);
     return fetch::simulateFetch(imageFor(artifacts, scheme),
                                 artifacts.compiled.program,
-                                artifacts.execution.trace,
+                                artifacts.trace(),
                                 fetch_config);
 }
 
@@ -101,41 +170,54 @@ summarise(const Artifacts &artifacts)
     const double base_bits =
         double(artifacts.compiled.program.baselineBits());
 
-    rows.push_back({"base", artifacts.baseImage.bitSize, 1.0, 0});
-
-    SchemeSummary byte_row;
-    byte_row.name = "huff-byte";
-    byte_row.codeBits = artifacts.byteImage.image.bitSize;
-    byte_row.ratioVsBase = double(byte_row.codeBits) / base_bits;
-    byte_row.decoderTransistors =
-        decoder::decoderTransistors(artifacts.byteImage);
-    rows.push_back(byte_row);
-
-    for (const auto &stream : artifacts.streamImages) {
-        SchemeSummary row;
-        row.name = "huff-stream:" + stream.streamConfig.name;
-        row.codeBits = stream.image.bitSize;
-        row.ratioVsBase = double(row.codeBits) / base_bits;
-        row.decoderTransistors = decoder::decoderTransistors(stream);
-        rows.push_back(row);
+    if (artifacts.has(ArtifactKind::kBase)) {
+        rows.push_back(
+            {"base", artifacts.baseImage().bitSize, 1.0, 0});
     }
 
-    SchemeSummary full_row;
-    full_row.name = "huff-full";
-    full_row.codeBits = artifacts.fullImage.image.bitSize;
-    full_row.ratioVsBase = double(full_row.codeBits) / base_bits;
-    full_row.decoderTransistors =
-        decoder::decoderTransistors(artifacts.fullImage);
-    rows.push_back(full_row);
+    if (artifacts.has(ArtifactKind::kByte)) {
+        SchemeSummary byte_row;
+        byte_row.name = "huff-byte";
+        byte_row.codeBits = artifacts.byteImage().image.bitSize;
+        byte_row.ratioVsBase = double(byte_row.codeBits) / base_bits;
+        byte_row.decoderTransistors =
+            decoder::decoderTransistors(artifacts.byteImage());
+        rows.push_back(byte_row);
+    }
 
-    SchemeSummary tailored_row;
-    tailored_row.name = "tailored";
-    tailored_row.codeBits = artifacts.tailoredImage.bitSize;
-    tailored_row.ratioVsBase =
-        double(tailored_row.codeBits) / base_bits;
-    tailored_row.decoderTransistors =
-        decoder::tailoredDecoderTransistors(artifacts.tailoredIsa);
-    rows.push_back(tailored_row);
+    if (artifacts.has(ArtifactKind::kStream)) {
+        for (const auto &stream : artifacts.streamImages()) {
+            SchemeSummary row;
+            row.name = "huff-stream:" + stream.streamConfig.name;
+            row.codeBits = stream.image.bitSize;
+            row.ratioVsBase = double(row.codeBits) / base_bits;
+            row.decoderTransistors =
+                decoder::decoderTransistors(stream);
+            rows.push_back(row);
+        }
+    }
+
+    if (artifacts.has(ArtifactKind::kFull)) {
+        SchemeSummary full_row;
+        full_row.name = "huff-full";
+        full_row.codeBits = artifacts.fullImage().image.bitSize;
+        full_row.ratioVsBase = double(full_row.codeBits) / base_bits;
+        full_row.decoderTransistors =
+            decoder::decoderTransistors(artifacts.fullImage());
+        rows.push_back(full_row);
+    }
+
+    if (artifacts.has(ArtifactKind::kTailored)) {
+        SchemeSummary tailored_row;
+        tailored_row.name = "tailored";
+        tailored_row.codeBits = artifacts.tailoredImage().bitSize;
+        tailored_row.ratioVsBase =
+            double(tailored_row.codeBits) / base_bits;
+        tailored_row.decoderTransistors =
+            decoder::tailoredDecoderTransistors(
+                artifacts.tailoredIsa());
+        rows.push_back(tailored_row);
+    }
     return rows;
 }
 
@@ -171,17 +253,28 @@ void
 verifyRoundTrips(const Artifacts &artifacts)
 {
     const auto &program = artifacts.compiled.program;
-    checkSameOps(isa::decodeBaselineImage(artifacts.baseImage),
-                 program, "baseline");
-    checkSameOps(schemes::decompress(artifacts.byteImage), program,
-                 "huff-byte");
-    checkSameOps(schemes::decompress(artifacts.fullImage), program,
-                 "huff-full");
-    for (const auto &stream : artifacts.streamImages)
-        checkSameOps(schemes::decompress(stream), program,
-                     stream.image.scheme.c_str());
-    checkSameOps(artifacts.tailoredIsa.decode(artifacts.tailoredImage),
-                 program, "tailored");
+    if (artifacts.has(ArtifactKind::kBase)) {
+        checkSameOps(isa::decodeBaselineImage(artifacts.baseImage()),
+                     program, "baseline");
+    }
+    if (artifacts.has(ArtifactKind::kByte)) {
+        checkSameOps(schemes::decompress(artifacts.byteImage()),
+                     program, "huff-byte");
+    }
+    if (artifacts.has(ArtifactKind::kFull)) {
+        checkSameOps(schemes::decompress(artifacts.fullImage()),
+                     program, "huff-full");
+    }
+    if (artifacts.has(ArtifactKind::kStream)) {
+        for (const auto &stream : artifacts.streamImages())
+            checkSameOps(schemes::decompress(stream), program,
+                         stream.image.scheme.c_str());
+    }
+    if (artifacts.has(ArtifactKind::kTailored)) {
+        checkSameOps(artifacts.tailoredIsa().decode(
+                         artifacts.tailoredImage()),
+                     program, "tailored");
+    }
 }
 
 } // namespace tepic::core

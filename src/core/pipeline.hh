@@ -1,17 +1,22 @@
 /**
  * @file
- * The library's top-level API: one call from tinkerc source (or a
- * named workload) to every artefact of the paper's study.
+ * The library's top-level API: request-based artefact construction
+ * from tinkerc source (or a named workload).
  *
- * buildArtifacts() runs the whole toolchain:
+ * The primary entry point is core::ArtifactEngine
+ * (core/artifact_engine.hh): callers describe what they want with an
+ * ArtifactRequest and the engine builds exactly that, caching and
+ * parallelising across workloads and schemes. This header defines the
+ * shared vocabulary:
  *
  *   compile (optionally profile-guided) -> emulate (trace + oracle)
- *   -> baseline image -> Huffman images (byte / six stream configs /
- *   full) -> tailored ISA + image -> ATTs
+ *   -> requested images only: baseline / Huffman byte / six streams /
+ *   full / tailored ISA + image / ATT
  *
- * and the helpers below run the fetch/power simulations and produce
- * per-scheme summaries. The benchmark harnesses in bench/ and the
- * examples are thin layers over this header.
+ * Artifacts exposes the results through *checked accessors* — asking
+ * for an image that was not requested is a loud, fatal error, never a
+ * silently empty object. buildArtifacts() remains as the thin
+ * build-everything wrapper the original API shipped.
  */
 
 #ifndef TEPIC_CORE_PIPELINE_HH
@@ -22,6 +27,8 @@
 #include <vector>
 
 #include "compiler/driver.hh"
+#include "core/artifact_request.hh"
+#include "fetch/att.hh"
 #include "fetch/fetch_sim.hh"
 #include "isa/baseline.hh"
 #include "schemes/huffman_scheme.hh"
@@ -35,22 +42,35 @@ struct PipelineConfig
     compiler::CompileOptions compile;
     bool profileGuided = true;
     schemes::HuffmanOptions huffman;
-    bool buildAllStreamConfigs = true;
+    bool buildAllStreamConfigs = true;  ///< honoured by buildArtifacts()
     sim::EmulatorConfig emulator;
 };
 
-/** Everything the experiments consume, built once per program. */
+/**
+ * Everything one request asked for, built once per program. The
+ * compiled program and its emulation result are always present; the
+ * per-scheme artefacts exist only when requested, and their accessors
+ * fail loudly otherwise.
+ */
 struct Artifacts
 {
     compiler::CompiledProgram compiled;
     sim::EmulationResult execution;
 
-    isa::Image baseImage;
-    schemes::CompressedImage byteImage;
-    schemes::CompressedImage fullImage;
-    std::vector<schemes::CompressedImage> streamImages;  ///< all six
-    schemes::TailoredIsa tailoredIsa;
-    isa::Image tailoredImage;
+    /** The (normalized) request this object was built from. */
+    ArtifactRequest request() const { return request_; }
+    bool has(ArtifactKind kind) const { return request_.has(kind); }
+
+    // Checked accessors: fatal when the kind was not requested.
+    const isa::Image &baseImage() const;
+    const schemes::CompressedImage &byteImage() const;
+    const schemes::CompressedImage &fullImage() const;
+    const std::vector<schemes::CompressedImage> &streamImages() const;
+    const schemes::CompressedImage &streamImage(std::size_t i) const;
+    const schemes::TailoredIsa &tailoredIsa() const;
+    const isa::Image &tailoredImage() const;
+    const fetch::Att &att() const;   ///< ATT over the Full image
+    const sim::BlockTrace &trace() const;
 
     /** Compression ratio of @p image vs the baseline code segment. */
     double
@@ -65,9 +85,27 @@ struct Artifacts
 
     /** Index of the smallest-decoder stream configuration. */
     std::size_t bestStreamByDecoder() const;
+
+  private:
+    friend class ArtifactEngine;
+
+    ArtifactRequest request_;
+    std::optional<isa::Image> base_;
+    std::optional<schemes::CompressedImage> byte_;
+    std::optional<schemes::CompressedImage> full_;
+    std::vector<schemes::CompressedImage> streams_;  ///< all six
+    std::optional<schemes::TailoredIsa> tailoredIsa_;
+    std::optional<isa::Image> tailoredImage_;
+    std::optional<fetch::Att> att_;
 };
 
-/** Run the full toolchain over tinkerc source text. */
+/**
+ * Run the full toolchain over tinkerc source text, building every
+ * artefact (minus streams when config.buildAllStreamConfigs is off).
+ * Thin wrapper over the engine's serial path; kept for callers that
+ * genuinely want everything. Selective/parallel/cached builds live in
+ * core/artifact_engine.hh.
+ */
 Artifacts buildArtifacts(const std::string &source,
                          const PipelineConfig &config = {});
 
@@ -89,13 +127,16 @@ struct SchemeSummary
     std::uint64_t decoderTransistors = 0;
 };
 
-/** Summaries for base, byte, all streams, full and tailored. */
+/**
+ * Summaries for every *built* scheme, in the fixed order base, byte,
+ * streams, full, tailored.
+ */
 std::vector<SchemeSummary> summarise(const Artifacts &artifacts);
 
 /**
- * Verify every compressed/tailored image decodes back to the exact
- * baseline operation stream. Fatal on mismatch; used by tests and the
- * harness's self-check mode.
+ * Verify every built compressed/tailored image decodes back to the
+ * exact baseline operation stream. Fatal on mismatch; used by tests
+ * and the harness's self-check mode.
  */
 void verifyRoundTrips(const Artifacts &artifacts);
 

@@ -31,6 +31,26 @@ class ScalarStat
         ++count_;
     }
 
+    /**
+     * Fold @p other into this accumulator. Parallel code keeps one
+     * ScalarStat per task and merges in a fixed order on the calling
+     * thread — deterministic, and no locking on the sample path.
+     */
+    void
+    merge(const ScalarStat &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        sum_ += other.sum_;
+        count_ += other.count_;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
@@ -52,6 +72,15 @@ class Histogram
     {
         bins_[key] += weight;
         total_ += weight;
+    }
+
+    /** Fold @p other in (same ordered-reduction discipline as ScalarStat). */
+    void
+    merge(const Histogram &other)
+    {
+        for (const auto &[k, w] : other.bins_)
+            bins_[k] += w;
+        total_ += other.total_;
     }
 
     std::uint64_t total() const { return total_; }

@@ -8,6 +8,7 @@
 
 #include "workloads/workload.hh"
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -25,18 +26,19 @@ constexpr int kSamples = 2048;
 const double *
 coefTable()
 {
-    static double table[kTaps];
-    static bool built = false;
-    if (!built) {
+    // Magic-static init: safe under concurrent first use (the
+    // artifact engine runs workload references from pool threads).
+    static const std::array<double, kTaps> table = [] {
+        std::array<double, kTaps> t{};
         for (int k = 0; k < kTaps; ++k) {
             const double w =
                 0.54 - 0.46 * std::cos(2.0 * M_PI * k / (kTaps - 1));
-            table[k] = w * std::sin(0.35 * (k - 31.5)) /
-                       (0.35 * (k - 31.5));
+            t[k] = w * std::sin(0.35 * (k - 31.5)) /
+                   (0.35 * (k - 31.5));
         }
-        built = true;
-    }
-    return table;
+        return t;
+    }();
+    return table.data();
 }
 
 std::int32_t

@@ -10,6 +10,7 @@
 
 #include "workloads/workload.hh"
 
+#include <array>
 #include <cmath>
 #include <sstream>
 
@@ -26,16 +27,17 @@ constexpr int kPixels = 4096;
 const std::int32_t *
 cosTable()
 {
-    static std::int32_t table[64];
-    static bool built = false;
-    if (!built) {
+    // Magic-static init: safe under concurrent first use (the
+    // artifact engine runs workload references from pool threads).
+    static const std::array<std::int32_t, 64> table = [] {
+        std::array<std::int32_t, 64> t{};
         for (int u = 0; u < 8; ++u)
             for (int x = 0; x < 8; ++x)
-                table[u * 8 + x] = std::int32_t(std::lround(
+                t[u * 8 + x] = std::int32_t(std::lround(
                     std::cos((2 * x + 1) * u * M_PI / 16.0) * 1024.0));
-        built = true;
-    }
-    return table;
+        return t;
+    }();
+    return table.data();
 }
 
 std::int32_t

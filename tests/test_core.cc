@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/pipeline.hh"
+#include "core/artifact_engine.hh"
 #include "fetch/att.hh"
 #include "workloads/workload.hh"
 
@@ -18,20 +18,28 @@ using namespace tepic;
 using core::Artifacts;
 using fetch::SchemeClass;
 
+/** Shared engine: repeated fixture access is a cache hit. */
+core::ArtifactEngine &
+testEngine()
+{
+    static core::ArtifactEngine engine;
+    return engine;
+}
+
 const Artifacts &
 gccArtifacts()
 {
-    static const Artifacts artifacts = core::buildArtifacts(
-        workloads::workloadByName("gcc").source);
-    return artifacts;
+    static const std::shared_ptr<const Artifacts> artifacts =
+        testEngine().build(workloads::workloadByName("gcc").source);
+    return *artifacts;
 }
 
 const Artifacts &
 firArtifacts()
 {
-    static const Artifacts artifacts = core::buildArtifacts(
-        workloads::workloadByName("fir").source);
-    return artifacts;
+    static const std::shared_ptr<const Artifacts> artifacts =
+        testEngine().build(workloads::workloadByName("fir").source);
+    return *artifacts;
 }
 
 TEST(CorePipeline, RoundTripsAllSchemes)
@@ -60,15 +68,15 @@ TEST(CorePipeline, SummariesAreConsistent)
 TEST(CorePipeline, Figure5SizeOrdering)
 {
     const auto &a = gccArtifacts();
-    const double full = a.ratio(a.fullImage.image);
-    const double byte = a.ratio(a.byteImage.image);
-    const double tailored = a.ratio(a.tailoredImage);
+    const double full = a.ratio(a.fullImage().image);
+    const double byte = a.ratio(a.byteImage().image);
+    const double tailored = a.ratio(a.tailoredImage());
     // Full is the best compressor; everything beats base.
     EXPECT_LT(full, tailored);
     EXPECT_LT(full, byte);
     EXPECT_LT(tailored, 1.0);
     EXPECT_LT(byte, 1.0);
-    for (const auto &stream : a.streamImages)
+    for (const auto &stream : a.streamImages())
         EXPECT_LT(full, a.ratio(stream.image) + 1e-12)
             << stream.streamConfig.name;
 }
@@ -78,11 +86,11 @@ TEST(CorePipeline, StreamSelectionHelpers)
     const auto &a = gccArtifacts();
     const std::size_t by_size = a.bestStreamBySize();
     const std::size_t by_decoder = a.bestStreamByDecoder();
-    for (std::size_t i = 0; i < a.streamImages.size(); ++i) {
-        EXPECT_LE(a.streamImages[by_size].image.bitSize,
-                  a.streamImages[i].image.bitSize);
+    for (std::size_t i = 0; i < a.streamImages().size(); ++i) {
+        EXPECT_LE(a.streamImage(by_size).image.bitSize,
+                  a.streamImage(i).image.bitSize);
     }
-    EXPECT_LT(by_decoder, a.streamImages.size());
+    EXPECT_LT(by_decoder, a.streamImages().size());
 }
 
 TEST(CorePipeline, Figure13IpcShape)
@@ -138,7 +146,7 @@ TEST(CorePipeline, AttOverheadIsModest)
     // Our entry model lands in the same regime.
     const auto &a = gccArtifacts();
     const auto att =
-        fetch::Att::build(a.fullImage.image, a.compiled.program);
+        fetch::Att::build(a.fullImage().image, a.compiled.program);
     const double vs_original =
         att.overheadVs(a.compiled.program.baselineBits());
     EXPECT_GT(vs_original, 0.02);
@@ -148,11 +156,12 @@ TEST(CorePipeline, AttOverheadIsModest)
 TEST(CorePipeline, ImageForSelectsTheRightImage)
 {
     const auto &a = gccArtifacts();
-    EXPECT_EQ(&core::imageFor(a, SchemeClass::kBase), &a.baseImage);
+    EXPECT_EQ(&core::imageFor(a, SchemeClass::kBase),
+              &a.baseImage());
     EXPECT_EQ(&core::imageFor(a, SchemeClass::kCompressed),
-              &a.fullImage.image);
+              &a.fullImage().image);
     EXPECT_EQ(&core::imageFor(a, SchemeClass::kTailored),
-              &a.tailoredImage);
+              &a.tailoredImage());
 }
 
 TEST(CorePipeline, NonProfileGuidedStillWorks)
@@ -162,7 +171,7 @@ TEST(CorePipeline, NonProfileGuidedStillWorks)
     config.buildAllStreamConfigs = false;
     const auto a = core::buildArtifacts(
         workloads::workloadByName("matmul").source, config);
-    EXPECT_TRUE(a.streamImages.empty());
+    EXPECT_FALSE(a.has(core::ArtifactKind::kStream));
     EXPECT_EQ(a.execution.exitValue,
               workloads::workloadByName("matmul").reference());
     core::verifyRoundTrips(a);

@@ -149,7 +149,7 @@ TEST(FetchUnits, WorksOnRealWorkloads)
         const auto config =
             fetch::FetchConfig::paper(fetch::SchemeClass::kBase);
         const auto unit = fetch::simulateUnitFetch(
-            artifacts.baseImage, artifacts.compiled.program,
+            artifacts.baseImage(), artifacts.compiled.program,
             artifacts.execution.trace, units, config);
         EXPECT_EQ(unit.fetch.opsDelivered,
                   artifacts.execution.dynamicOps)

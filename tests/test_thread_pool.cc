@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for support::ThreadPool — the invariants the artifact
+ * engine relies on: submit() is safe from inside a task, exceptions
+ * travel through futures and parallelFor, and destruction drains the
+ * queue rather than dropping it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace {
+
+using tepic::support::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[std::size_t(i)].get(), i * i);
+}
+
+TEST(ThreadPool, HardwareThreadsIsNeverZero)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, SubmitFromInsideATask)
+{
+    // The engine's scheme tasks are enqueued while compile tasks are
+    // still executing; submit() must be safe from worker threads.
+    ThreadPool pool(2);
+    auto outer = pool.submit([&pool] {
+        auto inner = pool.submit([] { return 21; });
+        // Note: waiting on the inner future here could deadlock a
+        // full pool, so hand it back to the caller instead.
+        return inner;
+    });
+    auto inner = outer.get();
+    EXPECT_EQ(inner.get(), 21);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+
+    // The worker that ran the throwing task must still be alive.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    constexpr std::size_t kCount = 257;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount,
+                     [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionByIndex)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(64, [&ran](std::size_t i) {
+            ran.fetch_add(1);
+            if (i == 5 || i == 40)
+                throw std::out_of_range(std::to_string(i));
+        });
+        FAIL() << "parallelFor swallowed the exception";
+    } catch (const std::out_of_range &e) {
+        // Deterministic choice: the lowest-index failure wins, no
+        // matter which worker hit its exception first.
+        EXPECT_STREQ(e.what(), "5");
+    }
+    // Every iteration still ran; one failure doesn't cancel the rest.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    constexpr int kTasks = 200;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&done] { done.fetch_add(1); });
+        // Destructor runs here with most of the queue still pending.
+    }
+    EXPECT_EQ(done.load(), kTasks);
+}
+
+} // namespace

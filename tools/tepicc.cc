@@ -26,7 +26,7 @@
 
 #include "compiler/irgen.hh"
 #include "compiler/parser.hh"
-#include "core/pipeline.hh"
+#include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
 #include "support/table.hh"
 #include "workloads/workload.hh"
@@ -256,10 +256,13 @@ int
 cmdVerilog(const Options &opts)
 {
     const auto source = loadSource(opts.positional[1]);
-    core::PipelineConfig config = pipelineConfig(opts);
-    config.buildAllStreamConfigs = false;
-    const auto artifacts = core::buildArtifacts(source, config);
-    std::fputs(artifacts.tailoredIsa.emitVerilog("tailored_decoder")
+    // Only the tailored ISA is needed: a selective engine request
+    // skips the baseline and Huffman images entirely.
+    const auto artifacts = core::ArtifactEngine::global().build(
+        source,
+        core::ArtifactRequest{core::ArtifactKind::kTailored},
+        pipelineConfig(opts));
+    std::fputs(artifacts->tailoredIsa().emitVerilog("tailored_decoder")
                    .c_str(), stdout);
     return 0;
 }
