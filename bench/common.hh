@@ -5,12 +5,19 @@
  * pattern:
  *
  *   1. parse the shared BenchOptions CLI layer (--workloads=,
- *      --schemes=, --jobs=) before google-benchmark sees argv,
+ *      --schemes=, --jobs=, --trace=, --metrics=) before
+ *      google-benchmark sees argv,
  *   2. build the requested artefacts for the requested workloads —
  *      up front, in main, so build logging never interleaves with
  *      benchmark output and build failures surface before timings,
  *   3. print the reproduced table/figure rows (the deliverable),
- *   4. hand control to google-benchmark for the timing section.
+ *   4. snapshot observability: write --metrics=/BENCH_fetch.json and
+ *      print the engine cache + per-phase timing summary to stderr
+ *      (before the timing loops run, so the deterministic metric
+ *      sections are untouched by machine-dependent iteration counts),
+ *   5. hand control to google-benchmark for the timing section, then
+ *      flush the --trace= file (timed loops are included in traces —
+ *      traces are wall-clock data anyway).
  *
  * Each binary declares the artefact kinds it actually consumes via
  * TEPIC_BENCH_MAIN's request argument; the engine builds nothing
@@ -35,8 +42,10 @@
 #include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 #include "workloads/workload.hh"
 
 namespace tepic::bench {
@@ -47,6 +56,8 @@ struct BenchOptions
     std::vector<std::string> workloads;  ///< empty = the full suite
     core::ArtifactRequest request;       ///< what to build
     unsigned jobs = 0;                   ///< 0 = hardware concurrency
+    std::string tracePath;               ///< Chrome trace JSON out
+    std::string metricsPath;             ///< metrics JSON out
 };
 
 /**
@@ -84,6 +95,10 @@ parseBenchOptions(int *argc, char **argv,
             options.request = parsed;
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             options.jobs = unsigned(std::atoi(arg + 7));
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            options.tracePath = arg + 8;
+        } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+            options.metricsPath = arg + 10;
         } else {
             argv[out++] = argv[i];
             continue;
@@ -156,16 +171,18 @@ buildAllArtifacts(const BenchOptions &options)
     std::vector<core::BuildRequest> requests;
     requests.reserve(selected.size());
     for (const auto *w : selected) {
-        std::fprintf(stderr,
-                     "[bench] requesting {%s} for %s\n",
-                     options.request.toString().c_str(),
-                     w->name.c_str());
+        TEPIC_INFORM("[bench] requesting {",
+                     options.request.toString(), "} for ", w->name);
         requests.push_back(
             core::BuildRequest{w->source, options.request, {}});
     }
 
     const auto start = std::chrono::steady_clock::now();
-    auto built = engine->buildMany(requests);
+    std::vector<std::shared_ptr<const core::Artifacts>> built;
+    {
+        TEPIC_TRACE_SPAN("bench.build_artifacts", "bench");
+        built = engine->buildMany(requests);
+    }
     const auto elapsed =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::steady_clock::now() - start);
@@ -178,17 +195,45 @@ buildAllArtifacts(const BenchOptions &options)
     }
 
     const auto stats = engine->stats();
-    std::fprintf(stderr,
-                 "[bench] built %zu workloads in %lld ms with %u "
-                 "jobs (%llu compiles, %llu huffman images, %llu "
-                 "tailored, %llu ATTs, %llu cache hits)\n",
-                 list.size(), (long long)elapsed.count(),
-                 engine->jobs(),
-                 (unsigned long long)stats.compiles,
-                 (unsigned long long)stats.huffmanImages(),
-                 (unsigned long long)stats.tailoredImages,
-                 (unsigned long long)stats.attBuilds,
-                 (unsigned long long)stats.cacheHits);
+    TEPIC_INFORM("[bench] built ", list.size(), " workloads in ",
+                 elapsed.count(), " ms with ", engine->jobs(),
+                 " jobs (", stats.compiles, " compiles, ",
+                 stats.huffmanImages(), " huffman images, ",
+                 stats.tailoredImages, " tailored, ", stats.attBuilds,
+                 " ATTs, ", stats.cacheHits, " cache hits)");
+}
+
+/**
+ * Snapshot the process metrics (engine + fetch + phase timings) and
+ * report them: a human summary on stderr, `--metrics=` JSON if asked
+ * for, and BENCH_fetch.json whenever the binary ran fetch
+ * simulations. Must run before google-benchmark's timed loops — they
+ * re-run fetch sims with machine-dependent iteration counts, which
+ * would poison the deterministic counter section.
+ */
+inline void
+reportBenchSummary(const BenchOptions &options)
+{
+    auto &metrics = support::MetricsRegistry::global();
+    benchEngine().exportMetrics(metrics);
+
+    const auto stats = benchEngine().stats();
+    TEPIC_INFORM("[bench] engine cache: ", stats.cacheHits, " hits / ",
+                 stats.cacheMisses, " misses");
+    for (const auto &[name, stat] : metrics.timingsSnapshot()) {
+        TEPIC_INFORM("[bench] phase ", name, ": sum=", stat.sum(),
+                     " ms over ", stat.count(), " samples (mean=",
+                     stat.mean(), " ms)");
+    }
+
+    if (!options.metricsPath.empty()) {
+        metrics.writeJsonFile(options.metricsPath);
+        TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
+    }
+    if (metrics.hasCounterWithPrefix("fetch.")) {
+        metrics.writeJsonFile("BENCH_fetch.json");
+        TEPIC_INFORM("[bench] wrote fetch metrics to BENCH_fetch.json");
+    }
 }
 
 /** Artefacts for every selected workload, in suite order. */
@@ -222,10 +267,15 @@ findArtifacts(const std::string &name)
     {                                                                  \
         const auto bench_options = ::tepic::bench::parseBenchOptions(  \
             &argc, argv, (default_request));                           \
+        if (!bench_options.tracePath.empty())                          \
+            ::tepic::support::trace::start(bench_options.tracePath);   \
         ::tepic::bench::buildAllArtifacts(bench_options);              \
         print_fn();                                                    \
+        ::tepic::bench::reportBenchSummary(bench_options);             \
         ::benchmark::Initialize(&argc, argv);                          \
         ::benchmark::RunSpecifiedBenchmarks();                         \
+        if (!bench_options.tracePath.empty())                          \
+            ::tepic::support::trace::stop();                           \
         return 0;                                                      \
     }
 

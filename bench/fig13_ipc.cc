@@ -70,6 +70,14 @@ printFigure13()
         const auto comp = core::runFetch(a, SchemeClass::kCompressed);
         const auto tail = core::runFetch(a, SchemeClass::kTailored);
 
+        auto &metrics = support::MetricsRegistry::global();
+        metrics.setGauge("fetch.ipc." + named.name + ".base",
+                         base.ipc());
+        metrics.setGauge("fetch.ipc." + named.name + ".compressed",
+                         comp.ipc());
+        metrics.setGauge("fetch.ipc." + named.name + ".tailored",
+                         tail.ipc());
+
         const double l0_rate = comp.l0Hits + comp.l0Misses
             ? double(comp.l0Hits) /
                   double(comp.l0Hits + comp.l0Misses)

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace tepic::core {
 
@@ -177,6 +179,9 @@ ArtifactEngine::global()
 void
 ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
 {
+    TEPIC_TRACE_SPAN("engine.compile", "engine");
+    support::ScopedTimerMs timer(support::MetricsRegistry::global(),
+                                 "engine.phase.compile_ms");
     const bool want_trace = req.request.has(ArtifactKind::kTrace) &&
                             req.config.emulator.recordTrace;
     a.request_ = want_trace
@@ -188,6 +193,7 @@ ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
     compiles_.fetch_add(1, std::memory_order_relaxed);
 
     if (req.config.profileGuided) {
+        TEPIC_TRACE_SPAN("engine.emulate.profile", "engine");
         // The profile pass only needs block counts, never the trace.
         auto profile_config = req.config.emulator;
         profile_config.recordTrace = false;
@@ -200,6 +206,7 @@ ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
                                           req.config.compile.machine);
     }
 
+    TEPIC_TRACE_SPAN("engine.emulate", "engine");
     auto run_config = req.config.emulator;
     run_config.recordTrace = want_trace;
     a.execution = sim::emulate(a.compiled.program, a.compiled.data,
@@ -217,12 +224,20 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
 
     if (request.has(ArtifactKind::kBase)) {
         tasks.push_back([this, &a] {
+            TEPIC_TRACE_SPAN("engine.build.base", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.base_ms");
             a.base_ = isa::buildBaselineImage(a.compiled.program);
             baseImages_.fetch_add(1, std::memory_order_relaxed);
         });
     }
     if (request.has(ArtifactKind::kByte)) {
         tasks.push_back([this, &a, huffman] {
+            TEPIC_TRACE_SPAN("engine.build.byte", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.byte_ms");
             a.byte_ = schemes::compressByte(a.compiled.program,
                                             huffman);
             byteImages_.fetch_add(1, std::memory_order_relaxed);
@@ -233,6 +248,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         a.streams_.resize(configs.size());
         for (std::size_t i = 0; i < configs.size(); ++i) {
             tasks.push_back([this, &a, huffman, i, &configs] {
+                TEPIC_TRACE_SPAN("engine.build.stream", "engine");
+                support::ScopedTimerMs timer(
+                    support::MetricsRegistry::global(),
+                    "engine.build.stream_ms");
                 a.streams_[i] = schemes::compressStream(
                     a.compiled.program, configs[i], huffman);
                 streamImages_.fetch_add(1, std::memory_order_relaxed);
@@ -241,6 +260,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
     }
     if (request.has(ArtifactKind::kFull)) {
         tasks.push_back([this, &a, huffman] {
+            TEPIC_TRACE_SPAN("engine.build.full", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.full_ms");
             a.full_ = schemes::compressFull(a.compiled.program,
                                             huffman);
             fullImages_.fetch_add(1, std::memory_order_relaxed);
@@ -248,6 +271,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
     }
     if (request.has(ArtifactKind::kTailored)) {
         tasks.push_back([this, &a] {
+            TEPIC_TRACE_SPAN("engine.build.tailored", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.tailored_ms");
             a.tailoredIsa_ =
                 schemes::TailoredIsa::build(a.compiled.program);
             a.tailoredImage_ =
@@ -257,6 +284,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
     }
     if (request.has(ArtifactKind::kAtt)) {
         att_tasks.push_back([this, &a] {
+            TEPIC_TRACE_SPAN("engine.build.att", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.att_ms");
             a.att_ = fetch::Att::build(a.full_->image,
                                        a.compiled.program);
             attBuilds_.fetch_add(1, std::memory_order_relaxed);
@@ -321,6 +352,7 @@ ArtifactEngine::build(const std::string &source,
 std::vector<std::shared_ptr<const Artifacts>>
 ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
 {
+    TEPIC_TRACE_SPAN("engine.buildMany", "engine");
     const std::size_t n = requests.size();
     std::vector<std::shared_ptr<const Artifacts>> results(n);
 
@@ -384,11 +416,14 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
     const auto compile_one = [&](std::size_t m) {
         compileStage(*pending[misses[m]].building, effective[m]);
     };
-    if (pool_ && misses.size() > 1) {
-        pool_->parallelFor(misses.size(), compile_one);
-    } else {
-        for (std::size_t m = 0; m < misses.size(); ++m)
-            compile_one(m);
+    {
+        TEPIC_TRACE_SPAN("engine.phase.compile", "engine");
+        if (pool_ && misses.size() > 1) {
+            pool_->parallelFor(misses.size(), compile_one);
+        } else {
+            for (std::size_t m = 0; m < misses.size(); ++m)
+                compile_one(m);
+        }
     }
 
     // Phase 2: fan every independent scheme build out as a task;
@@ -400,8 +435,14 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
         schemeTasks(*pending[misses[m]].building, effective[m], tasks,
                     att_tasks);
     }
-    runScheduled(tasks);
-    runScheduled(att_tasks);
+    {
+        TEPIC_TRACE_SPAN("engine.phase.schemes", "engine");
+        runScheduled(tasks);
+    }
+    {
+        TEPIC_TRACE_SPAN("engine.phase.att", "engine");
+        runScheduled(att_tasks);
+    }
 
     // Publish in batch order (deterministic cache contents).
     for (auto &p : pending) {
@@ -411,6 +452,17 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
         insert(p.key, p.request, done);
         for (std::size_t idx : p.indices)
             results[idx] = done;
+    }
+
+    if (support::trace::enabled()) {
+        support::trace::counter(
+            "engine.cache_hits",
+            double(cacheHits_.load(std::memory_order_relaxed)),
+            "engine");
+        support::trace::counter(
+            "engine.cache_misses",
+            double(cacheMisses_.load(std::memory_order_relaxed)),
+            "engine");
     }
     return results;
 }
@@ -448,6 +500,31 @@ ArtifactEngine::stats() const
         tailoredImages_.load(std::memory_order_relaxed);
     s.attBuilds = attBuilds_.load(std::memory_order_relaxed);
     return s;
+}
+
+void
+ArtifactEngine::exportMetrics(support::MetricsRegistry &out) const
+{
+    const EngineStats s = stats();
+    out.addCounter("engine.cache_hits", s.cacheHits);
+    out.addCounter("engine.cache_misses", s.cacheMisses);
+    out.addCounter("engine.compiles", s.compiles);
+    out.addCounter("engine.emulations", s.emulations);
+    out.addCounter("engine.images.base", s.baseImages);
+    out.addCounter("engine.images.byte", s.byteImages);
+    out.addCounter("engine.images.stream", s.streamImages);
+    out.addCounter("engine.images.full", s.fullImages);
+    out.addCounter("engine.images.tailored", s.tailoredImages);
+    out.addCounter("engine.att_builds", s.attBuilds);
+    if (pool_) {
+        const support::PoolStats pool = pool_->stats();
+        out.addRuntime("threadpool.workers", pool_->threadCount());
+        out.addRuntime("threadpool.tasks_executed",
+                       pool.tasksExecuted);
+        out.addRuntime("threadpool.queue_wait_us",
+                       pool.queueWaitNanos / 1000);
+        out.addRuntime("threadpool.exec_us", pool.execNanos / 1000);
+    }
 }
 
 } // namespace tepic::core

@@ -39,6 +39,10 @@
 #include "core/pipeline.hh"
 #include "support/thread_pool.hh"
 
+namespace tepic::support {
+class MetricsRegistry;
+} // namespace tepic::support
+
 namespace tepic::core {
 
 /** One unit of work for ArtifactEngine::buildMany(). */
@@ -111,6 +115,17 @@ class ArtifactEngine
 
     /** Snapshot of the work counters. */
     EngineStats stats() const;
+
+    /**
+     * Export the engine's observable state into @p out:
+     * `engine.*` counters (cache hits/misses, per-scheme build
+     * counts — deterministic for any --jobs) and, when a pool
+     * exists, `threadpool.*` runtime entries (task count, queue-wait
+     * and execution nanoseconds — environment-dependent). Phase
+     * *timings* are recorded into MetricsRegistry::global() as the
+     * engine runs, not here.
+     */
+    void exportMetrics(support::MetricsRegistry &out) const;
 
     /** Drop every cached entry (the counters are kept). */
     void clearCache();

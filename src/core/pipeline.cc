@@ -6,6 +6,8 @@
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace tepic::core {
 
@@ -151,16 +153,58 @@ imageFor(const Artifacts &artifacts, fetch::SchemeClass scheme)
     TEPIC_PANIC("bad scheme class");
 }
 
+namespace {
+
+/**
+ * Fold one simulation's aggregates into the process metrics, keyed
+ * by scheme. The fetch simulator is deterministic, so every counter
+ * here is in the metrics schema's deterministic section.
+ */
+void
+recordFetchMetrics(fetch::SchemeClass scheme,
+                   const fetch::FetchStats &stats)
+{
+    auto &m = support::MetricsRegistry::global();
+    const std::string prefix =
+        std::string("fetch.") + fetch::schemeClassName(scheme) + ".";
+    m.addCounter(prefix + "blocks_fetched", stats.blocksFetched);
+    m.addCounter(prefix + "cycles", stats.cycles);
+    m.addCounter(prefix + "ideal_cycles", stats.idealCycles);
+    m.addCounter(prefix + "ops_delivered", stats.opsDelivered);
+    m.addCounter(prefix + "l1_hits", stats.l1Hits);
+    m.addCounter(prefix + "l1_misses", stats.l1Misses);
+    m.addCounter(prefix + "l0_hits", stats.l0Hits);
+    m.addCounter(prefix + "l0_misses", stats.l0Misses);
+    m.addCounter(prefix + "atb_hits", stats.atbHits);
+    m.addCounter(prefix + "atb_misses", stats.atbMisses);
+    m.addCounter(prefix + "pred_correct", stats.predictionsCorrect);
+    m.addCounter(prefix + "pred_wrong", stats.predictionsWrong);
+    m.addCounter(prefix + "stall_cycles", stats.stallCycles);
+    m.addCounter(prefix + "atb_stall_cycles", stats.atbStallCycles);
+    m.addCounter(prefix + "lines_transferred", stats.linesTransferred);
+    m.addCounter(prefix + "bus_bit_flips", stats.busBitFlips);
+    m.addCounter(prefix + "bytes_transferred", stats.bytesTransferred);
+    if (stats.stallHistogram.total() > 0) {
+        m.mergeHistogram(prefix + "stall_cycles_hist",
+                         stats.stallHistogram);
+    }
+}
+
+} // namespace
+
 fetch::FetchStats
 runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
          std::optional<fetch::FetchConfig> config)
 {
+    TEPIC_TRACE_SPAN("fetch.simulate", "fetch");
     const fetch::FetchConfig fetch_config =
         config ? *config : fetch::FetchConfig::paper(scheme);
-    return fetch::simulateFetch(imageFor(artifacts, scheme),
-                                artifacts.compiled.program,
-                                artifacts.trace(),
-                                fetch_config);
+    auto stats = fetch::simulateFetch(imageFor(artifacts, scheme),
+                                      artifacts.compiled.program,
+                                      artifacts.trace(),
+                                      fetch_config);
+    recordFetchMetrics(scheme, stats);
+    return stats;
 }
 
 std::vector<SchemeSummary>

@@ -7,6 +7,33 @@
 
 namespace tepic::fetch {
 
+void
+FetchTrace::record(const FetchTraceOptions &options,
+                   const FetchTraceRecord &rec)
+{
+    ++recorded_;
+    if (options.ringCapacity == 0 ||
+        records_.size() < options.ringCapacity) {
+        records_.push_back(rec);
+        return;
+    }
+    // Ring full: overwrite the oldest record.
+    records_[head_] = rec;
+    head_ = (head_ + 1) % records_.size();
+}
+
+std::vector<FetchTraceRecord>
+FetchTrace::inOrder() const
+{
+    std::vector<FetchTraceRecord> out;
+    out.reserve(records_.size());
+    out.insert(out.end(), records_.begin() + std::ptrdiff_t(head_),
+               records_.end());
+    out.insert(out.end(), records_.begin(),
+               records_.begin() + std::ptrdiff_t(head_));
+    return out;
+}
+
 FetchStats
 simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
               const sim::BlockTrace &trace, const FetchConfig &config)
@@ -22,6 +49,7 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
     // Prediction for the very first block: treat as correct (cold
     // start is charged to neither scheme).
     bool next_prediction_correct = true;
+    std::uint64_t event_index = 0;
 
     for (const auto &event : trace.events) {
         const isa::BlockId block = event.block;
@@ -31,11 +59,16 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         FetchEvent fe;
         fe.predictionCorrect = next_prediction_correct;
 
+        // Everything charged to this block accumulates here so the
+        // per-block trace records the exact figure stats.cycles sums.
+        std::uint64_t block_cycles = 0;
+
         // ATB: translation must be resident before the block can be
         // fetched; a miss costs the ATT upload from ROM.
         const bool atb_hit = atb.access(block);
         if (!atb_hit) {
-            stats.cycles += config.penalties.atbMissPenalty;
+            block_cycles += config.penalties.atbMissPenalty;
+            stats.atbStallCycles += config.penalties.atbMissPenalty;
             // The ATT entry travels over the memory bus.
             std::vector<std::uint8_t> att_bytes(
                 (att.entryBits() + 7) / 8,
@@ -80,11 +113,31 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
             n_lines = std::max(1u, span);
         }
 
-        stats.cycles += blockCycles(config.scheme, fe, entry.numMops,
+        block_cycles += blockCycles(config.scheme, fe, entry.numMops,
                                     entry.numOps, n_lines,
                                     config.penalties);
+        stats.cycles += block_cycles;
         stats.idealCycles += entry.numMops;
         stats.opsDelivered += entry.numOps;
+        const std::uint64_t stall = block_cycles - entry.numMops;
+        stats.stallCycles += stall;
+
+        if (config.trace.enabled &&
+            (config.trace.sampleEvery <= 1 ||
+             event_index % config.trace.sampleEvery == 0)) {
+            FetchTraceRecord rec;
+            rec.index = event_index;
+            rec.block = block;
+            rec.cycles = std::uint32_t(block_cycles);
+            rec.stallCycles = std::uint32_t(stall);
+            rec.atbHit = atb_hit;
+            rec.l1Hit = fe.l1Hit;
+            rec.l0Hit = l0_hit;
+            rec.predictionCorrect = fe.predictionCorrect;
+            stats.trace.record(config.trace, rec);
+            stats.stallHistogram.sample(std::int64_t(stall));
+        }
+        ++event_index;
 
         if (fe.predictionCorrect)
             ++stats.predictionsCorrect;

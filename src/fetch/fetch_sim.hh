@@ -14,7 +14,9 @@
 #ifndef TEPIC_FETCH_FETCH_SIM_HH
 #define TEPIC_FETCH_FETCH_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "fetch/att.hh"
 #include "fetch/banked_cache.hh"
@@ -24,8 +26,63 @@
 #include "isa/program.hh"
 #include "power/bitflips.hh"
 #include "sim/emulator.hh"
+#include "support/stats.hh"
 
 namespace tepic::fetch {
+
+/**
+ * One recorded block fetch: everything the cycle model saw. This is
+ * the paper-facing per-access granularity (cf. the access-pattern
+ * traces of Ozturk et al. and Touché's per-access counters) that the
+ * aggregate FetchStats hide.
+ */
+struct FetchTraceRecord
+{
+    std::uint64_t index = 0;       ///< position in the dynamic trace
+    std::uint32_t block = 0;
+    std::uint32_t cycles = 0;      ///< total charged, incl. ATB stall
+    std::uint32_t stallCycles = 0; ///< cycles beyond the n_mops stream
+    bool atbHit = false;
+    bool l1Hit = false;
+    bool l0Hit = false;            ///< meaningful for kCompressed only
+    bool predictionCorrect = false;
+};
+
+/** How (and how much of) the per-block trace to record. */
+struct FetchTraceOptions
+{
+    bool enabled = false;
+    std::size_t ringCapacity = 4096;  ///< 0 = unbounded
+    std::uint64_t sampleEvery = 1;    ///< record every Nth event
+};
+
+/** Bounded (ring) or unbounded store of FetchTraceRecords. */
+class FetchTrace
+{
+  public:
+    void record(const FetchTraceOptions &options,
+                const FetchTraceRecord &rec);
+
+    /** Records in chronological order (unwinds the ring). */
+    std::vector<FetchTraceRecord> inOrder() const;
+
+    /** Records accepted, including ones later overwritten. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Records lost to ring overwrite. */
+    std::uint64_t
+    dropped() const
+    {
+        return recorded_ - records_.size();
+    }
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<FetchTraceRecord> records_;
+    std::size_t head_ = 0;  ///< next overwrite slot once full
+    std::uint64_t recorded_ = 0;
+};
 
 struct FetchConfig
 {
@@ -36,6 +93,7 @@ struct FetchConfig
     unsigned l0CapacityOps = 32;  ///< compressed scheme only
     unsigned busWidthBytes = 8;
     CyclePenalties penalties;
+    FetchTraceOptions trace;      ///< off by default: zero-cost loop
 
     /** Paper configuration for a scheme (cache geometry per §5). */
     static FetchConfig
@@ -70,6 +128,24 @@ struct FetchStats
     std::uint64_t busBeats = 0;
     std::uint64_t busBitFlips = 0;
     std::uint64_t bytesTransferred = 0;
+
+    /** Cycles beyond Σ n_mops: miss repair, mispredict, decompressor
+     *  setup — the paper's "compression ratio is not IPC" cost. */
+    std::uint64_t stallCycles = 0;
+    /** Portion of stallCycles spent fetching ATT entries on ATB miss. */
+    std::uint64_t atbStallCycles = 0;
+
+    /**
+     * Per-block stall-cycle distribution (overflow bucket at 64) and
+     * the per-block record trace; both populated only when
+     * FetchConfig::trace.enabled — the hot loop pays one branch
+     * otherwise.
+     */
+    support::Histogram stallHistogram =
+        support::Histogram(kStallHistogramOverflow);
+    FetchTrace trace;
+
+    static constexpr std::int64_t kStallHistogramOverflow = 64;
 
     double
     ipc() const

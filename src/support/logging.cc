@@ -1,15 +1,71 @@
 #include "support/logging.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace tepic::support {
 
+namespace {
+
+/**
+ * Render "prefix + msg + '\n'" into one buffer and hand it to stderr
+ * in a single write, so concurrent messages stay line-atomic.
+ */
+void
+writeLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(std::strlen(prefix) + msg.size() + 1);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+LogLevel
+parseLogLevel(const char *name)
+{
+    if (!name)
+        return LogLevel::kInfo;
+    if (std::strcmp(name, "debug") == 0)
+        return LogLevel::kDebug;
+    if (std::strcmp(name, "info") == 0)
+        return LogLevel::kInfo;
+    if (std::strcmp(name, "warn") == 0)
+        return LogLevel::kWarn;
+    if (std::strcmp(name, "error") == 0)
+        return LogLevel::kError;
+    if (std::strcmp(name, "none") == 0 ||
+        std::strcmp(name, "quiet") == 0) {
+        return LogLevel::kNone;
+    }
+    return LogLevel::kInfo;
+}
+
+LogLevel
+logThreshold()
+{
+    static const LogLevel threshold =
+        parseLogLevel(std::getenv("TEPIC_LOG"));
+    return threshold;
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return int(level) >= int(logThreshold());
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    // Always printed, regardless of TEPIC_LOG.
+    writeLine("panic: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     // Throwing (rather than abort()) lets tests exercise failure paths;
     // uncaught it still terminates the process with a diagnostic.
     throw std::logic_error("panic: " + msg);
@@ -18,21 +74,30 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    writeLine("fatal: ",
+              msg + " (" + file + ":" + std::to_string(line) + ")");
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::kWarn))
+        writeLine("warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::kInfo))
+        writeLine("info: ", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logEnabled(LogLevel::kDebug))
+        writeLine("debug: ", msg);
 }
 
 } // namespace tepic::support

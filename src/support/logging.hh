@@ -4,8 +4,17 @@
  *
  * Follows the gem5 convention: panic() for internal invariant violations
  * (a bug in this library), fatal() for conditions caused by user input
- * (bad source program, impossible configuration), warn()/inform() for
- * non-fatal status messages.
+ * (bad source program, impossible configuration), warn()/inform()/
+ * debug() for non-fatal status messages.
+ *
+ * Severity filtering: the TEPIC_LOG environment variable (one of
+ * debug, info, warn, error, none) sets the minimum level that prints;
+ * the default is info (debug messages are dropped). panic/fatal
+ * diagnostics always print.
+ *
+ * Concurrency: every message is rendered into one string (prefix,
+ * body and newline) and written with a single stderr write, so
+ * messages from engine worker threads never interleave mid-line.
  */
 
 #ifndef TEPIC_SUPPORT_LOGGING_HH
@@ -18,6 +27,24 @@
 
 namespace tepic::support {
 
+/** Message severities, in increasing order. */
+enum class LogLevel : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kNone = 4,  ///< threshold-only: suppress everything
+};
+
+/** Parse a level name ("debug".."none"); kInfo on unknown input. */
+LogLevel parseLogLevel(const char *name);
+
+/** The process threshold: $TEPIC_LOG, parsed once. */
+LogLevel logThreshold();
+
+/** Whether a message at @p level would print. */
+bool logEnabled(LogLevel level);
+
 /** Terminate due to an internal bug. Never returns. */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
@@ -26,11 +53,14 @@ namespace tepic::support {
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Print a warning to stderr. */
+/** Print a warning to stderr (level kWarn). */
 void warnImpl(const std::string &msg);
 
-/** Print an informational message to stderr. */
+/** Print an informational message to stderr (level kInfo). */
 void informImpl(const std::string &msg);
+
+/** Print a debug message to stderr (level kDebug). */
+void debugImpl(const std::string &msg);
 
 namespace detail {
 
@@ -62,6 +92,16 @@ concat(Args &&...args)
 #define TEPIC_INFORM(...)                                                    \
     ::tepic::support::informImpl(                                            \
         ::tepic::support::detail::concat(__VA_ARGS__))
+
+/** Debug-level log; the argument pack is not rendered when filtered. */
+#define TEPIC_DEBUG(...)                                                     \
+    do {                                                                     \
+        if (::tepic::support::logEnabled(                                    \
+                ::tepic::support::LogLevel::kDebug)) {                       \
+            ::tepic::support::debugImpl(                                     \
+                ::tepic::support::detail::concat(__VA_ARGS__));              \
+        }                                                                    \
+    } while (0)
 
 /** Assert an internal invariant; compiled in all build types. */
 #define TEPIC_ASSERT(cond, ...)                                              \

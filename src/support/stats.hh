@@ -64,46 +64,78 @@ class ScalarStat
     double max_ = 0.0;
 };
 
-/** Integer-keyed histogram. */
+/**
+ * Integer-keyed histogram, optionally bounded: with an overflow
+ * threshold T, samples with key >= T land in a single overflow bucket
+ * instead of growing the bin map without limit (hot simulators sample
+ * per block — a pathological stall tail must not allocate per key).
+ */
 class Histogram
 {
   public:
+    Histogram() = default;
+
+    /** Bounded histogram: keys >= @p overflowThreshold overflow. */
+    explicit Histogram(std::int64_t overflowThreshold)
+        : threshold_(overflowThreshold), bounded_(true)
+    {
+    }
+
     void sample(std::int64_t key, std::uint64_t weight = 1)
     {
-        bins_[key] += weight;
+        if (bounded_ && key >= threshold_)
+            overflow_ += weight;
+        else
+            bins_[key] += weight;
         total_ += weight;
     }
 
-    /** Fold @p other in (same ordered-reduction discipline as ScalarStat). */
-    void
-    merge(const Histogram &other)
-    {
-        for (const auto &[k, w] : other.bins_)
-            bins_[k] += w;
-        total_ += other.total_;
-    }
+    /**
+     * Fold @p other in (same ordered-reduction discipline as
+     * ScalarStat). Mixed bounds take the *tighter* (minimum)
+     * threshold and re-clamp, which keeps merge associative: any
+     * grouping of the same operands yields the same bins, overflow
+     * and threshold. Self-merge doubles every bucket, as if merging
+     * an identical copy.
+     */
+    void merge(const Histogram &other);
 
     std::uint64_t total() const { return total_; }
+
+    /** Weight that landed at or above the overflow threshold. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    bool bounded() const { return bounded_; }
+
+    /** Meaningful only when bounded(). */
+    std::int64_t overflowThreshold() const { return threshold_; }
+
     const std::map<std::int64_t, std::uint64_t> &bins() const
     {
         return bins_;
     }
 
-    /** Weighted mean of the keys. */
+    /** Weighted mean of the keys; overflow counts at the threshold. */
     double
     mean() const
     {
         if (total_ == 0)
             return 0.0;
-        double acc = 0.0;
+        double acc = double(threshold_) * double(overflow_);
         for (const auto &[k, w] : bins_)
             acc += double(k) * double(w);
         return acc / double(total_);
     }
 
   private:
+    /** Move bins at/above the current threshold into overflow. */
+    void clampToThreshold();
+
     std::map<std::int64_t, std::uint64_t> bins_;
     std::uint64_t total_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::int64_t threshold_ = 0;
+    bool bounded_ = false;
 };
 
 /** Median of a sample vector (used for the paper's "median advantage"). */

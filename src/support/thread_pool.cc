@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace tepic::support {
 
@@ -40,7 +41,8 @@ ThreadPool::enqueue(std::function<void()> job)
         std::lock_guard<std::mutex> lock(mutex_);
         TEPIC_ASSERT(!stopping_,
                      "submit() on a ThreadPool being destroyed");
-        queue_.push_back(std::move(job));
+        queue_.push_back(
+            Job{std::move(job), std::chrono::steady_clock::now()});
     }
     available_.notify_one();
 }
@@ -49,7 +51,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             available_.wait(lock, [this] {
@@ -62,8 +64,38 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();  // packaged_task captures any exception
+        const auto picked_up = std::chrono::steady_clock::now();
+        queueWaitNanos_.fetch_add(
+            std::uint64_t(std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              picked_up - job.enqueued)
+                              .count()),
+            std::memory_order_relaxed);
+        {
+            TEPIC_TRACE_SPAN("pool.task", "pool");
+            job.fn();  // packaged_task captures any exception
+        }
+        execNanos_.fetch_add(
+            std::uint64_t(std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() -
+                              picked_up)
+                              .count()),
+            std::memory_order_relaxed);
+        tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats stats;
+    stats.tasksExecuted =
+        tasksExecuted_.load(std::memory_order_relaxed);
+    stats.queueWaitNanos =
+        queueWaitNanos_.load(std::memory_order_relaxed);
+    stats.execNanos = execNanos_.load(std::memory_order_relaxed);
+    return stats;
 }
 
 void

@@ -1,0 +1,333 @@
+#include "support/trace.hh"
+
+#if TEPIC_TRACING_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace tepic::support::trace {
+
+namespace {
+
+struct Event
+{
+    const char *name = nullptr;
+    const char *cat = nullptr;
+    char phase = 'X';          // 'X' complete, 'i' instant, 'C' counter
+    std::uint64_t tsNs = 0;    // since start()
+    std::uint64_t durNs = 0;   // 'X' only
+    std::uint32_t tid = 0;
+    double value = 0.0;        // 'C' only
+    std::string args;          // preformatted JSON object, or empty
+};
+
+struct ThreadBuffer
+{
+    ThreadBuffer();
+    ~ThreadBuffer();
+
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::uint32_t tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<ThreadBuffer *> live;
+    std::vector<Event> retired;   ///< events from exited threads
+    std::uint32_t nextTid = 1;
+    std::chrono::steady_clock::time_point epoch;
+    std::string path;
+    std::atomic<bool> enabled{false};
+    bool started = false;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+thread_local bool t_hasBuffer = false;
+
+ThreadBuffer::ThreadBuffer()
+{
+    auto &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    tid = r.nextTid++;
+    r.live.push_back(this);
+    t_hasBuffer = true;
+}
+
+ThreadBuffer::~ThreadBuffer()
+{
+    auto &r = registry();
+    std::lock_guard<std::mutex> registry_lock(r.mutex);
+    std::lock_guard<std::mutex> buffer_lock(mutex);
+    r.retired.insert(r.retired.end(),
+                     std::make_move_iterator(events.begin()),
+                     std::make_move_iterator(events.end()));
+    std::erase(r.live, this);
+    t_hasBuffer = false;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local ThreadBuffer buffer;
+    return buffer;
+}
+
+std::uint64_t
+nowNs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - registry().epoch)
+            .count());
+}
+
+void
+append(Event event)
+{
+    auto &buffer = threadBuffer();
+    event.tid = buffer.tid;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+formatEvent(std::string &out, const Event &event)
+{
+    char num[64];
+    out += "{\"name\":";
+    out += jsonQuote(event.name);
+    out += ",\"cat\":";
+    out += jsonQuote(event.cat);
+    out += ",\"ph\":\"";
+    out += event.phase;
+    out += '"';
+    std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
+                  double(event.tsNs) / 1000.0);
+    out += num;
+    if (event.phase == 'X') {
+        std::snprintf(num, sizeof(num), ",\"dur\":%.3f",
+                      double(event.durNs) / 1000.0);
+        out += num;
+    }
+    std::snprintf(num, sizeof(num), ",\"pid\":1,\"tid\":%u", event.tid);
+    out += num;
+    if (event.phase == 'i')
+        out += ",\"s\":\"t\"";
+    if (event.phase == 'C') {
+        std::snprintf(num, sizeof(num), ",\"args\":{\"value\":%.12g}",
+                      event.value);
+        out += num;
+    } else if (!event.args.empty()) {
+        out += ",\"args\":";
+        out += event.args;
+    }
+    out += '}';
+}
+
+/** Gather every buffered event (clearing the buffers) and render. */
+std::string
+collectJson()
+{
+    auto &r = registry();
+    std::vector<Event> all;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        all = std::move(r.retired);
+        r.retired.clear();
+        for (ThreadBuffer *buffer : r.live) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            all.insert(all.end(),
+                       std::make_move_iterator(buffer->events.begin()),
+                       std::make_move_iterator(buffer->events.end()));
+            buffer->events.clear();
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.tsNs != b.tsNs)
+                             return a.tsNs < b.tsNs;
+                         return a.tid < b.tid;
+                     });
+
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const Event &event : all) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        formatEvent(out, event);
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void
+start(const std::string &path)
+{
+    auto &r = registry();
+    if (r.enabled.load(std::memory_order_relaxed))
+        TEPIC_WARN("trace::start() while already tracing; restarting");
+    r.enabled.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.retired.clear();
+        for (ThreadBuffer *buffer : r.live) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            buffer->events.clear();
+        }
+        r.path = path;
+        r.epoch = std::chrono::steady_clock::now();
+        r.started = true;
+    }
+    r.enabled.store(true, std::memory_order_release);
+}
+
+void
+stop()
+{
+    auto &r = registry();
+    if (!r.started)
+        return;
+    r.enabled.store(false, std::memory_order_relaxed);
+    r.started = false;
+    const std::string json = collectJson();
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        path = r.path;
+        r.path.clear();
+    }
+    if (path.empty())
+        return;
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        TEPIC_WARN("trace: cannot write '", path, "'");
+        return;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+}
+
+std::string
+stopToJson()
+{
+    auto &r = registry();
+    r.enabled.store(false, std::memory_order_relaxed);
+    r.started = false;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        r.path.clear();
+    }
+    return collectJson();
+}
+
+void
+instant(const char *name, const char *cat)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.name = name;
+    event.cat = cat;
+    event.phase = 'i';
+    event.tsNs = nowNs();
+    append(std::move(event));
+}
+
+void
+counter(const char *name, double value, const char *cat)
+{
+    if (!enabled())
+        return;
+    Event event;
+    event.name = name;
+    event.cat = cat;
+    event.phase = 'C';
+    event.tsNs = nowNs();
+    event.value = value;
+    append(std::move(event));
+}
+
+Span::Span(const char *name, const char *cat)
+{
+    if (!enabled())
+        return;
+    name_ = name;
+    cat_ = cat;
+    startNs_ = nowNs();
+    active_ = true;
+}
+
+Span::Span(const char *name, const char *cat, std::string args)
+{
+    if (!enabled())
+        return;
+    name_ = name;
+    cat_ = cat;
+    args_ = std::move(args);
+    startNs_ = nowNs();
+    active_ = true;
+}
+
+Span::~Span()
+{
+    // A span that straddles stop() is dropped rather than recorded
+    // into the next session: the enabled() check here pairs with the
+    // one in the constructor.
+    if (!active_ || !enabled())
+        return;
+    Event event;
+    event.name = name_;
+    event.cat = cat_;
+    event.phase = 'X';
+    event.tsNs = startNs_;
+    event.durNs = nowNs() - startNs_;
+    event.args = std::move(args_);
+    append(std::move(event));
+}
+
+bool
+threadHasBuffer()
+{
+    return t_hasBuffer;
+}
+
+std::size_t
+pendingEvents()
+{
+    auto &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::size_t n = r.retired.size();
+    for (ThreadBuffer *buffer : r.live) {
+        std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+        n += buffer->events.size();
+    }
+    return n;
+}
+
+} // namespace tepic::support::trace
+
+#endif // TEPIC_TRACING_ENABLED

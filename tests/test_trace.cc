@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event layer (support/trace) and the
+ * fetch simulator's per-block record trace: span nesting, per-thread
+ * buffer flushing, JSON round trips through the mini parser,
+ * disabled-mode cost, and the golden self-consistency check that the
+ * per-block records sum exactly to the aggregate FetchStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/artifact_engine.hh"
+#include "core/pipeline.hh"
+#include "fetch/fetch_sim.hh"
+#include "json_mini.hh"
+#include "support/trace.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+namespace trace = support::trace;
+
+#if TEPIC_TRACING_ENABLED
+
+/** Find the first event with @p name; fails the test when absent. */
+testjson::Value
+findEvent(const testjson::Value &doc, const std::string &name)
+{
+    for (const auto &event : doc.at("traceEvents").array)
+        if (event.at("name").str == name)
+            return event;
+    ADD_FAILURE() << "no trace event named '" << name << "'";
+    return {};
+}
+
+// Must run before any start() in this binary: while tracing is
+// disabled, span/instant/counter calls may not materialize a thread
+// buffer or enqueue anything.
+TEST(Trace, DisabledModeRecordsNothing)
+{
+    ASSERT_FALSE(trace::enabled());
+    bool worker_has_buffer = true;
+    std::thread worker([&] {
+        {
+            TEPIC_TRACE_SPAN("disabled.span");
+            trace::instant("disabled.instant");
+            trace::counter("disabled.counter", 1.0);
+        }
+        worker_has_buffer = trace::threadHasBuffer();
+    });
+    worker.join();
+    EXPECT_FALSE(worker_has_buffer);
+    EXPECT_EQ(trace::pendingEvents(), 0u);
+}
+
+TEST(Trace, SpanNestingRoundTrip)
+{
+    trace::start("");
+    {
+        TEPIC_TRACE_SPAN("outer", "test");
+        {
+            TEPIC_TRACE_SPAN("inner", "test");
+        }
+        trace::instant("mark", "test");
+        trace::counter("cache_hits", 42.0, "test");
+    }
+    const auto doc = testjson::parse(trace::stopToJson());
+    EXPECT_FALSE(trace::enabled());
+
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+    EXPECT_EQ(doc.at("traceEvents").array.size(), 4u);
+
+    const auto outer = findEvent(doc, "outer");
+    const auto inner = findEvent(doc, "inner");
+    EXPECT_EQ(outer.at("ph").str, "X");
+    EXPECT_EQ(outer.at("cat").str, "test");
+    EXPECT_EQ(outer.at("pid").number, 1.0);
+    // The inner span starts after and ends before the outer one.
+    EXPECT_GE(inner.at("ts").number, outer.at("ts").number);
+    EXPECT_LE(inner.at("ts").number + inner.at("dur").number,
+              outer.at("ts").number + outer.at("dur").number + 1e-9);
+    // Same thread: identical tid.
+    EXPECT_EQ(inner.at("tid").number, outer.at("tid").number);
+
+    const auto mark = findEvent(doc, "mark");
+    EXPECT_EQ(mark.at("ph").str, "i");
+    EXPECT_EQ(mark.at("s").str, "t");
+
+    const auto counter = findEvent(doc, "cache_hits");
+    EXPECT_EQ(counter.at("ph").str, "C");
+    EXPECT_EQ(counter.at("args").at("value").number, 42.0);
+}
+
+TEST(Trace, SpanArgsEmitted)
+{
+    trace::start("");
+    {
+        trace::Span span("tagged", "test", "{\"workload\":\"fir\"}");
+    }
+    const auto doc = testjson::parse(trace::stopToJson());
+    const auto tagged = findEvent(doc, "tagged");
+    EXPECT_EQ(tagged.at("args").at("workload").str, "fir");
+}
+
+TEST(Trace, ThreadBuffersFlushAtStop)
+{
+    trace::start("");
+    {
+        TEPIC_TRACE_SPAN("main.span", "test");
+    }
+    // The worker's buffer is destroyed at thread exit — its events
+    // must retire into the registry, not vanish.
+    std::thread worker([] { TEPIC_TRACE_SPAN("worker.span", "test"); });
+    worker.join();
+    EXPECT_EQ(trace::pendingEvents(), 2u);
+
+    const auto doc = testjson::parse(trace::stopToJson());
+    const auto main_span = findEvent(doc, "main.span");
+    const auto worker_span = findEvent(doc, "worker.span");
+    EXPECT_NE(main_span.at("tid").number, worker_span.at("tid").number);
+}
+
+TEST(Trace, SpanStraddlingStopIsDropped)
+{
+    trace::start("");
+    auto *straddler = new trace::Span("straddle", "test");
+    const auto doc = testjson::parse(trace::stopToJson());
+    delete straddler;  // destroyed after stop: must not record
+    EXPECT_EQ(doc.at("traceEvents").array.size(), 0u);
+    EXPECT_EQ(trace::pendingEvents(), 0u);
+}
+
+TEST(Trace, StopWritesFile)
+{
+    const std::string path = "test_trace_out.json";
+    trace::start(path);
+    {
+        TEPIC_TRACE_SPAN("file.span", "test");
+    }
+    trace::stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = testjson::parse(buffer.str());
+    findEvent(doc, "file.span");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, RestartClearsPreviousSession)
+{
+    trace::start("");
+    trace::instant("first.session", "test");
+    trace::start("");  // restart discards the buffered event
+    trace::instant("second.session", "test");
+    const auto doc = testjson::parse(trace::stopToJson());
+    ASSERT_EQ(doc.at("traceEvents").array.size(), 1u);
+    EXPECT_EQ(doc.at("traceEvents").array[0].at("name").str,
+              "second.session");
+}
+
+#else // !TEPIC_TRACING_ENABLED
+
+TEST(Trace, CompiledOutLayerIsInert)
+{
+    trace::start("never_written.json");
+    {
+        TEPIC_TRACE_SPAN("noop");
+    }
+    EXPECT_FALSE(trace::enabled());
+    EXPECT_FALSE(trace::threadHasBuffer());
+    EXPECT_EQ(trace::pendingEvents(), 0u);
+    const auto doc = testjson::parse(trace::stopToJson());
+    EXPECT_EQ(doc.at("traceEvents").array.size(), 0u);
+}
+
+#endif // TEPIC_TRACING_ENABLED
+
+// --- fetch-simulator per-block trace (independent of the Chrome
+// --- layer: gated by FetchConfig::trace, not TEPIC_TRACING_ENABLED)
+
+const core::Artifacts &
+firArtifacts()
+{
+    static const core::Artifacts artifacts =
+        core::ArtifactEngine::buildUncached(
+            workloads::workloadByName("fir").source,
+            core::ArtifactRequest{core::ArtifactKind::kBase,
+                                  core::ArtifactKind::kTrace},
+            {});
+    return artifacts;
+}
+
+fetch::FetchStats
+runTracedFetch(fetch::FetchTraceOptions options)
+{
+    const auto &a = firArtifacts();
+    auto config = fetch::FetchConfig::paper(fetch::SchemeClass::kBase);
+    config.trace = options;
+    return fetch::simulateFetch(a.baseImage(), a.compiled.program,
+                                a.trace(), config);
+}
+
+/**
+ * Golden self-consistency check: with an unbounded, unsampled trace,
+ * the per-block records tile the aggregate stats exactly — same
+ * event count, and cycles/stalls that sum to the totals.
+ */
+TEST(FetchTrace, RecordsTileAggregateStats)
+{
+    fetch::FetchTraceOptions options;
+    options.enabled = true;
+    options.ringCapacity = 0;
+    const auto stats = runTracedFetch(options);
+
+    ASSERT_GT(stats.blocksFetched, 0u);
+    EXPECT_EQ(stats.trace.recorded(), stats.blocksFetched);
+    EXPECT_EQ(stats.trace.dropped(), 0u);
+
+    const auto records = stats.trace.inOrder();
+    ASSERT_EQ(records.size(), stats.blocksFetched);
+    std::uint64_t cycles = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t pred_correct = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].index, i);
+        cycles += records[i].cycles;
+        stalls += records[i].stallCycles;
+        l1_hits += records[i].l1Hit ? 1 : 0;
+        pred_correct += records[i].predictionCorrect ? 1 : 0;
+    }
+    EXPECT_EQ(cycles, stats.cycles);
+    EXPECT_EQ(stalls, stats.stallCycles);
+    EXPECT_EQ(l1_hits, stats.l1Hits);
+    EXPECT_EQ(pred_correct, stats.predictionsCorrect);
+
+    // The stall histogram saw every block, overflow included.
+    EXPECT_EQ(stats.stallHistogram.total(), stats.blocksFetched);
+}
+
+/** The record stream is identical run to run (golden determinism). */
+TEST(FetchTrace, Deterministic)
+{
+    fetch::FetchTraceOptions options;
+    options.enabled = true;
+    options.ringCapacity = 0;
+    const auto first = runTracedFetch(options).trace.inOrder();
+    const auto second = runTracedFetch(options).trace.inOrder();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].block, second[i].block);
+        EXPECT_EQ(first[i].cycles, second[i].cycles);
+        EXPECT_EQ(first[i].stallCycles, second[i].stallCycles);
+        EXPECT_EQ(first[i].l1Hit, second[i].l1Hit);
+    }
+}
+
+TEST(FetchTrace, RingKeepsNewestRecords)
+{
+    fetch::FetchTraceOptions options;
+    options.enabled = true;
+    options.ringCapacity = 8;
+    const auto stats = runTracedFetch(options);
+    ASSERT_GT(stats.blocksFetched, 8u) << "fir trace too short to "
+                                          "exercise the ring";
+
+    EXPECT_EQ(stats.trace.size(), 8u);
+    EXPECT_EQ(stats.trace.recorded(), stats.blocksFetched);
+    EXPECT_EQ(stats.trace.dropped(), stats.blocksFetched - 8u);
+
+    // inOrder() unwinds the ring: the newest 8 events, oldest first.
+    const auto records = stats.trace.inOrder();
+    ASSERT_EQ(records.size(), 8u);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].index, stats.blocksFetched - 8u + i);
+}
+
+TEST(FetchTrace, SamplingRecordsEveryNth)
+{
+    fetch::FetchTraceOptions options;
+    options.enabled = true;
+    options.ringCapacity = 0;
+    options.sampleEvery = 4;
+    const auto stats = runTracedFetch(options);
+
+    const std::uint64_t expected = (stats.blocksFetched + 3) / 4;
+    EXPECT_EQ(stats.trace.recorded(), expected);
+    for (const auto &rec : stats.trace.inOrder())
+        EXPECT_EQ(rec.index % 4, 0u);
+    EXPECT_EQ(stats.stallHistogram.total(), expected);
+}
+
+TEST(FetchTrace, DisabledByDefault)
+{
+    const auto stats = runTracedFetch(fetch::FetchTraceOptions{});
+    EXPECT_EQ(stats.trace.recorded(), 0u);
+    EXPECT_EQ(stats.trace.size(), 0u);
+    EXPECT_EQ(stats.stallHistogram.total(), 0u);
+}
+
+} // namespace

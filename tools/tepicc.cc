@@ -14,7 +14,9 @@
  *   tepicc workloads                    list built-in workloads
  *
  * <prog> is a tinkerc file path or a built-in workload name.
- * Global flags: --no-pgo (single-pass layout), -O0 (optimiser off).
+ * Global flags: --no-pgo (single-pass layout), -O0 (optimiser off),
+ * --trace=<file> (Chrome trace-event JSON for chrome://tracing or
+ * Perfetto), --metrics=<file> (metrics registry JSON).
  */
 
 #include <cstdio>
@@ -28,7 +30,9 @@
 #include "compiler/parser.hh"
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
+#include "support/metrics.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 #include "workloads/workload.hh"
 
 namespace {
@@ -43,7 +47,7 @@ usage()
         "  run|disasm|ir|stats|compress|fetch|verilog|trace|verify "
         "<prog>\n"
         "  workloads\n"
-        "flags: --no-pgo, -O0\n"
+        "flags: --no-pgo, -O0, --trace=<file>, --metrics=<file>\n"
         "<prog> = tinkerc file or built-in workload name\n");
     return 2;
 }
@@ -70,6 +74,8 @@ struct Options
 {
     bool pgo = true;
     bool optimise = true;
+    std::string tracePath;
+    std::string metricsPath;
     std::vector<std::string> positional;
 };
 
@@ -82,6 +88,10 @@ parseArgs(int argc, char **argv)
             opts.pgo = false;
         else if (std::strcmp(argv[i], "-O0") == 0)
             opts.optimise = false;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            opts.tracePath = argv[i] + 8;
+        else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
+            opts.metricsPath = argv[i] + 10;
         else
             opts.positional.push_back(argv[i]);
     }
@@ -170,8 +180,9 @@ int
 cmdCompress(const Options &opts)
 {
     const auto source = loadSource(opts.positional[1]);
-    const auto artifacts =
-        core::buildArtifacts(source, pipelineConfig(opts));
+    const auto built = core::ArtifactEngine::global().build(
+        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     support::TextTable table;
     table.setHeader({"scheme", "bytes", "vs base", "decoder T"});
@@ -188,8 +199,9 @@ int
 cmdFetch(const Options &opts)
 {
     const auto source = loadSource(opts.positional[1]);
-    const auto artifacts =
-        core::buildArtifacts(source, pipelineConfig(opts));
+    const auto built = core::ArtifactEngine::global().build(
+        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto &artifacts = *built;
     std::vector<fetch::SchemeClass> schemes;
     if (opts.positional.size() > 2) {
         const std::string &which = opts.positional[2];
@@ -228,8 +240,9 @@ cmdVerify(const Options &opts)
     // all round trips, and cross-check the three fetch organisations
     // deliver the identical op stream.
     const auto source = loadSource(opts.positional[1]);
-    const auto artifacts =
-        core::buildArtifacts(source, pipelineConfig(opts));
+    const auto built = core::ArtifactEngine::global().build(
+        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     std::printf("round trips: ok (base, byte, 6 streams, full, "
                 "tailored)\n");
@@ -289,25 +302,9 @@ cmdTrace(const Options &opts)
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const std::string &cmd, const Options &opts)
 {
-    const Options opts = parseArgs(argc, argv);
-    if (opts.positional.empty())
-        return usage();
-    const std::string &cmd = opts.positional[0];
-
-    if (cmd == "workloads") {
-        for (const auto &w : workloads::allWorkloads())
-            std::printf("%-10s %s\n", w.name.c_str(),
-                        w.description.c_str());
-        return 0;
-    }
-    if (opts.positional.size() < 2)
-        return usage();
-
     if (cmd == "run")
         return cmdRun(opts);
     if (cmd == "disasm")
@@ -327,4 +324,43 @@ main(int argc, char **argv)
     if (cmd == "trace")
         return cmdTrace(opts);
     return usage();
+}
+
+/** Flush --trace=/--metrics= outputs after the command ran. */
+void
+finalizeObservability(const Options &opts)
+{
+    if (!opts.metricsPath.empty()) {
+        auto &metrics = support::MetricsRegistry::global();
+        core::ArtifactEngine::global().exportMetrics(metrics);
+        metrics.writeJsonFile(opts.metricsPath);
+    }
+    if (!opts.tracePath.empty())
+        support::trace::stop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    if (opts.positional.empty())
+        return usage();
+    const std::string &cmd = opts.positional[0];
+
+    if (cmd == "workloads") {
+        for (const auto &w : workloads::allWorkloads())
+            std::printf("%-10s %s\n", w.name.c_str(),
+                        w.description.c_str());
+        return 0;
+    }
+    if (opts.positional.size() < 2)
+        return usage();
+
+    if (!opts.tracePath.empty())
+        support::trace::start(opts.tracePath);
+    const int status = dispatch(cmd, opts);
+    finalizeObservability(opts);
+    return status;
 }

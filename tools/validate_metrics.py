@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate tepic observability JSON outputs.
+
+Usage:
+  validate_metrics.py FILE...            validate metrics files
+                                         (schema tepic-metrics-v1)
+  validate_metrics.py --trace FILE...    validate Chrome trace-event
+                                         files (--trace=... output)
+  validate_metrics.py --compare A B      additionally require the
+                                         deterministic sections
+                                         (counters, gauges,
+                                         histograms) of A and B to be
+                                         identical — the --jobs
+                                         determinism contract; the
+                                         timings and runtime sections
+                                         are wall-clock/environment
+                                         data and excluded
+
+Exits non-zero with a diagnostic on the first violation. Only the
+standard library is used.
+"""
+
+import json
+import sys
+
+DETERMINISTIC_SECTIONS = ("counters", "gauges", "histograms")
+ALL_SECTIONS = DETERMINISTIC_SECTIONS + ("timings", "runtime")
+
+
+def fail(msg):
+    print(f"validate_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_metrics(path, doc):
+    if doc.get("schema") != "tepic-metrics-v1":
+        fail(f"{path}: bad or missing schema field")
+    for section in ALL_SECTIONS:
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing section '{section}'")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter '{name}' is not a non-negative int")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"{path}: gauge '{name}' is not a number")
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict) or "total" not in hist \
+                or "bins" not in hist:
+            fail(f"{path}: histogram '{name}' malformed")
+        binsum = sum(w for _, w in hist["bins"]) + hist.get("overflow", 0)
+        if binsum != hist["total"]:
+            fail(f"{path}: histogram '{name}' bins+overflow ({binsum}) "
+                 f"!= total ({hist['total']})")
+    for name, stat in doc["timings"].items():
+        for key in ("count", "min", "max", "mean", "sum"):
+            if key not in stat:
+                fail(f"{path}: timing '{name}' missing '{key}'")
+    print(f"validate_metrics: {path}: ok "
+          f"({len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, "
+          f"{len(doc['histograms'])} histograms, "
+          f"{len(doc['timings'])} timings)")
+
+
+def check_trace(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}'")
+        if ev["ph"] == "X" and "dur" not in ev:
+            fail(f"{path}: complete event {i} missing 'dur'")
+    print(f"validate_metrics: {path}: ok ({len(events)} trace events)")
+
+
+def compare(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    check_metrics(path_a, a)
+    check_metrics(path_b, b)
+    for section in DETERMINISTIC_SECTIONS:
+        if a[section] != b[section]:
+            only_a = set(a[section]) - set(b[section])
+            only_b = set(b[section]) - set(a[section])
+            diff = {k for k in set(a[section]) & set(b[section])
+                    if a[section][k] != b[section][k]}
+            fail(f"deterministic section '{section}' differs: "
+                 f"only in {path_a}: {sorted(only_a)}; "
+                 f"only in {path_b}: {sorted(only_b)}; "
+                 f"changed: {sorted(diff)}")
+    print(f"validate_metrics: deterministic sections of {path_a} and "
+          f"{path_b} are identical")
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--compare":
+        if len(argv) != 3:
+            fail("--compare takes exactly two files")
+        compare(argv[1], argv[2])
+        return
+    if len(argv) >= 1 and argv[0] == "--trace":
+        if len(argv) < 2:
+            fail("--trace takes at least one file")
+        for path in argv[1:]:
+            check_trace(path, load(path))
+        return
+    if not argv:
+        fail("no files given (see --help in the module docstring)")
+    for path in argv:
+        check_metrics(path, load(path))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
