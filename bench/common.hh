@@ -58,7 +58,19 @@ struct BenchOptions
     unsigned jobs = 0;                   ///< 0 = hardware concurrency
     std::string tracePath;               ///< Chrome trace JSON out
     std::string metricsPath;             ///< metrics JSON out
+    std::string benchName;               ///< argv[0] basename
 };
+
+/** argv[0] stripped to its basename: the canonical bench name. */
+inline std::string
+benchNameFromArgv0(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name.empty() ? "bench" : name;
+}
 
 /**
  * Parse and strip the harness flags from argv. `--schemes=` replaces
@@ -72,6 +84,8 @@ parseBenchOptions(int *argc, char **argv,
 {
     BenchOptions options;
     options.request = default_request;
+    options.benchName = benchNameFromArgv0(*argc > 0 ? argv[0]
+                                                     : nullptr);
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
         const char *arg = argv[i];
@@ -99,6 +113,14 @@ parseBenchOptions(int *argc, char **argv,
             options.tracePath = arg + 8;
         } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
             options.metricsPath = arg + 10;
+        } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
+            // CLI takes precedence over the TEPIC_LOG env filter.
+            const char *level = arg + 12;
+            if (!support::isLogLevelName(level)) {
+                TEPIC_FATAL("unknown --log-level '", level,
+                            "' (expected debug|info|warn|error|none)");
+            }
+            support::setLogThreshold(support::parseLogLevel(level));
         } else {
             argv[out++] = argv[i];
             continue;
@@ -230,6 +252,13 @@ reportBenchSummary(const BenchOptions &options)
         metrics.writeJsonFile(options.metricsPath);
         TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
     }
+    // Canonical per-binary snapshot: the regression-gate baseline
+    // (tools/check_regression.py) and fidelity report
+    // (tools/tepic_report.py) key off this name.
+    const std::string bench_json =
+        "BENCH_" + options.benchName + ".json";
+    metrics.writeJsonFile(bench_json);
+    TEPIC_INFORM("[bench] wrote bench metrics to ", bench_json);
     if (metrics.hasCounterWithPrefix("fetch.")) {
         metrics.writeJsonFile("BENCH_fetch.json");
         TEPIC_INFORM("[bench] wrote fetch metrics to BENCH_fetch.json");

@@ -81,6 +81,15 @@ printFigure5()
                   TextTable::percent(support::mean(tail_r)), ""});
     std::printf("%s\n", table.render().c_str());
 
+    // Headline gauges for the fidelity report (tools/tepic_report.py):
+    // suite-average size as a fraction of the 40-bit baseline.
+    auto &metrics = support::MetricsRegistry::global();
+    metrics.setGauge("fig05.ratio.byte", support::mean(byte_r));
+    metrics.setGauge("fig05.ratio.stream", support::mean(stream_r));
+    metrics.setGauge("fig05.ratio.stream_1", support::mean(stream1_r));
+    metrics.setGauge("fig05.ratio.full", support::mean(full_r));
+    metrics.setGauge("fig05.ratio.tailored", support::mean(tail_r));
+
     // The six stream configurations, as the paper considered.
     TextTable streams;
     streams.setHeader({"stream config", "avg size", "avg decoder kT"});

@@ -69,6 +69,17 @@ printFigure10()
                   TextTable::num(support::mean(tail_t), 1)});
     std::printf("%s\n", table.render().c_str());
 
+    // Headline gauges (suite-average kilotransistors) for the report.
+    auto &metrics = support::MetricsRegistry::global();
+    metrics.setGauge("fig10.decoder_kt.byte", support::mean(byte_t));
+    metrics.setGauge("fig10.decoder_kt.stream",
+                     support::mean(stream_t));
+    metrics.setGauge("fig10.decoder_kt.stream_1",
+                     support::mean(stream1_t));
+    metrics.setGauge("fig10.decoder_kt.full", support::mean(full_t));
+    metrics.setGauge("fig10.decoder_kt.tailored",
+                     support::mean(tail_t));
+
     // Dictionary shapes behind the model, for the largest workload.
     const auto *gcc_named = bench::findArtifacts("gcc");
     if (gcc_named == nullptr) {

@@ -132,6 +132,23 @@ printFigure13()
     summary.addRow({"workloads below Base",
                     std::to_string(comp_losses), ""});
     std::printf("%s\n", summary.render().c_str());
+
+    // Headline gauges for the fidelity report (suite averages over
+    // the cache-study workloads, DSP kernels excluded like Fig. 13).
+    auto &metrics = support::MetricsRegistry::global();
+    metrics.setGauge("fig13.ipc.ideal", support::mean(ideal_v));
+    metrics.setGauge("fig13.ipc.base", support::mean(base_v));
+    metrics.setGauge("fig13.ipc.compressed", support::mean(comp_v));
+    metrics.setGauge("fig13.ipc.tailored", support::mean(tail_v));
+    metrics.setGauge("fig13.speedup.compressed_mean",
+                     support::mean(comp_rel) - 1.0);
+    metrics.setGauge("fig13.speedup.compressed_median",
+                     support::median(comp_rel) - 1.0);
+    metrics.setGauge("fig13.speedup.tailored_mean",
+                     support::mean(tail_rel) - 1.0);
+    metrics.setGauge("fig13.speedup.tailored_median",
+                     support::median(tail_rel) - 1.0);
+    metrics.setGauge("fig13.compressed_losses", double(comp_losses));
     std::printf("(paper: Tailored highest; Compressed median-better "
                 "than Base but loses on compress/go/ijpeg/m88ksim)\n\n");
 

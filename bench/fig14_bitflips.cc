@@ -55,6 +55,13 @@ printFigure14()
                   TextTable::percent(support::mean(comp_rel)),
                   TextTable::percent(support::mean(tail_rel)), ""});
     std::printf("%s\n", table.render().c_str());
+
+    // Headline gauges: suite-average flips relative to Base.
+    auto &metrics = support::MetricsRegistry::global();
+    metrics.setGauge("fig14.flip_ratio.compressed",
+                     support::mean(comp_rel));
+    metrics.setGauge("fig14.flip_ratio.tailored",
+                     support::mean(tail_rel));
     std::printf("(paper: savings track the degree of compression — "
                 "each scheme brings in more instructions per flip)\n");
 }

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common.hh"
+
 #include "compiler/driver.hh"
 #include "fetch/att.hh"
 #include "fetch/banked_cache.hh"
@@ -147,6 +149,71 @@ BM_BaselineImage(benchmark::State &state)
 }
 BENCHMARK(BM_BaselineImage)->Unit(benchmark::kMicrosecond);
 
+/**
+ * Deterministic sentinels over the same kernels the timed loops
+ * exercise: any functional change to a hot kernel moves one of these
+ * counters, which the regression gate (tools/check_regression.py)
+ * compares exactly against bench/baselines/BENCH_microbench.json.
+ */
+void
+recordMicroSentinels()
+{
+    auto &m = support::MetricsRegistry::global();
+
+    support::BitWriter w;
+    for (int i = 0; i < 10000; ++i)
+        w.writeBits(std::uint64_t(i) & 0x1fff, 13);
+    m.addCounter("micro.bitwriter.bytes", w.byteSize());
+
+    const auto &table = sampleTable();
+    support::Rng rng(2);
+    support::BitWriter hw;
+    for (int i = 0; i < 10000; ++i)
+        table.encode(rng.below(500), hw);
+    m.addCounter("micro.huffman.encoded_bits", hw.bitSize());
+    support::BitReader r(hw.bytes().data(), hw.bitSize());
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < 10000; ++i)
+        checksum ^= table.decode(r) + i;
+    m.addCounter("micro.huffman.decode_checksum", checksum);
+
+    fetch::BankedCache cache(fetch::CacheConfig::paperCompressed());
+    support::Rng cache_rng(7);
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 4096; ++i) {
+        hits += cache
+                    .accessBlock(
+                        std::uint32_t(cache_rng.below(64 * 1024)), 24)
+                    .hit;
+    }
+    m.addCounter("micro.cache.hits", hits);
+
+    const auto compiled = compiler::compileSource(
+        workloads::workloadByName("compress").source);
+    m.addCounter("micro.compile.ops", compiled.program.opCount());
+    m.addCounter("micro.baseline.image_bits",
+                 isa::buildBaselineImage(compiled.program).bitSize);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The shared CLI layer for --metrics=/--log-level= consistency
+    // with the figure benches; no artefacts are requested — the
+    // sentinels build what they need inline.
+    const auto options =
+        tepic::bench::parseBenchOptions(&argc, argv, {});
+    recordMicroSentinels();
+    auto &metrics = support::MetricsRegistry::global();
+    if (!options.metricsPath.empty())
+        metrics.writeJsonFile(options.metricsPath);
+    const std::string bench_json =
+        "BENCH_" + options.benchName + ".json";
+    metrics.writeJsonFile(bench_json);
+    TEPIC_INFORM("[bench] wrote bench metrics to ", bench_json);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -180,6 +180,16 @@ recordFetchMetrics(fetch::SchemeClass scheme,
     m.addCounter(prefix + "pred_correct", stats.predictionsCorrect);
     m.addCounter(prefix + "pred_wrong", stats.predictionsWrong);
     m.addCounter(prefix + "stall_cycles", stats.stallCycles);
+    // Per-cause attribution: every fetch.<scheme>.stall.<cause>
+    // counter tiles stall_cycles exactly (tested invariant).
+    m.addCounter(prefix + "stall.mispredict",
+                 stats.mispredictStallCycles);
+    m.addCounter(prefix + "stall.l1_refill", stats.refillStallCycles);
+    m.addCounter(prefix + "stall.decode_stage",
+                 stats.decodeStallCycles);
+    m.addCounter(prefix + "stall.atb_miss", stats.atbStallCycles);
+    // A saving, not a stall — outside the stall.* tiling sum.
+    m.addCounter(prefix + "l0_saved_cycles", stats.l0SavedCycles);
     m.addCounter(prefix + "atb_stall_cycles", stats.atbStallCycles);
     m.addCounter(prefix + "lines_transferred", stats.linesTransferred);
     m.addCounter(prefix + "bus_bit_flips", stats.busBitFlips);
@@ -187,6 +197,14 @@ recordFetchMetrics(fetch::SchemeClass scheme,
     if (stats.stallHistogram.total() > 0) {
         m.mergeHistogram(prefix + "stall_cycles_hist",
                          stats.stallHistogram);
+        m.mergeHistogram(prefix + "stall.mispredict_hist",
+                         stats.mispredictHistogram);
+        m.mergeHistogram(prefix + "stall.l1_refill_hist",
+                         stats.refillHistogram);
+        m.mergeHistogram(prefix + "stall.decode_stage_hist",
+                         stats.decodeHistogram);
+        m.mergeHistogram(prefix + "stall.atb_miss_hist",
+                         stats.atbHistogram);
     }
 }
 

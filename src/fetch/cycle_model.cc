@@ -15,39 +15,34 @@ schemeClassName(SchemeClass scheme)
     return "?";
 }
 
-std::uint64_t
-blockCycles(SchemeClass scheme, const FetchEvent &event,
-            std::uint32_t n_mops, std::uint32_t n_ops,
-            std::uint32_t n_lines, const CyclePenalties &p)
+StallBreakdown
+stallBreakdown(SchemeClass scheme, const FetchEvent &event,
+               std::uint32_t n_mops, std::uint32_t n_ops,
+               std::uint32_t n_lines, const CyclePenalties &p)
 {
     TEPIC_ASSERT(n_mops > 0 && n_ops >= n_mops && n_lines > 0,
                  "bad block shape: mops=", n_mops, " ops=", n_ops,
                  " lines=", n_lines);
 
-    // All three datapaths stream one MOP per cycle once flowing; the
-    // Huffman decompressors sit in the pipeline (one per issue slot,
-    // §3.5/§4), so they cost latency on redirects and refills, never
-    // steady-state throughput.
-    const std::uint64_t deliver = n_mops;
-    std::uint64_t stall = 0;
+    StallBreakdown causes;
     const std::uint64_t repair = n_lines - 1;
 
     switch (scheme) {
       case SchemeClass::kBase:
         if (!event.l1Hit)
-            stall += repair;
+            causes.l1Refill += repair;
         if (!event.predictionCorrect)
-            stall += event.l1Hit ? p.mispredictRefill
-                                 : p.mispredictMissBase;
+            causes.mispredict += event.l1Hit ? p.mispredictRefill
+                                             : p.mispredictMissBase;
         break;
       case SchemeClass::kTailored:
         // Extra stage on the *miss* path only (MOP extraction and
         // restricted placement, §5/Figure 12).
         if (!event.l1Hit)
-            stall += p.tailoredMissExtra + repair;
+            causes.l1Refill += p.tailoredMissExtra + repair;
         if (!event.predictionCorrect)
-            stall += event.l1Hit ? p.mispredictRefill
-                                 : p.mispredictMissBase;
+            causes.mispredict += event.l1Hit ? p.mispredictRefill
+                                             : p.mispredictMissBase;
         break;
       case SchemeClass::kCompressed:
         if (event.l0Hit) {
@@ -58,19 +53,51 @@ blockCycles(SchemeClass scheme, const FetchEvent &event,
             break;
         }
         if (!event.l1Hit)
-            stall += p.compressedMissExtra + repair;
+            causes.l1Refill += p.compressedMissExtra + repair;
         if (!event.predictionCorrect) {
             // The decompressor stage lengthens the hit-path refill by
             // one cycle relative to Base; on a miss its latency hides
             // under the miss-extra setup (Table 1: 10+(n-1) vs Base's
             // 8+(n-1), i.e. exactly the miss-extra delta).
-            stall += event.l1Hit
-                ? p.mispredictRefill + p.compressedDecodeStage
-                : p.mispredictMissBase;
+            if (event.l1Hit) {
+                causes.mispredict += p.mispredictRefill;
+                causes.decodeStage += p.compressedDecodeStage;
+            } else {
+                causes.mispredict += p.mispredictMissBase;
+            }
         }
         break;
     }
-    return deliver + stall;
+    return causes;
+}
+
+std::uint64_t
+l0BypassSavings(SchemeClass scheme, const FetchEvent &event,
+                const CyclePenalties &p)
+{
+    if (scheme != SchemeClass::kCompressed || !event.l0Hit)
+        return 0;
+    // Counterfactual: the same transition missing the L0 but hitting
+    // the L1 — a mispredicted one would have paid the redirect plus
+    // the decoder stage; a predicted one streams for free either way.
+    if (event.predictionCorrect)
+        return 0;
+    return std::uint64_t(p.mispredictRefill) + p.compressedDecodeStage;
+}
+
+std::uint64_t
+blockCycles(SchemeClass scheme, const FetchEvent &event,
+            std::uint32_t n_mops, std::uint32_t n_ops,
+            std::uint32_t n_lines, const CyclePenalties &p)
+{
+    // All three datapaths stream one MOP per cycle once flowing; the
+    // Huffman decompressors sit in the pipeline (one per issue slot,
+    // §3.5/§4), so they cost latency on redirects and refills, never
+    // steady-state throughput. Everything beyond the stream is stall,
+    // decomposed exactly by stallBreakdown().
+    return n_mops +
+           stallBreakdown(scheme, event, n_mops, n_ops, n_lines, p)
+               .total();
 }
 
 } // namespace tepic::fetch

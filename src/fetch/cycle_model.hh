@@ -67,6 +67,60 @@ struct CyclePenalties
     unsigned atbMissPenalty = 2;        ///< ATT fetch on ATB miss
 };
 
+/**
+ * Exact decomposition of one block's stall cycles into the Table-1
+ * mechanisms the paper argues from (§7: compression ratio is not IPC
+ * because each mechanism taxes the fetch pipeline differently).
+ *
+ * Attribution rules:
+ *  - `l1Refill` — the (n-1) miss-repair term plus the per-scheme miss
+ *    stage (Tailored MOP extraction, Compressed fill+decode setup):
+ *    every cycle spent bringing lines in and restarting the stream.
+ *  - `mispredict` — the redirect repair constant (hit or miss path).
+ *  - `decodeStage` — the compressed scheme's extra Huffman decoder
+ *    stage on a mispredicted hit-path refill (on a miss its latency
+ *    hides under the fill setup, so it attributes to l1Refill there).
+ *  - `atbMiss` — the ATT upload on an ATB miss. stallBreakdown()
+ *    leaves it 0; the fetch simulator fills it in (the ATB sits in
+ *    front of the cycle model).
+ *
+ * Tiling invariant (tested): total() == the stall that blockCycles()
+ * charges, i.e. blockCycles == n_mops + total() once atbMiss is added.
+ */
+struct StallBreakdown
+{
+    std::uint64_t mispredict = 0;
+    std::uint64_t l1Refill = 0;
+    std::uint64_t decodeStage = 0;
+    std::uint64_t atbMiss = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return mispredict + l1Refill + decodeStage + atbMiss;
+    }
+};
+
+/**
+ * Decompose the stall cycles of one block fetch (everything beyond
+ * the n_mops delivery stream) into the Table-1 causes. atbMiss is
+ * always 0 here — the ATB is modelled outside blockCycles().
+ */
+StallBreakdown
+stallBreakdown(SchemeClass scheme, const FetchEvent &event,
+               std::uint32_t n_mops, std::uint32_t n_ops,
+               std::uint32_t n_lines, const CyclePenalties &p = {});
+
+/**
+ * Stall cycles a compressed-scheme L0 hit avoided: the stall of the
+ * counterfactual L0 miss served from a hitting L1 (the conservative
+ * lower bound — a real miss would have cost the refill on top).
+ * Zero for the other schemes and for L0 misses.
+ */
+std::uint64_t l0BypassSavings(SchemeClass scheme,
+                              const FetchEvent &event,
+                              const CyclePenalties &p = {});
+
 /** Cycles to fetch and deliver one block under @p scheme. */
 std::uint64_t
 blockCycles(SchemeClass scheme, const FetchEvent &event,

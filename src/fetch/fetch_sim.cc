@@ -4,8 +4,32 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace tepic::fetch {
+
+namespace {
+
+/**
+ * Perfetto counter-track names per scheme. trace::counter() keeps the
+ * pointer (names are not copied), so these must be string literals.
+ */
+const char *
+stallRateCounterName(SchemeClass scheme)
+{
+    switch (scheme) {
+      case SchemeClass::kBase: return "fetch.base.stall_rate";
+      case SchemeClass::kTailored: return "fetch.tailored.stall_rate";
+      case SchemeClass::kCompressed:
+        return "fetch.compressed.stall_rate";
+    }
+    return "fetch.?.stall_rate";
+}
+
+/** Blocks between counter-track samples (power of two). */
+constexpr std::uint64_t kCounterInterval = 1024;
+
+} // namespace
 
 void
 FetchTrace::record(const FetchTraceOptions &options,
@@ -46,6 +70,11 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
 
     FetchStats stats;
 
+    // One relaxed atomic load, hoisted out of the hot loop so the
+    // tracing-off path keeps its < 2 % overhead bound.
+    const bool trace_sink = support::trace::enabled();
+    const char *stall_rate_name = stallRateCounterName(config.scheme);
+
     // Prediction for the very first block: treat as correct (cold
     // start is charged to neither scheme).
     bool next_prediction_correct = true;
@@ -59,16 +88,15 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         FetchEvent fe;
         fe.predictionCorrect = next_prediction_correct;
 
-        // Everything charged to this block accumulates here so the
-        // per-block trace records the exact figure stats.cycles sums.
-        std::uint64_t block_cycles = 0;
+        // Per-cause stall accounting for this block; the simulator
+        // owns the ATB cause, the cycle model the other three.
+        StallBreakdown causes;
 
         // ATB: translation must be resident before the block can be
         // fetched; a miss costs the ATT upload from ROM.
         const bool atb_hit = atb.access(block);
         if (!atb_hit) {
-            block_cycles += config.penalties.atbMissPenalty;
-            stats.atbStallCycles += config.penalties.atbMissPenalty;
+            causes.atbMiss += config.penalties.atbMissPenalty;
             // The ATT entry travels over the memory bus.
             std::vector<std::uint8_t> att_bytes(
                 (att.entryBits() + 7) / 8,
@@ -113,14 +141,28 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
             n_lines = std::max(1u, span);
         }
 
-        block_cycles += blockCycles(config.scheme, fe, entry.numMops,
-                                    entry.numOps, n_lines,
-                                    config.penalties);
+        {
+            const StallBreakdown model = stallBreakdown(
+                config.scheme, fe, entry.numMops, entry.numOps,
+                n_lines, config.penalties);
+            causes.mispredict += model.mispredict;
+            causes.l1Refill += model.l1Refill;
+            causes.decodeStage += model.decodeStage;
+        }
+        const std::uint64_t stall = causes.total();
+        const std::uint64_t block_cycles = entry.numMops + stall;
         stats.cycles += block_cycles;
         stats.idealCycles += entry.numMops;
         stats.opsDelivered += entry.numOps;
-        const std::uint64_t stall = block_cycles - entry.numMops;
         stats.stallCycles += stall;
+        stats.mispredictStallCycles += causes.mispredict;
+        stats.refillStallCycles += causes.l1Refill;
+        stats.decodeStallCycles += causes.decodeStage;
+        stats.atbStallCycles += causes.atbMiss;
+        if (l0_hit) {
+            stats.l0SavedCycles +=
+                l0BypassSavings(config.scheme, fe, config.penalties);
+        }
 
         if (config.trace.enabled &&
             (config.trace.sampleEvery <= 1 ||
@@ -130,14 +172,40 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
             rec.block = block;
             rec.cycles = std::uint32_t(block_cycles);
             rec.stallCycles = std::uint32_t(stall);
+            rec.mispredictStall = std::uint32_t(causes.mispredict);
+            rec.refillStall = std::uint32_t(causes.l1Refill);
+            rec.decodeStall = std::uint32_t(causes.decodeStage);
+            rec.atbStall = std::uint32_t(causes.atbMiss);
             rec.atbHit = atb_hit;
             rec.l1Hit = fe.l1Hit;
             rec.l0Hit = l0_hit;
             rec.predictionCorrect = fe.predictionCorrect;
             stats.trace.record(config.trace, rec);
             stats.stallHistogram.sample(std::int64_t(stall));
+            stats.mispredictHistogram.sample(
+                std::int64_t(causes.mispredict));
+            stats.refillHistogram.sample(std::int64_t(causes.l1Refill));
+            stats.decodeHistogram.sample(
+                std::int64_t(causes.decodeStage));
+            stats.atbHistogram.sample(std::int64_t(causes.atbMiss));
         }
         ++event_index;
+
+        if (trace_sink && event_index % kCounterInterval == 0) {
+            // Counter tracks: running stall rate (stall cycles per
+            // total cycle so far) and, for compressed, L0 occupancy.
+            support::trace::counter(
+                stall_rate_name,
+                stats.cycles ? double(stats.stallCycles) /
+                                   double(stats.cycles)
+                             : 0.0,
+                "fetch");
+            if (config.scheme == SchemeClass::kCompressed) {
+                support::trace::counter("fetch.compressed.l0_occupancy",
+                                        double(buffer.residentOps()),
+                                        "fetch");
+            }
+        }
 
         if (fe.predictionCorrect)
             ++stats.predictionsCorrect;

@@ -42,6 +42,12 @@ struct FetchTraceRecord
     std::uint32_t block = 0;
     std::uint32_t cycles = 0;      ///< total charged, incl. ATB stall
     std::uint32_t stallCycles = 0; ///< cycles beyond the n_mops stream
+    // Per-cause split of stallCycles (the Table-1 taxonomy); the four
+    // fields tile stallCycles exactly, per record.
+    std::uint32_t mispredictStall = 0;
+    std::uint32_t refillStall = 0;
+    std::uint32_t decodeStall = 0;
+    std::uint32_t atbStall = 0;
     bool atbHit = false;
     bool l1Hit = false;
     bool l0Hit = false;            ///< meaningful for kCompressed only
@@ -132,16 +138,37 @@ struct FetchStats
     /** Cycles beyond Σ n_mops: miss repair, mispredict, decompressor
      *  setup — the paper's "compression ratio is not IPC" cost. */
     std::uint64_t stallCycles = 0;
-    /** Portion of stallCycles spent fetching ATT entries on ATB miss. */
-    std::uint64_t atbStallCycles = 0;
 
     /**
-     * Per-block stall-cycle distribution (overflow bucket at 64) and
-     * the per-block record trace; both populated only when
-     * FetchConfig::trace.enabled — the hot loop pays one branch
-     * otherwise.
+     * Exact per-cause split of stallCycles (Table-1 taxonomy; see
+     * StallBreakdown). Tiling invariant, tested for every scheme:
+     *
+     *   mispredictStallCycles + refillStallCycles + decodeStallCycles
+     *     + atbStallCycles == stallCycles
+     */
+    std::uint64_t mispredictStallCycles = 0; ///< redirect repair
+    std::uint64_t refillStallCycles = 0;     ///< L1 line refill + miss stages
+    std::uint64_t decodeStallCycles = 0;     ///< compressed decoder stage
+    std::uint64_t atbStallCycles = 0;        ///< ATT fetch on ATB miss
+    /** Stall cycles the L0 bypass avoided (a saving, not a stall —
+     *  deliberately outside the tiling sum). Compressed only. */
+    std::uint64_t l0SavedCycles = 0;
+
+    /**
+     * Per-block stall-cycle distributions (overflow bucket at 64) —
+     * the total and one histogram per cause — and the per-block
+     * record trace; all populated only when FetchConfig::trace.enabled
+     * — the hot loop pays one branch otherwise.
      */
     support::Histogram stallHistogram =
+        support::Histogram(kStallHistogramOverflow);
+    support::Histogram mispredictHistogram =
+        support::Histogram(kStallHistogramOverflow);
+    support::Histogram refillHistogram =
+        support::Histogram(kStallHistogramOverflow);
+    support::Histogram decodeHistogram =
+        support::Histogram(kStallHistogramOverflow);
+    support::Histogram atbHistogram =
         support::Histogram(kStallHistogramOverflow);
     FetchTrace trace;
 

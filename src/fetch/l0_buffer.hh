@@ -34,6 +34,9 @@ class L0Buffer
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Decompressed ops currently resident (≤ capacity). */
+    unsigned residentOps() const { return used_; }
+
   private:
     unsigned capacity_;
     unsigned used_ = 0;

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -24,6 +25,9 @@ writeLine(const char *prefix, const std::string &msg)
     std::fflush(stderr);
 }
 
+/** CLI override; -1 = unset (fall back to $TEPIC_LOG). */
+std::atomic<int> log_override{-1};
+
 } // namespace
 
 LogLevel
@@ -46,12 +50,35 @@ parseLogLevel(const char *name)
     return LogLevel::kInfo;
 }
 
+bool
+isLogLevelName(const char *name)
+{
+    if (!name)
+        return false;
+    for (const char *known :
+         {"debug", "info", "warn", "error", "none", "quiet"}) {
+        if (std::strcmp(name, known) == 0)
+            return true;
+    }
+    return false;
+}
+
 LogLevel
 logThreshold()
 {
+    const int override_level =
+        log_override.load(std::memory_order_relaxed);
+    if (override_level >= 0)
+        return LogLevel(override_level);
     static const LogLevel threshold =
         parseLogLevel(std::getenv("TEPIC_LOG"));
     return threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    log_override.store(int(level), std::memory_order_relaxed);
 }
 
 bool

@@ -39,8 +39,20 @@ enum class LogLevel : int {
 /** Parse a level name ("debug".."none"); kInfo on unknown input. */
 LogLevel parseLogLevel(const char *name);
 
-/** The process threshold: $TEPIC_LOG, parsed once. */
+/** Whether @p name is a recognised level name for parseLogLevel(). */
+bool isLogLevelName(const char *name);
+
+/**
+ * The process threshold: an explicit setLogThreshold() override if one
+ * was made, else $TEPIC_LOG (parsed once), else kInfo.
+ */
 LogLevel logThreshold();
+
+/**
+ * Override the threshold, taking precedence over $TEPIC_LOG — the
+ * hook behind the --log-level= CLI flags of tepicc and the benches.
+ */
+void setLogThreshold(LogLevel level);
 
 /** Whether a message at @p level would print. */
 bool logEnabled(LogLevel level);

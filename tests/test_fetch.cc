@@ -25,6 +25,7 @@ using fetch::blockCycles;
 using fetch::CyclePenalties;
 using fetch::FetchEvent;
 using fetch::SchemeClass;
+using fetch::schemeClassName;
 
 /**
  * Table 1 of the paper, verified literally: a single-MOP, single-op,
@@ -98,6 +99,81 @@ TEST(CycleModel, RejectsBadShapes)
     FetchEvent ev;
     EXPECT_ANY_THROW(blockCycles(SchemeClass::kBase, ev, 0, 0, 1));
     EXPECT_ANY_THROW(blockCycles(SchemeClass::kBase, ev, 2, 1, 1));
+}
+
+/**
+ * The per-cause breakdown must tile blockCycles() exactly for every
+ * scheme × event combination: stall attribution is a decomposition of
+ * the Table-1 model, never a second model.
+ */
+TEST(StallAttribution, BreakdownTilesBlockCycles)
+{
+    for (auto scheme : {SchemeClass::kBase, SchemeClass::kTailored,
+                        SchemeClass::kCompressed}) {
+        for (bool pred_ok : {true, false}) {
+            for (bool l1_hit : {true, false}) {
+                for (bool l0_hit : {false, true}) {
+                    for (std::uint32_t n : {1u, 2u, 5u}) {
+                        FetchEvent ev;
+                        ev.predictionCorrect = pred_ok;
+                        ev.l1Hit = l1_hit;
+                        ev.l0Hit = l0_hit;
+                        const auto causes = fetch::stallBreakdown(
+                            scheme, ev, 3, 7, n);
+                        EXPECT_EQ(3u + causes.total(),
+                                  blockCycles(scheme, ev, 3, 7, n))
+                            << schemeClassName(scheme) << " pred="
+                            << pred_ok << " l1=" << l1_hit
+                            << " l0=" << l0_hit << " n=" << n;
+                        EXPECT_EQ(causes.atbMiss, 0u)
+                            << "the ATB is modelled outside "
+                               "blockCycles";
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(StallAttribution, CausesLandWhereTable1SaysTheyDo)
+{
+    const std::uint32_t n = 4;
+    FetchEvent miss;
+    miss.l1Hit = false;
+    // Base miss: pure refill repair.
+    auto base = fetch::stallBreakdown(SchemeClass::kBase, miss, 1, 1,
+                                      n);
+    EXPECT_EQ(base.l1Refill, n - 1);
+    EXPECT_EQ(base.mispredict, 0u);
+    // Tailored miss: refill absorbs the extra MOP-extraction stage.
+    auto tail = fetch::stallBreakdown(SchemeClass::kTailored, miss, 1,
+                                      1, n);
+    EXPECT_EQ(tail.l1Refill, 1u + (n - 1));
+    // Compressed mispredicted hit: redirect + visible decoder stage.
+    FetchEvent redirect;
+    redirect.predictionCorrect = false;
+    auto comp = fetch::stallBreakdown(SchemeClass::kCompressed,
+                                      redirect, 1, 1, n);
+    EXPECT_EQ(comp.mispredict, 1u);
+    EXPECT_EQ(comp.decodeStage, 1u);
+    EXPECT_EQ(comp.l1Refill, 0u);
+    // Compressed L0 hit: every cause is zero, but the bypass saved
+    // the redirect + decoder latency it would have paid.
+    redirect.l0Hit = true;
+    auto l0 = fetch::stallBreakdown(SchemeClass::kCompressed, redirect,
+                                    1, 1, n);
+    EXPECT_EQ(l0.total(), 0u);
+    EXPECT_EQ(fetch::l0BypassSavings(SchemeClass::kCompressed,
+                                     redirect),
+              2u);
+    // The savings counterfactual is zero when nothing was at risk.
+    redirect.predictionCorrect = true;
+    EXPECT_EQ(fetch::l0BypassSavings(SchemeClass::kCompressed,
+                                     redirect),
+              0u);
+    FetchEvent base_ev;
+    base_ev.l0Hit = true;
+    EXPECT_EQ(fetch::l0BypassSavings(SchemeClass::kBase, base_ev), 0u);
 }
 
 TEST(BankedCache, HitAfterFill)
@@ -327,6 +403,95 @@ TEST(FetchSim, TinyLoopLivesInL0)
               0.95);
     // With the L0 covering the loop, compressed IPC ~= ideal.
     EXPECT_GT(stats.ipc() / stats.idealIpc(), 0.95);
+}
+
+/**
+ * End-to-end tiling invariant, the acceptance criterion of the
+ * attribution work: for every scheme the per-cause aggregate counters
+ * sum exactly to stallCycles, and with tracing on the same holds per
+ * record and for the per-cause histograms.
+ */
+TEST(FetchSim, StallCausesTileStallCyclesAllSchemes)
+{
+    auto compiled = compiler::compileSource(R"(
+        func f(x): int {
+            if (x % 3 == 0) { return x * 2; }
+            return x + 1;
+        }
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 400; i = i + 1) { s = s + f(i); }
+            return s;
+        }
+    )");
+    auto emu = sim::emulate(compiled.program, compiled.data);
+    const auto base_image = isa::buildBaselineImage(compiled.program);
+    const auto full = schemes::compressFull(compiled.program);
+
+    for (auto scheme : {SchemeClass::kBase, SchemeClass::kTailored,
+                        SchemeClass::kCompressed}) {
+        const auto &image = scheme == SchemeClass::kCompressed
+            ? full.image
+            : base_image;
+        auto config = fetch::FetchConfig::paper(scheme);
+        config.trace.enabled = true;
+        config.trace.ringCapacity = 0;  // keep every record
+        const auto stats = fetch::simulateFetch(
+            image, compiled.program, emu.trace, config);
+        SCOPED_TRACE(schemeClassName(scheme));
+
+        EXPECT_EQ(stats.mispredictStallCycles +
+                      stats.refillStallCycles +
+                      stats.decodeStallCycles + stats.atbStallCycles,
+                  stats.stallCycles);
+        EXPECT_GT(stats.stallCycles, 0u);
+        if (scheme != SchemeClass::kCompressed) {
+            EXPECT_EQ(stats.decodeStallCycles, 0u);
+            EXPECT_EQ(stats.l0SavedCycles, 0u);
+        }
+
+        std::uint64_t rec_mispredict = 0, rec_refill = 0;
+        std::uint64_t rec_decode = 0, rec_atb = 0, rec_stall = 0;
+        for (const auto &rec : stats.trace.inOrder()) {
+            EXPECT_EQ(rec.mispredictStall + rec.refillStall +
+                          rec.decodeStall + rec.atbStall,
+                      rec.stallCycles);
+            rec_mispredict += rec.mispredictStall;
+            rec_refill += rec.refillStall;
+            rec_decode += rec.decodeStall;
+            rec_atb += rec.atbStall;
+            rec_stall += rec.stallCycles;
+        }
+        EXPECT_EQ(rec_mispredict, stats.mispredictStallCycles);
+        EXPECT_EQ(rec_refill, stats.refillStallCycles);
+        EXPECT_EQ(rec_decode, stats.decodeStallCycles);
+        EXPECT_EQ(rec_atb, stats.atbStallCycles);
+        EXPECT_EQ(rec_stall, stats.stallCycles);
+
+        // Histograms sample the same population as the records; with
+        // no overflow on this small program their weighted key sums
+        // recover the aggregate counters exactly.
+        const auto weighted = [](const support::Histogram &h) {
+            std::uint64_t acc = 0;
+            for (const auto &[key, weight] : h.bins())
+                acc += std::uint64_t(key) * weight;
+            return acc;
+        };
+        EXPECT_EQ(stats.mispredictHistogram.total(),
+                  stats.blocksFetched);
+        ASSERT_EQ(stats.mispredictHistogram.overflow(), 0u);
+        ASSERT_EQ(stats.refillHistogram.overflow(), 0u);
+        ASSERT_EQ(stats.decodeHistogram.overflow(), 0u);
+        ASSERT_EQ(stats.atbHistogram.overflow(), 0u);
+        EXPECT_EQ(weighted(stats.mispredictHistogram),
+                  stats.mispredictStallCycles);
+        EXPECT_EQ(weighted(stats.refillHistogram),
+                  stats.refillStallCycles);
+        EXPECT_EQ(weighted(stats.decodeHistogram),
+                  stats.decodeStallCycles);
+        EXPECT_EQ(weighted(stats.atbHistogram),
+                  stats.atbStallCycles);
+    }
 }
 
 } // namespace

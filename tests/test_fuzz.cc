@@ -17,6 +17,9 @@
 
 #include "compiler/driver.hh"
 #include "core/pipeline.hh"
+#include "fetch/fetch_sim.hh"
+#include "isa/baseline.hh"
+#include "schemes/huffman_scheme.hh"
 #include "sim/emulator.hh"
 #include "support/rng.hh"
 
@@ -254,5 +257,69 @@ TEST_P(FuzzDifferential, ImagesRoundTrip)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range(0, 25));
+
+class FuzzStallTiling : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The stall-cause tiling invariant must survive arbitrary penalty
+ * constants and fetch configurations, not just the Table-1 defaults:
+ * attribution is structural, so no CyclePenalties value may break
+ *
+ *   mispredict + l1Refill + decodeStage + atbMiss == stallCycles.
+ */
+TEST_P(FuzzStallTiling, CausesTileUnderRandomConfigs)
+{
+    const std::uint64_t seed =
+        std::uint64_t(GetParam()) * 2246822519u + 101;
+    ProgramGen gen(seed);
+    const std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    tepic::sim::EmulatorConfig emu_config;
+    emu_config.maxMops = 20'000'000;
+    auto compiled = tepic::compiler::compileSource(source);
+    auto emu = tepic::sim::emulate(compiled.program, compiled.data,
+                                   emu_config);
+    const auto base_image =
+        tepic::isa::buildBaselineImage(compiled.program);
+    const auto full = tepic::schemes::compressFull(compiled.program);
+
+    Rng rng(seed ^ 0xfe7c);
+    using tepic::fetch::SchemeClass;
+    for (auto scheme :
+         {SchemeClass::kBase, SchemeClass::kTailored,
+          SchemeClass::kCompressed}) {
+        auto config = tepic::fetch::FetchConfig::paper(scheme);
+        config.penalties.mispredictRefill = unsigned(rng.below(10));
+        config.penalties.mispredictMissBase = unsigned(rng.below(10));
+        config.penalties.tailoredMissExtra = unsigned(rng.below(10));
+        config.penalties.compressedMissExtra = unsigned(rng.below(10));
+        config.penalties.compressedDecodeStage =
+            unsigned(rng.below(10));
+        config.penalties.atbMissPenalty = unsigned(rng.below(10));
+        config.atbEntries = unsigned(rng.range(1, 64));
+        config.l0CapacityOps = unsigned(rng.range(4, 64));
+        config.busWidthBytes = 1u << rng.range(0, 4);
+        config.trace.enabled = rng.below(2) == 0;
+
+        const auto stats = tepic::fetch::simulateFetch(
+            scheme == SchemeClass::kCompressed ? full.image
+                                               : base_image,
+            compiled.program, emu.trace, config);
+        SCOPED_TRACE(tepic::fetch::schemeClassName(scheme));
+        EXPECT_EQ(stats.mispredictStallCycles +
+                      stats.refillStallCycles +
+                      stats.decodeStallCycles + stats.atbStallCycles,
+                  stats.stallCycles);
+        EXPECT_EQ(stats.cycles, stats.idealCycles + stats.stallCycles);
+        if (scheme != SchemeClass::kCompressed)
+            EXPECT_EQ(stats.l0SavedCycles, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStallTiling,
+                         ::testing::Range(0, 10));
 
 } // namespace

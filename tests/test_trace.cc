@@ -230,20 +230,40 @@ TEST(FetchTrace, RecordsTileAggregateStats)
     std::uint64_t stalls = 0;
     std::uint64_t l1_hits = 0;
     std::uint64_t pred_correct = 0;
+    std::uint64_t mispredict = 0;
+    std::uint64_t refill = 0;
+    std::uint64_t decode = 0;
+    std::uint64_t atb = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
         EXPECT_EQ(records[i].index, i);
         cycles += records[i].cycles;
         stalls += records[i].stallCycles;
         l1_hits += records[i].l1Hit ? 1 : 0;
         pred_correct += records[i].predictionCorrect ? 1 : 0;
+        // Per-record tiling of the stall-cause taxonomy.
+        EXPECT_EQ(records[i].mispredictStall + records[i].refillStall +
+                      records[i].decodeStall + records[i].atbStall,
+                  records[i].stallCycles);
+        mispredict += records[i].mispredictStall;
+        refill += records[i].refillStall;
+        decode += records[i].decodeStall;
+        atb += records[i].atbStall;
     }
     EXPECT_EQ(cycles, stats.cycles);
     EXPECT_EQ(stalls, stats.stallCycles);
     EXPECT_EQ(l1_hits, stats.l1Hits);
     EXPECT_EQ(pred_correct, stats.predictionsCorrect);
+    EXPECT_EQ(mispredict, stats.mispredictStallCycles);
+    EXPECT_EQ(refill, stats.refillStallCycles);
+    EXPECT_EQ(decode, stats.decodeStallCycles);
+    EXPECT_EQ(atb, stats.atbStallCycles);
 
-    // The stall histogram saw every block, overflow included.
+    // The stall histograms (total and per cause) saw every block.
     EXPECT_EQ(stats.stallHistogram.total(), stats.blocksFetched);
+    EXPECT_EQ(stats.mispredictHistogram.total(), stats.blocksFetched);
+    EXPECT_EQ(stats.refillHistogram.total(), stats.blocksFetched);
+    EXPECT_EQ(stats.decodeHistogram.total(), stats.blocksFetched);
+    EXPECT_EQ(stats.atbHistogram.total(), stats.blocksFetched);
 }
 
 /** The record stream is identical run to run (golden determinism). */

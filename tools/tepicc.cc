@@ -30,6 +30,7 @@
 #include "compiler/parser.hh"
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
+#include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
@@ -47,7 +48,9 @@ usage()
         "  run|disasm|ir|stats|compress|fetch|verilog|trace|verify "
         "<prog>\n"
         "  workloads\n"
-        "flags: --no-pgo, -O0, --trace=<file>, --metrics=<file>\n"
+        "flags: --no-pgo, -O0, --trace=<file>, --metrics=<file>,\n"
+        "       --log-level=debug|info|warn|error|none (overrides "
+        "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
     return 2;
 }
@@ -92,7 +95,18 @@ parseArgs(int argc, char **argv)
             opts.tracePath = argv[i] + 8;
         else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
             opts.metricsPath = argv[i] + 10;
-        else
+        else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+            const char *level = argv[i] + 12;
+            if (!support::isLogLevelName(level)) {
+                std::fprintf(stderr,
+                             "tepicc: unknown --log-level '%s' "
+                             "(expected debug|info|warn|error|none)\n",
+                             level);
+                std::exit(2);
+            }
+            // CLI takes precedence over the TEPIC_LOG env filter.
+            support::setLogThreshold(support::parseLogLevel(level));
+        } else
             opts.positional.push_back(argv[i]);
     }
     return opts;

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Unit tests for check_regression.py and tepic_report.py
+(stdlib unittest only)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+CHECK = os.path.join(TOOLS_DIR, "check_regression.py")
+REPORT = os.path.join(TOOLS_DIR, "tepic_report.py")
+
+
+def bench_doc():
+    return {
+        "schema": "tepic-metrics-v1",
+        "counters": {
+            "fetch.base.stall_cycles": 100,
+            "fetch.base.stall.mispredict": 60,
+            "fetch.base.stall.l1_refill": 30,
+            "fetch.base.stall.decode_stage": 0,
+            "fetch.base.stall.atb_miss": 10,
+            "fetch.base.l0_saved_cycles": 0,
+        },
+        "gauges": {"fig13.ipc.base": 1.5},
+        "histograms": {},
+        "timings": {
+            "phase_ms": {"count": 1, "min": 10.0, "max": 10.0,
+                         "mean": 10.0, "sum": 10.0},
+        },
+        "runtime": {"jobs": 4},
+    }
+
+
+class TempDirs(unittest.TestCase):
+
+    def setUp(self):
+        self.baseline = tempfile.mkdtemp(prefix="baseline.")
+        self.fresh = tempfile.mkdtemp(prefix="fresh.")
+        self.addCleanup(self._cleanup)
+
+    def _cleanup(self):
+        for d in (self.baseline, self.fresh):
+            for name in os.listdir(d):
+                os.unlink(os.path.join(d, name))
+            os.rmdir(d)
+
+    def write(self, directory, name, doc):
+        with open(os.path.join(directory, name), "w") as f:
+            json.dump(doc, f)
+
+
+class CheckRegressionTest(TempDirs):
+
+    def run_check(self, *extra):
+        return subprocess.run(
+            [sys.executable, CHECK, "--baseline-dir", self.baseline,
+             "--fresh-dir", self.fresh, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_runs_pass(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        result = self.run_check()
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_one_count_drift_fails(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        doc = bench_doc()
+        doc["counters"]["fetch.base.stall_cycles"] += 1
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check()
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("stall_cycles", result.stderr)
+
+    def test_missing_fresh_file_fails(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        result = self.run_check()
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no fresh run", result.stderr)
+
+    def test_runtime_section_ignored(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        doc = bench_doc()
+        doc["runtime"] = {"jobs": 64, "host": "elsewhere"}
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check()
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_wallclock_within_band_passes(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        doc = bench_doc()
+        doc["timings"]["phase_ms"]["sum"] = 30.0
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_wallclock_outside_band_fails(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        doc = bench_doc()
+        doc["timings"]["phase_ms"]["sum"] = 5000.0
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("noise band", result.stderr)
+
+    def test_empty_baseline_dir_is_usage_error(self):
+        result = self.run_check()
+        self.assertEqual(result.returncode, 2)
+
+
+class TepicReportTest(TempDirs):
+
+    def test_report_renders_and_checks_tiling(self):
+        self.write(self.baseline, "BENCH_fig13_ipc.json", bench_doc())
+        out_md = os.path.join(self.fresh, "report.md")
+        out_html = os.path.join(self.fresh, "report.html")
+        result = subprocess.run(
+            [sys.executable, REPORT, "--input-dir", self.baseline,
+             "--output", out_md, "--html", out_html],
+            capture_output=True, text=True)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(out_md) as f:
+            text = f.read()
+        # 60 + 30 + 0 + 10 == 100: the tiling row must say pass.
+        self.assertIn("| base | 100 | 100 | 0 | pass |", text)
+        with open(out_html) as f:
+            self.assertIn("<table>", f.read())
+
+    def test_report_flags_broken_tiling(self):
+        doc = bench_doc()
+        doc["counters"]["fetch.base.stall.mispredict"] = 61
+        self.write(self.baseline, "BENCH_fig13_ipc.json", doc)
+        result = subprocess.run(
+            [sys.executable, REPORT, "--input-dir", self.baseline],
+            capture_output=True, text=True)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("| base | 100 | 101 | 0 | FAIL |",
+                      result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

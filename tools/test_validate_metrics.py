@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Unit tests for validate_metrics.py (stdlib unittest only)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+TOOL = os.path.join(TOOLS_DIR, "validate_metrics.py")
+
+
+def valid_doc():
+    return {
+        "schema": "tepic-metrics-v1",
+        "counters": {"a.b": 3},
+        "gauges": {"g": 1.5},
+        "histograms": {
+            "h": {"total": 2, "overflow": 0, "bins": [[1, 2]]},
+        },
+        "timings": {
+            "t": {"count": 1, "min": 0.5, "max": 0.5, "mean": 0.5,
+                  "sum": 0.5},
+        },
+        "runtime": {},
+    }
+
+
+class ValidateMetricsTest(unittest.TestCase):
+
+    def run_tool(self, *args):
+        return subprocess.run([sys.executable, TOOL, *args],
+                              capture_output=True, text=True)
+
+    def write_doc(self, doc):
+        f = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                        delete=False)
+        self.addCleanup(os.unlink, f.name)
+        json.dump(doc, f)
+        f.close()
+        return f.name
+
+    def test_valid_document_passes(self):
+        result = self.run_tool(self.write_doc(valid_doc()))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("ok", result.stdout)
+
+    def test_missing_schema_rejected(self):
+        doc = valid_doc()
+        del doc["schema"]
+        result = self.run_tool(self.write_doc(doc))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("missing 'schema'", result.stderr)
+
+    def test_unknown_schema_rejected(self):
+        doc = valid_doc()
+        doc["schema"] = "tepic-metrics-v999"
+        result = self.run_tool(self.write_doc(doc))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unknown schema version", result.stderr)
+        self.assertIn("tepic-metrics-v999", result.stderr)
+
+    def test_histogram_sum_mismatch_rejected(self):
+        doc = valid_doc()
+        doc["histograms"]["h"]["total"] = 99
+        result = self.run_tool(self.write_doc(doc))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("bins+overflow", result.stderr)
+
+    def test_compare_identical_passes(self):
+        path_a = self.write_doc(valid_doc())
+        path_b = self.write_doc(valid_doc())
+        result = self.run_tool("--compare", path_a, path_b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_compare_counter_drift_rejected(self):
+        doc = valid_doc()
+        doc["counters"]["a.b"] = 4
+        result = self.run_tool("--compare",
+                               self.write_doc(valid_doc()),
+                               self.write_doc(doc))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("counters", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

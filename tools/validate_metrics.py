@@ -25,6 +25,7 @@ import sys
 
 DETERMINISTIC_SECTIONS = ("counters", "gauges", "histograms")
 ALL_SECTIONS = DETERMINISTIC_SECTIONS + ("timings", "runtime")
+SUPPORTED_SCHEMAS = ("tepic-metrics-v1",)
 
 
 def fail(msg):
@@ -41,8 +42,13 @@ def load(path):
 
 
 def check_metrics(path, doc):
-    if doc.get("schema") != "tepic-metrics-v1":
-        fail(f"{path}: bad or missing schema field")
+    schema = doc.get("schema")
+    if schema is None:
+        fail(f"{path}: missing 'schema' field "
+             f"(expected one of {list(SUPPORTED_SCHEMAS)})")
+    if schema not in SUPPORTED_SCHEMAS:
+        fail(f"{path}: unknown schema version {schema!r} "
+             f"(supported: {list(SUPPORTED_SCHEMAS)})")
     for section in ALL_SECTIONS:
         if not isinstance(doc.get(section), dict):
             fail(f"{path}: missing section '{section}'")
