@@ -239,6 +239,26 @@ reportBenchSummary(const BenchOptions &options)
     auto &metrics = support::MetricsRegistry::global();
     benchEngine().exportMetrics(metrics);
 
+    // Size provenance: fold every built artifact's ledger into the
+    // deterministic size.* counter namespace (suite order, so the
+    // fold is reproducible) and emit the SIZE_<name>.json treemap
+    // artifact alongside the BENCH_<name>.json snapshot.
+    std::vector<core::SizeReportEntry> size_entries;
+    for (const auto &named : detail::artifactsSlot()) {
+        core::recordSizeMetrics(named.artifacts(), metrics);
+        if (!core::collectSizeLedgers(named.artifacts()).empty()) {
+            size_entries.push_back(
+                core::SizeReportEntry{named.name, named.ptr.get()});
+        }
+    }
+    if (!size_entries.empty()) {
+        const std::string size_json =
+            "SIZE_" + options.benchName + ".json";
+        core::writeSizeReport(size_json, options.benchName,
+                              size_entries);
+        TEPIC_INFORM("[bench] wrote size report to ", size_json);
+    }
+
     const auto stats = benchEngine().stats();
     TEPIC_INFORM("[bench] engine cache: ", stats.cacheHits, " hits / ",
                  stats.cacheMisses, " misses");

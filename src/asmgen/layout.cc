@@ -252,4 +252,38 @@ layoutProgram(const EmittedProgram &prog)
     return out;
 }
 
+support::SizeLedger
+imageLayoutRollup(
+    const isa::Image &image,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        &blockSource,
+    const std::vector<std::string> &functionNames)
+{
+    TEPIC_ASSERT(image.blocks.size() == blockSource.size(),
+                 "image/blockSource size mismatch: ",
+                 image.blocks.size(), " vs ", blockSource.size());
+    support::SizeLedger ledger;
+    std::size_t prev_end = 0;
+    for (std::size_t i = 0; i < image.blocks.size(); ++i) {
+        const isa::BlockLayout &layout = image.blocks[i];
+        const auto [func, local] = blockSource[i];
+        TEPIC_ASSERT(func < functionNames.size(),
+                     "blockSource function index out of range");
+        const std::string prefix = "func/" + functionNames[func];
+        // Alignment pad sits *before* the block it aligns.
+        TEPIC_ASSERT(layout.bitOffset >= prev_end,
+                     "blocks not in layout order");
+        ledger.addBits(prefix + "/align_pad",
+                       layout.bitOffset - prev_end);
+        ledger.addBits(prefix + "/b" + std::to_string(local),
+                       layout.bitSize);
+        prev_end = layout.bitOffset + layout.bitSize;
+    }
+    TEPIC_ASSERT(prev_end == image.bitSize,
+                 "image ends at ", image.bitSize, " bits but last "
+                 "block ends at ", prev_end);
+    ledger.assertTiles(image.bitSize, image.scheme + " layout");
+    return ledger;
+}
+
 } // namespace tepic::asmgen

@@ -20,7 +20,9 @@
 #define TEPIC_ASMGEN_LAYOUT_HH
 
 #include "compiler/emit.hh"
+#include "isa/image.hh"
 #include "isa/program.hh"
+#include "support/size_ledger.hh"
 
 namespace tepic::asmgen {
 
@@ -52,6 +54,28 @@ struct LaidOutProgram
 
 /** Lay out @p prog (main's entry becomes block 0). */
 LaidOutProgram layoutProgram(const compiler::EmittedProgram &prog);
+
+/**
+ * Per-function / per-block size rollup of an encoded @p image: the
+ * layout's view of where the image bytes live, orthogonal to each
+ * scheme's encoding-role ledger. Leaves:
+ *
+ *   func/<name>/b<local>   encoded bits of one emitted block (its
+ *                          synthetic jump stub, if any, folds into
+ *                          the branch block it serves)
+ *   func/<name>/align_pad  byte-alignment waste preceding that
+ *                          function's blocks (§3.3 block alignment)
+ *
+ * @p blockSource is LaidOutProgram::blockSource (carried on
+ * compiler::CompiledProgram); @p functionNames indexes function ids
+ * to their source names. Leaves tile image.bitSize exactly
+ * (asserted).
+ */
+support::SizeLedger imageLayoutRollup(
+    const isa::Image &image,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        &blockSource,
+    const std::vector<std::string> &functionNames);
 
 } // namespace tepic::asmgen
 

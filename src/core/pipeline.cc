@@ -1,8 +1,10 @@
 #include "core/pipeline.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <string>
 
+#include "asmgen/layout.hh"
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
 #include "support/logging.hh"
@@ -337,6 +339,138 @@ verifyRoundTrips(const Artifacts &artifacts)
                          artifacts.tailoredImage()),
                      program, "tailored");
     }
+}
+
+std::vector<SizeEntry>
+collectSizeLedgers(const Artifacts &artifacts)
+{
+    std::vector<SizeEntry> entries;
+    const auto add_image = [&entries](const isa::Image &image) {
+        // The producer already asserted tiling; re-assert at the
+        // consumption boundary so a ledger that was mutated (or
+        // never charged) after the build fails loudly here too.
+        image.ledger.assertTiles(image.bitSize, image.scheme);
+        entries.push_back(SizeEntry{image.scheme, image.bitSize,
+                                    &image.ledger, &image});
+    };
+    if (artifacts.has(ArtifactKind::kBase))
+        add_image(artifacts.baseImage());
+    if (artifacts.has(ArtifactKind::kByte))
+        add_image(artifacts.byteImage().image);
+    if (artifacts.has(ArtifactKind::kStream))
+        for (const auto &stream : artifacts.streamImages())
+            add_image(stream.image);
+    if (artifacts.has(ArtifactKind::kFull))
+        add_image(artifacts.fullImage().image);
+    if (artifacts.has(ArtifactKind::kTailored))
+        add_image(artifacts.tailoredImage());
+    if (artifacts.has(ArtifactKind::kAtt)) {
+        const fetch::Att &att = artifacts.att();
+        att.ledger().assertTiles(att.totalBits(), "att");
+        entries.push_back(SizeEntry{"att", att.totalBits(),
+                                    &att.ledger(), nullptr});
+    }
+    return entries;
+}
+
+namespace {
+
+/** Merge one compressed image's code-length distribution(s). */
+void
+recordCodelenHistogram(const schemes::CompressedImage &compressed,
+                       support::MetricsRegistry &metrics)
+{
+    support::Histogram lengths;
+    for (const auto &table : compressed.tables)
+        lengths.merge(table.lengthHistogram());
+    metrics.mergeHistogram(
+        "size." + compressed.image.scheme + ".codelen", lengths);
+}
+
+} // namespace
+
+void
+recordSizeMetrics(const Artifacts &artifacts,
+                  support::MetricsRegistry &metrics)
+{
+    for (const auto &entry : collectSizeLedgers(artifacts))
+        entry.ledger->exportTo(metrics, "size." + entry.scheme);
+    if (artifacts.has(ArtifactKind::kByte))
+        recordCodelenHistogram(artifacts.byteImage(), metrics);
+    if (artifacts.has(ArtifactKind::kStream))
+        for (const auto &stream : artifacts.streamImages())
+            recordCodelenHistogram(stream, metrics);
+    if (artifacts.has(ArtifactKind::kFull))
+        recordCodelenHistogram(artifacts.fullImage(), metrics);
+}
+
+void
+recordSizeMetrics(const Artifacts &artifacts)
+{
+    recordSizeMetrics(artifacts, support::MetricsRegistry::global());
+}
+
+std::string
+sizeReportJson(const std::string &name,
+               const std::vector<SizeReportEntry> &entries)
+{
+    std::string out = "{\n  \"schema\": \"tepic-size-v1\",\n";
+    out += "  \"name\": " + support::jsonQuote(name) + ",\n";
+    out += "  \"workloads\": {";
+    bool first_workload = true;
+    for (const auto &entry : entries) {
+        TEPIC_ASSERT(entry.artifacts != nullptr,
+                     "null artifacts in size report entry");
+        const Artifacts &artifacts = *entry.artifacts;
+        std::vector<std::string> function_names;
+        for (const auto &fn : artifacts.compiled.emitted.functions)
+            function_names.push_back(fn.name);
+
+        out += first_workload ? "\n" : ",\n";
+        first_workload = false;
+        out += "    " + support::jsonQuote(entry.workload) +
+               ": {\n      \"schemes\": {";
+        bool first_scheme = true;
+        for (const auto &size : collectSizeLedgers(artifacts)) {
+            out += first_scheme ? "\n" : ",\n";
+            first_scheme = false;
+            out += "        " + support::jsonQuote(size.scheme) +
+                   ": {\n";
+            out += "          \"total_bits\": " +
+                   std::to_string(size.totalBits) + ",\n";
+            out += "          \"tree\": " +
+                   size.ledger->toJson(10);
+            if (size.image != nullptr) {
+                // Orthogonal view: the same bits attributed to the
+                // functions/blocks that own them (tiles total_bits
+                // too — asserted inside the rollup).
+                const auto rollup = asmgen::imageLayoutRollup(
+                    *size.image, artifacts.compiled.blockSource,
+                    function_names);
+                out += ",\n          \"by_function\": " +
+                       rollup.toJson(10);
+            }
+            out += "\n        }";
+        }
+        out += first_scheme ? "}\n    }" : "\n      }\n    }";
+    }
+    out += first_workload ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+bool
+writeSizeReport(const std::string &path, const std::string &name,
+                const std::vector<SizeReportEntry> &entries)
+{
+    const std::string json = sizeReportJson(name, entries);
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        TEPIC_WARN("size report: cannot write '", path, "'");
+        return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    return true;
 }
 
 } // namespace tepic::core

@@ -140,6 +140,55 @@ std::vector<SchemeSummary> summarise(const Artifacts &artifacts);
  */
 void verifyRoundTrips(const Artifacts &artifacts);
 
+// --- size provenance (support/size_ledger.hh) ------------------------
+
+/** One built artifact's size ledger, keyed by its scheme name. */
+struct SizeEntry
+{
+    std::string scheme;           ///< "base", "huff-full", "att", ...
+    std::uint64_t totalBits = 0;  ///< the artifact's exact size
+    const support::SizeLedger *ledger = nullptr;
+    const isa::Image *image = nullptr;  ///< null for the ATT
+};
+
+/**
+ * Every built artifact's ledger, in the fixed order base, byte,
+ * streams, full, tailored, att. Re-asserts the tiling invariant on
+ * each entry (leaves sum to totalBits exactly).
+ */
+std::vector<SizeEntry> collectSizeLedgers(const Artifacts &artifacts);
+
+/**
+ * Export every built ledger into @p metrics as deterministic
+ * counters "size.<scheme>.<leaf>" + "size.<scheme>.total_bits", and
+ * the Huffman code-length distributions as "size.<scheme>.codelen"
+ * histograms. Defaults to the process-global registry.
+ */
+void recordSizeMetrics(const Artifacts &artifacts);
+void recordSizeMetrics(const Artifacts &artifacts,
+                       support::MetricsRegistry &metrics);
+
+/** A (workload name, artifacts) pair for the size report. */
+struct SizeReportEntry
+{
+    std::string workload;
+    const Artifacts *artifacts = nullptr;
+};
+
+/**
+ * Render schema "tepic-size-v1": per workload, per built scheme, the
+ * treemap tree plus the per-function layout rollup (both tiling
+ * total_bits exactly). Deterministic for any engine --jobs value —
+ * bit-identical output is a tested guarantee.
+ */
+std::string sizeReportJson(
+    const std::string &name,
+    const std::vector<SizeReportEntry> &entries);
+
+/** sizeReportJson() to a file; warns (returns false) on I/O error. */
+bool writeSizeReport(const std::string &path, const std::string &name,
+                     const std::vector<SizeReportEntry> &entries);
+
 } // namespace tepic::core
 
 #endif // TEPIC_CORE_PIPELINE_HH

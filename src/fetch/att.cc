@@ -29,6 +29,13 @@ Att::build(const isa::Image &image, const isa::VliwProgram &program)
     while ((std::uint64_t(1) << addr_bits) < image.codeBytes())
         ++addr_bits;
     att.entryBits_ = addr_bits + 6 + 6 + 16;
+
+    const auto entries = std::uint64_t(att.entries_.size());
+    att.ledger_.addBits("entry/addr", entries * addr_bits);
+    att.ledger_.addBits("entry/line_count", entries * 6);
+    att.ledger_.addBits("entry/mop_count", entries * 6);
+    att.ledger_.addBits("entry/next_pc", entries * 16);
+    att.ledger_.assertTiles(att.totalBits(), "att");
     return att;
 }
 

@@ -23,6 +23,7 @@
 #include "fetch/predictor.hh"
 #include "isa/image.hh"
 #include "isa/program.hh"
+#include "support/size_ledger.hh"
 
 namespace tepic::fetch {
 
@@ -69,9 +70,17 @@ class Att
         return double(totalBits()) / double(code_bits);
     }
 
+    /**
+     * Size provenance for the ATT ROM: per-entry metadata components
+     * (image byte address, line count, MOP count, next-PC), each
+     * summed over all entries. Leaves tile totalBits() exactly.
+     */
+    const support::SizeLedger &ledger() const { return ledger_; }
+
   private:
     std::vector<AttEntry> entries_;
     unsigned entryBits_ = 0;
+    support::SizeLedger ledger_;
 };
 
 /**

@@ -219,4 +219,13 @@ CodeTable::encodedBits(const SymbolHistogram &hist) const
     return bits;
 }
 
+support::Histogram
+CodeTable::lengthHistogram() const
+{
+    support::Histogram hist;
+    for (const auto &entry : entries_)
+        hist.sample(std::int64_t(entry.length));
+    return hist;
+}
+
 } // namespace tepic::huffman

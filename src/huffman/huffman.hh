@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "support/bitstream.hh"
+#include "support/stats.hh"
 
 namespace tepic::huffman {
 
@@ -102,6 +103,14 @@ class CodeTable
 
     /** Total encoded bits for a histogram under this table. */
     std::uint64_t encodedBits(const SymbolHistogram &hist) const;
+
+    /**
+     * Distribution of assigned code lengths: bin L holds the number
+     * of dictionary symbols with an L-bit code. This is the tree
+     * shape that drives the §3.5 decoder cost model (exported as the
+     * size.<alphabet>.codelen metrics histogram).
+     */
+    support::Histogram lengthHistogram() const;
 
   private:
     std::vector<CodeEntry> entries_;  ///< canonical order

@@ -14,7 +14,9 @@ buildBaselineImage(const VliwProgram &program)
     image.blocks.resize(program.blocks().size());
 
     for (const auto &blk : program.blocks()) {
+        const std::size_t before = writer.bitSize();
         writer.alignToByte();
+        image.ledger.addBits("align_pad", writer.bitSize() - before);
         BlockLayout &layout = image.blocks[blk.id];
         layout.bitOffset = writer.bitSize();
         layout.numMops = std::uint32_t(blk.mops.size());
@@ -23,10 +25,12 @@ buildBaselineImage(const VliwProgram &program)
             for (const auto &op : mop.ops())
                 writer.writeBits(op.encode(), kOpBits);
         layout.bitSize = writer.bitSize() - layout.bitOffset;
+        image.ledger.addBits("ops", layout.bitSize);
     }
 
     image.bitSize = writer.bitSize();
     image.bytes = writer.takeBytes();
+    image.ledger.assertTiles(image.bitSize, image.scheme);
     return image;
 }
 

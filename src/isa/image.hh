@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "support/size_ledger.hh"
+
 namespace tepic::isa {
 
 /** Location and shape of one block within an encoded image. */
@@ -36,6 +38,13 @@ struct Image
     std::vector<std::uint8_t> bytes;  ///< packed code segment
     std::size_t bitSize = 0;          ///< total bits incl. alignment pads
     std::vector<BlockLayout> blocks;  ///< indexed by BlockId
+
+    /**
+     * Size provenance: every encoder charges each emitted bit to a
+     * ledger leaf, and the leaves tile bitSize exactly (asserted at
+     * build time). See support/size_ledger.hh for the contract.
+     */
+    support::SizeLedger ledger;
 
     std::size_t codeBytes() const { return (bitSize + 7) / 8; }
 

@@ -59,8 +59,11 @@ compressDictionary(const isa::VliwProgram &program,
     support::BitWriter writer;
     out.image.scheme = "dict" + std::to_string(options.entries);
     out.image.blocks.resize(program.blocks().size());
+    std::uint64_t align_pad = 0;
     for (const auto &blk : program.blocks()) {
+        const std::size_t before = writer.bitSize();
         writer.alignToByte();
+        align_pad += writer.bitSize() - before;
         isa::BlockLayout &layout = out.image.blocks[blk.id];
         layout.bitOffset = writer.bitSize();
         layout.numMops = std::uint32_t(blk.mops.size());
@@ -84,6 +87,15 @@ compressDictionary(const isa::VliwProgram &program,
     }
     out.image.bitSize = writer.bitSize();
     out.image.bytes = writer.takeBytes();
+    // Provenance: every op spends one flag bit, then either a
+    // dictionary index or a full 40-bit escape.
+    out.image.ledger.addBits("flag", out.hitOps + out.escapeOps);
+    out.image.ledger.addBits("dict_index",
+                             out.hitOps * out.indexBits);
+    out.image.ledger.addBits("escape", out.escapeOps * isa::kOpBits);
+    out.image.ledger.addBits("align_pad", align_pad);
+    out.image.ledger.assertTiles(out.image.bitSize,
+                                 out.image.scheme);
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "schemes/huffman_scheme.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "support/bitstream.hh"
@@ -38,7 +39,12 @@ opBytes(std::uint64_t bits)
             std::uint8_t(bits)};
 }
 
-/** Shared image assembly: per block, byte-align then encode each op. */
+/**
+ * Shared image assembly: per block, byte-align then encode each op.
+ * The byte-alignment waste is charged to the image's size ledger
+ * here; the caller charges the code bits themselves (it knows the
+ * payload/overhead split) and then asserts the tiling invariant.
+ */
 template <typename EncodeOp>
 isa::Image
 assembleImage(const VliwProgram &program, const std::string &scheme,
@@ -48,8 +54,11 @@ assembleImage(const VliwProgram &program, const std::string &scheme,
     isa::Image image;
     image.scheme = scheme;
     image.blocks.resize(program.blocks().size());
+    std::uint64_t align_pad = 0;
     for (const auto &blk : program.blocks()) {
+        const std::size_t before = writer.bitSize();
         writer.alignToByte();
+        align_pad += writer.bitSize() - before;
         isa::BlockLayout &layout = image.blocks[blk.id];
         layout.bitOffset = writer.bitSize();
         layout.numMops = std::uint32_t(blk.mops.size());
@@ -61,8 +70,29 @@ assembleImage(const VliwProgram &program, const std::string &scheme,
     }
     image.bitSize = writer.bitSize();
     image.bytes = writer.takeBytes();
+    image.ledger.addBits("align_pad", align_pad);
     return image;
 }
+
+/**
+ * Split one codeword into the payload/overhead accounting of the
+ * size ledger: up to the symbol's uncompressed width m the code is
+ * payload; any excess length (a bounded-Huffman code longer than the
+ * raw symbol) is codeword overhead.
+ */
+struct PayloadSplit
+{
+    std::uint64_t payload = 0;
+    std::uint64_t overhead = 0;
+
+    void
+    addCode(unsigned code_length, unsigned symbol_bits)
+    {
+        payload += std::min(code_length, symbol_bits);
+        overhead += code_length > symbol_bits
+            ? code_length - symbol_bits : 0;
+    }
+};
 
 } // namespace
 
@@ -93,12 +123,18 @@ compressByte(const VliwProgram &program, const HuffmanOptions &options)
         CodeTable::build(hist, options.byteMaxCodeLength));
     out.symbolBits.push_back(8);
     const CodeTable &table = out.tables.front();
+    PayloadSplit split;
     out.image = assembleImage(
         program, "huff-byte",
         [&](const Operation &op, support::BitWriter &writer) {
-            for (auto byte : opBytes(op.encode()))
+            for (auto byte : opBytes(op.encode())) {
                 table.encode(byte, writer);
+                split.addCode(table.codeLength(byte), 8);
+            }
         });
+    out.image.ledger.addBits("code/payload", split.payload);
+    out.image.ledger.addBits("code/overhead", split.overhead);
+    out.image.ledger.assertTiles(out.image.bitSize, "huff-byte");
     return out;
 }
 
@@ -132,13 +168,36 @@ compressStream(const VliwProgram &program, const StreamConfig &config,
             CodeTable::build(hists[s], options.maxCodeLength));
         out.symbolBits.push_back(config.widths[s]);
     }
+    // One payload/overhead split per stream: each stream is a fixed
+    // slice of the instruction word, so this is the per-field
+    // attribution of the stream alphabet.
+    std::vector<PayloadSplit> splits(config.streamCount());
     out.image = assembleImage(
         program, "huff-stream:" + config.name,
         [&](const Operation &op, support::BitWriter &writer) {
             const auto symbols = sliceOp(op.encode(), config.widths);
-            for (std::size_t s = 0; s < symbols.size(); ++s)
+            for (std::size_t s = 0; s < symbols.size(); ++s) {
                 out.tables[s].encode(symbols[s], writer);
+                splits[s].addCode(
+                    out.tables[s].codeLength(symbols[s]),
+                    config.widths[s]);
+            }
         });
+    unsigned bit_pos = 0;
+    for (std::size_t s = 0; s < splits.size(); ++s) {
+        // Name each stream by its index and slice, e.g. "s0_b0_w9":
+        // stream 0 covering bits [0, 9) of the op, MSB-first.
+        const std::string leaf = "stream/s" + std::to_string(s) +
+            "_b" + std::to_string(bit_pos) + "_w" +
+            std::to_string(config.widths[s]);
+        out.image.ledger.addBits(leaf + "/payload",
+                                 splits[s].payload);
+        out.image.ledger.addBits(leaf + "/overhead",
+                                 splits[s].overhead);
+        bit_pos += config.widths[s];
+    }
+    out.image.ledger.assertTiles(out.image.bitSize,
+                                 out.image.scheme);
     return out;
 }
 
@@ -156,11 +215,17 @@ compressFull(const VliwProgram &program, const HuffmanOptions &options)
     out.tables.push_back(CodeTable::build(hist, options.maxCodeLength));
     out.symbolBits.push_back(kOpBits);
     const CodeTable &table = out.tables.front();
+    PayloadSplit split;
     out.image = assembleImage(
         program, "huff-full",
         [&](const Operation &op, support::BitWriter &writer) {
             table.encode(op.encode(), writer);
+            split.addCode(table.codeLength(op.encode()),
+                          unsigned(kOpBits));
         });
+    out.image.ledger.addBits("code/payload", split.payload);
+    out.image.ledger.addBits("code/overhead", split.overhead);
+    out.image.ledger.assertTiles(out.image.bitSize, "huff-full");
     return out;
 }
 

@@ -146,8 +146,17 @@ TailoredIsa::encode(const isa::VliwProgram &program) const
     image.scheme = "tailored";
     image.blocks.resize(program.blocks().size());
 
+    // Size provenance: the fixed per-op header components and each
+    // field kind's allotted (tailored) width, accumulated program-
+    // wide then charged as ledger leaves below.
+    std::uint64_t ops = 0;
+    std::uint64_t align_pad = 0;
+    std::map<FieldKind, std::uint64_t> field_bits;
+
     for (const auto &blk : program.blocks()) {
+        const std::size_t before = writer.bitSize();
         writer.alignToByte();
+        align_pad += writer.bitSize() - before;
         isa::BlockLayout &layout = image.blocks[blk.id];
         layout.bitOffset = writer.bitSize();
         layout.numMops = std::uint32_t(blk.mops.size());
@@ -159,6 +168,7 @@ TailoredIsa::encode(const isa::VliwProgram &program) const
                 writer.writeBit(op.tail());
                 writer.writeBits(typeIndex(type), optWidth_);
                 writer.writeBits(opcodeIndex(type, opcode), opcWidth_);
+                ++ops;
                 const TailoredFormat &tf =
                     formats_[unsigned(op.format())];
                 for (const auto &field : tf.fields) {
@@ -167,6 +177,7 @@ TailoredIsa::encode(const isa::VliwProgram &program) const
                     const std::uint32_t value = op.field(field.kind);
                     writer.writeBits(
                         valueIndex(field.values, value), field.width);
+                    field_bits[field.kind] += field.width;
                 }
             }
         }
@@ -174,6 +185,14 @@ TailoredIsa::encode(const isa::VliwProgram &program) const
     }
     image.bitSize = writer.bitSize();
     image.bytes = writer.takeBytes();
+    image.ledger.addBits("header/tail", ops);
+    image.ledger.addBits("header/optype", ops * optWidth_);
+    image.ledger.addBits("header/opcode", ops * opcWidth_);
+    for (const auto &[kind, bits] : field_bits)
+        image.ledger.addBits(
+            std::string("field/") + isa::fieldKindName(kind), bits);
+    image.ledger.addBits("align_pad", align_pad);
+    image.ledger.assertTiles(image.bitSize, "tailored");
     return image;
 }
 

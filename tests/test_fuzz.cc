@@ -13,13 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "compiler/driver.hh"
 #include "core/pipeline.hh"
+#include "fetch/att.hh"
 #include "fetch/fetch_sim.hh"
 #include "isa/baseline.hh"
 #include "schemes/huffman_scheme.hh"
+#include "schemes/tailored.hh"
 #include "sim/emulator.hh"
 #include "support/rng.hh"
 
@@ -321,5 +324,71 @@ TEST_P(FuzzStallTiling, CausesTileUnderRandomConfigs)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzStallTiling,
                          ::testing::Range(0, 10));
+
+class FuzzSizeTiling : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The size-provenance tiling invariant must survive arbitrary stream
+ * cuts, not just the six committed configurations: for any random
+ * partition of the 40-bit op into streams, every scheme's ledger
+ * leaves (and the ATT's) must still sum to the artifact size exactly.
+ */
+TEST_P(FuzzSizeTiling, LedgersTileUnderRandomStreamCuts)
+{
+    const std::uint64_t seed =
+        std::uint64_t(GetParam()) * 2654435761u + 977;
+    ProgramGen gen(seed);
+    const std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    auto compiled = tepic::compiler::compileSource(source);
+    const auto &program = compiled.program;
+
+    auto expect_tiles = [](const tepic::isa::Image &image) {
+        SCOPED_TRACE(image.scheme);
+        EXPECT_FALSE(image.ledger.empty());
+        EXPECT_EQ(image.ledger.totalBits(), image.bitSize);
+    };
+
+    const auto base = tepic::isa::buildBaselineImage(program);
+    expect_tiles(base);
+    expect_tiles(tepic::schemes::compressByte(program).image);
+    const auto full = tepic::schemes::compressFull(program);
+    expect_tiles(full.image);
+    const auto tailored =
+        tepic::schemes::TailoredIsa::build(program).encode(program);
+    expect_tiles(tailored);
+
+    const auto att = tepic::fetch::Att::build(full.image, program);
+    EXPECT_EQ(att.ledger().totalBits(), att.totalBits());
+
+    // Random stream cuts: partition the 40 op bits into 2..6 streams
+    // of random widths summing to exactly kOpBits.
+    Rng rng(seed ^ 0x51ce);
+    for (int cut = 0; cut < 3; ++cut) {
+        tepic::schemes::StreamConfig config;
+        config.name = "fuzz" + std::to_string(cut);
+        unsigned remaining = tepic::isa::kOpBits;
+        const unsigned streams = unsigned(rng.range(2, 6));
+        for (unsigned s = 0; s + 1 < streams; ++s) {
+            const unsigned max_width =
+                remaining - (streams - 1 - s);  // >=1 bit per stream
+            const unsigned width = unsigned(
+                rng.range(1, std::int64_t(std::min(max_width, 20u))));
+            config.widths.push_back(width);
+            remaining -= width;
+        }
+        config.widths.push_back(remaining);
+        SCOPED_TRACE(config.name + " streams=" +
+                     std::to_string(streams));
+        expect_tiles(
+            tepic::schemes::compressStream(program, config).image);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSizeTiling,
+                         ::testing::Range(0, 8));
 
 } // namespace

@@ -12,10 +12,16 @@ headline gauges across schemes and workloads:
 
   * fig05 — compression ratios per scheme vs the paper's Figure 5
   * fig07 — ATT size overhead vs the paper's ~15.5 %
-  * fig10 — decoder transistor counts vs the Figure 10 ordering
+  * fig10 — decoder transistor counts vs the Figure 10 ordering,
+    plus the Huffman codeword-length distributions
+    (size.*.codelen histograms) behind those decoder sizes
   * fig13 — IPC / speedup-vs-Base summary vs the Figure 13 shape
   * fig14 — bus bit-flip ratios vs the Figure 14 shape
   * stall-cause attribution: the per-scheme Table-1 taxonomy split
+
+Missing or malformed metric sections degrade to a note in the report
+(never a traceback): a snapshot from an older build simply renders
+with fewer rows and an explanation.
 
 Each headline row carries two reference points:
 
@@ -105,6 +111,22 @@ def load(path):
         usage_error(f"{path}: {e}")
 
 
+def section(doc, name, source, notes):
+    """doc[name] as a dict; on a missing/malformed section, returns
+    {} and appends an explanatory note instead of raising."""
+    value = doc.get(name)
+    if value is None:
+        notes.append(f"{source}: section '{name}' missing — "
+                     "snapshot from an older build?")
+        return {}
+    if not isinstance(value, dict):
+        notes.append(f"{source}: section '{name}' malformed "
+                     f"(expected an object, got "
+                     f"{type(value).__name__})")
+        return {}
+    return value
+
+
 def fmt(value):
     if value is None:
         return "—"
@@ -121,7 +143,7 @@ def verdict(measured, expected, band):
     return "pass" if deviation <= band else "warn"
 
 
-def headline_rows(input_dir):
+def headline_rows(input_dir, notes):
     """Yields (file, label, measured, expected, paper, verdict)."""
     rows = []
     for file_name, entries in HEADLINES:
@@ -130,7 +152,7 @@ def headline_rows(input_dir):
             rows.append((file_name, "(file missing — bench not run)",
                          None, None, None, "warn"))
             continue
-        gauges = load(path).get("gauges", {})
+        gauges = section(load(path), "gauges", file_name, notes)
         for gauge, label, expected, paper, band in entries:
             measured = gauges.get(gauge)
             if measured is None:
@@ -142,12 +164,13 @@ def headline_rows(input_dir):
     return rows
 
 
-def stall_rows(input_dir):
+def stall_rows(input_dir, notes):
     """Yields (scheme, cause, cycles, share%) plus tiling checks."""
     path = os.path.join(input_dir, "BENCH_fig13_ipc.json")
     if not os.path.exists(path):
         return [], []
-    counters = load(path).get("counters", {})
+    counters = section(load(path), "counters", "BENCH_fig13_ipc.json",
+                       notes)
     rows, checks = [], []
     for scheme in SCHEMES:
         prefix = f"fetch.{scheme}."
@@ -166,7 +189,37 @@ def stall_rows(input_dir):
     return rows, checks
 
 
-def render_markdown(rows, stalls, checks, input_dir):
+def codelen_rows(input_dir, notes):
+    """(alphabet, codes, min/mean/max length) from size.*.codelen."""
+    name = "BENCH_fig10_decoder.json"
+    path = os.path.join(input_dir, name)
+    if not os.path.exists(path):
+        notes.append(f"{name} missing — codeword-length section "
+                     "skipped (run the fig10 bench)")
+        return []
+    hists = section(load(path), "histograms", name, notes)
+    rows = []
+    for key in sorted(hists):
+        if not key.startswith("size.") or \
+                not key.endswith(".codelen"):
+            continue
+        alphabet = key[len("size."):-len(".codelen")]
+        hist = hists[key]
+        bins = hist.get("bins") if isinstance(hist, dict) else None
+        if not isinstance(bins, list) or not bins:
+            notes.append(f"{name}: histogram '{key}' malformed or "
+                         "empty — row skipped")
+            continue
+        codes = sum(count for _, count in bins)
+        mean = sum(length * count for length, count in bins) / codes
+        rows.append((alphabet, codes, bins[0][0], mean, bins[-1][0]))
+    if not rows and os.path.exists(path):
+        notes.append(f"{name}: no size.*.codelen histograms — "
+                     "snapshot from an older build?")
+    return rows
+
+
+def render_markdown(rows, stalls, checks, codelens, notes, input_dir):
     out = ["# tepic paper-fidelity report", ""]
     out.append(f"Input: `{input_dir}`. Verdicts compare against this "
                "reproduction's committed seed values (EXPERIMENTS.md);"
@@ -204,6 +257,27 @@ def render_markdown(rows, stalls, checks, input_dir):
         for scheme, total, cause_sum, saved, ok in checks:
             out.append(f"| {scheme} | {total} | {cause_sum} | "
                        f"{saved} | {ok} |")
+        out.append("")
+    if codelens:
+        out.append("## Huffman codeword lengths (fig10 run)")
+        out.append("")
+        out.append("Per-alphabet code-length distributions "
+                   "(size.*.codelen): deeper codes mean a bigger "
+                   "canonical decoder, which is what fig10's kT "
+                   "counts measure.")
+        out.append("")
+        out.append("| alphabet | codes | min len | mean len | "
+                   "max len |")
+        out.append("|---|---|---|---|---|")
+        for alphabet, codes, lo, mean, hi in codelens:
+            out.append(f"| {alphabet} | {codes} | {lo} | {mean:.2f} "
+                       f"| {hi} |")
+        out.append("")
+    if notes:
+        out.append("## Notes")
+        out.append("")
+        for note in notes:
+            out.append(f"- {note}")
         out.append("")
     out.append(f"**{warns} warn(s).** A warn means the reproduction "
                "moved away from its committed seed — check the diff "
@@ -269,9 +343,12 @@ def main(argv):
     if not os.path.isdir(args.input_dir):
         usage_error(f"input dir '{args.input_dir}' not found")
 
-    rows = headline_rows(args.input_dir)
-    stalls, checks = stall_rows(args.input_dir)
+    notes = []
+    rows = headline_rows(args.input_dir, notes)
+    stalls, checks = stall_rows(args.input_dir, notes)
+    codelens = codelen_rows(args.input_dir, notes)
     markdown_text, warns = render_markdown(rows, stalls, checks,
+                                           codelens, notes,
                                            args.input_dir)
 
     if args.output:

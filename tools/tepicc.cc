@@ -16,12 +16,16 @@
  * <prog> is a tinkerc file path or a built-in workload name.
  * Global flags: --no-pgo (single-pass layout), -O0 (optimiser off),
  * --trace=<file> (Chrome trace-event JSON for chrome://tracing or
- * Perfetto), --metrics=<file> (metrics registry JSON).
+ * Perfetto), --metrics=<file> (metrics registry JSON),
+ * --size-report=<file> (size-provenance treemap JSON, schema
+ * tepic-size-v1, for commands that build images: compress, fetch,
+ * verify, verilog).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -49,6 +53,7 @@ usage()
         "<prog>\n"
         "  workloads\n"
         "flags: --no-pgo, -O0, --trace=<file>, --metrics=<file>,\n"
+        "       --size-report=<file> (compress|fetch|verify|verilog),\n"
         "       --log-level=debug|info|warn|error|none (overrides "
         "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
@@ -79,8 +84,29 @@ struct Options
     bool optimise = true;
     std::string tracePath;
     std::string metricsPath;
+    std::string sizeReportPath;
     std::vector<std::string> positional;
 };
+
+/**
+ * The last engine build of this invocation, kept so
+ * finalizeObservability() can emit the --size-report= artifact after
+ * the command ran.
+ */
+struct
+{
+    std::string name;
+    std::shared_ptr<const core::Artifacts> artifacts;
+} g_lastBuild;
+
+std::shared_ptr<const core::Artifacts>
+noteBuild(const std::string &name,
+          std::shared_ptr<const core::Artifacts> built)
+{
+    g_lastBuild.name = name;
+    g_lastBuild.artifacts = built;
+    return built;
+}
 
 Options
 parseArgs(int argc, char **argv)
@@ -95,6 +121,8 @@ parseArgs(int argc, char **argv)
             opts.tracePath = argv[i] + 8;
         else if (std::strncmp(argv[i], "--metrics=", 10) == 0)
             opts.metricsPath = argv[i] + 10;
+        else if (std::strncmp(argv[i], "--size-report=", 14) == 0)
+            opts.sizeReportPath = argv[i] + 14;
         else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
             const char *level = argv[i] + 12;
             if (!support::isLogLevelName(level)) {
@@ -194,8 +222,11 @@ int
 cmdCompress(const Options &opts)
 {
     const auto source = loadSource(opts.positional[1]);
-    const auto built = core::ArtifactEngine::global().build(
-        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto built = noteBuild(
+        opts.positional[1],
+        core::ArtifactEngine::global().build(
+            source, core::ArtifactRequest::all(),
+            pipelineConfig(opts)));
     const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     support::TextTable table;
@@ -213,8 +244,11 @@ int
 cmdFetch(const Options &opts)
 {
     const auto source = loadSource(opts.positional[1]);
-    const auto built = core::ArtifactEngine::global().build(
-        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto built = noteBuild(
+        opts.positional[1],
+        core::ArtifactEngine::global().build(
+            source, core::ArtifactRequest::all(),
+            pipelineConfig(opts)));
     const auto &artifacts = *built;
     std::vector<fetch::SchemeClass> schemes;
     if (opts.positional.size() > 2) {
@@ -254,8 +288,11 @@ cmdVerify(const Options &opts)
     // all round trips, and cross-check the three fetch organisations
     // deliver the identical op stream.
     const auto source = loadSource(opts.positional[1]);
-    const auto built = core::ArtifactEngine::global().build(
-        source, core::ArtifactRequest::all(), pipelineConfig(opts));
+    const auto built = noteBuild(
+        opts.positional[1],
+        core::ArtifactEngine::global().build(
+            source, core::ArtifactRequest::all(),
+            pipelineConfig(opts)));
     const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     std::printf("round trips: ok (base, byte, 6 streams, full, "
@@ -285,10 +322,12 @@ cmdVerilog(const Options &opts)
     const auto source = loadSource(opts.positional[1]);
     // Only the tailored ISA is needed: a selective engine request
     // skips the baseline and Huffman images entirely.
-    const auto artifacts = core::ArtifactEngine::global().build(
-        source,
-        core::ArtifactRequest{core::ArtifactKind::kTailored},
-        pipelineConfig(opts));
+    const auto artifacts = noteBuild(
+        opts.positional[1],
+        core::ArtifactEngine::global().build(
+            source,
+            core::ArtifactRequest{core::ArtifactKind::kTailored},
+            pipelineConfig(opts)));
     std::fputs(artifacts->tailoredIsa().emitVerilog("tailored_decoder")
                    .c_str(), stdout);
     return 0;
@@ -340,10 +379,23 @@ dispatch(const std::string &cmd, const Options &opts)
     return usage();
 }
 
-/** Flush --trace=/--metrics= outputs after the command ran. */
+/** Flush --trace=/--metrics=/--size-report= outputs after the run. */
 void
 finalizeObservability(const Options &opts)
 {
+    if (!opts.sizeReportPath.empty()) {
+        if (g_lastBuild.artifacts == nullptr) {
+            TEPIC_WARN("--size-report= ignored: this command builds "
+                       "no images (use compress, fetch, verify or "
+                       "verilog)");
+        } else {
+            core::recordSizeMetrics(*g_lastBuild.artifacts);
+            core::writeSizeReport(
+                opts.sizeReportPath, "tepicc",
+                {core::SizeReportEntry{g_lastBuild.name,
+                                       g_lastBuild.artifacts.get()}});
+        }
+    }
     if (!opts.metricsPath.empty()) {
         auto &metrics = support::MetricsRegistry::global();
         core::ArtifactEngine::global().exportMetrics(metrics);

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Unit tests for check_regression.py and tepic_report.py
-(stdlib unittest only)."""
+"""Unit tests for check_regression.py (stdlib unittest only).
+tepic_report.py's tests live in test_tepic_report.py."""
 
 import json
 import os
@@ -11,7 +11,6 @@ import unittest
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 CHECK = os.path.join(TOOLS_DIR, "check_regression.py")
-REPORT = os.path.join(TOOLS_DIR, "tepic_report.py")
 
 
 def bench_doc():
@@ -110,36 +109,6 @@ class CheckRegressionTest(TempDirs):
     def test_empty_baseline_dir_is_usage_error(self):
         result = self.run_check()
         self.assertEqual(result.returncode, 2)
-
-
-class TepicReportTest(TempDirs):
-
-    def test_report_renders_and_checks_tiling(self):
-        self.write(self.baseline, "BENCH_fig13_ipc.json", bench_doc())
-        out_md = os.path.join(self.fresh, "report.md")
-        out_html = os.path.join(self.fresh, "report.html")
-        result = subprocess.run(
-            [sys.executable, REPORT, "--input-dir", self.baseline,
-             "--output", out_md, "--html", out_html],
-            capture_output=True, text=True)
-        self.assertEqual(result.returncode, 0, result.stderr)
-        with open(out_md) as f:
-            text = f.read()
-        # 60 + 30 + 0 + 10 == 100: the tiling row must say pass.
-        self.assertIn("| base | 100 | 100 | 0 | pass |", text)
-        with open(out_html) as f:
-            self.assertIn("<table>", f.read())
-
-    def test_report_flags_broken_tiling(self):
-        doc = bench_doc()
-        doc["counters"]["fetch.base.stall.mispredict"] = 61
-        self.write(self.baseline, "BENCH_fig13_ipc.json", doc)
-        result = subprocess.run(
-            [sys.executable, REPORT, "--input-dir", self.baseline],
-            capture_output=True, text=True)
-        self.assertEqual(result.returncode, 0, result.stderr)
-        self.assertIn("| base | 100 | 101 | 0 | FAIL |",
-                      result.stdout)
 
 
 if __name__ == "__main__":
