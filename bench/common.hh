@@ -39,10 +39,13 @@
 #include <string>
 #include <vector>
 
+#include <cstdlib>
+
 #include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/profiler.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
@@ -58,8 +61,31 @@ struct BenchOptions
     unsigned jobs = 0;                   ///< 0 = hardware concurrency
     std::string tracePath;               ///< Chrome trace JSON out
     std::string metricsPath;             ///< metrics JSON out
+    std::string profCollapsePath;        ///< collapsed-stack out
     std::string benchName;               ///< argv[0] basename
 };
+
+/** The harness CLI contract, shared by every bench binary. */
+inline void
+printBenchUsage(const std::string &bench_name, std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s [options] [--benchmark_* flags]\n"
+        "  --workloads=a,b       run a workload subset (default: all)\n"
+        "  --schemes=s1,s2       artefact kinds to build (see\n"
+        "                        core::ArtifactRequest::parse)\n"
+        "  --jobs=N              engine parallelism (0 = hardware)\n"
+        "  --trace=FILE          write a Chrome trace JSON\n"
+        "  --metrics=FILE        write the metrics snapshot JSON\n"
+        "  --prof-collapse=FILE  sample the run; write FlameGraph\n"
+        "                        collapsed stacks\n"
+        "  --log-level=LEVEL     debug|info|warn|error|none\n"
+        "  --help                print this and exit\n"
+        "Unrecognised --flags are an error; google-benchmark's own\n"
+        "--benchmark_* and --v= flags pass through untouched.\n",
+        bench_name.c_str());
+}
 
 /** argv[0] stripped to its basename: the canonical bench name. */
 inline std::string
@@ -113,6 +139,8 @@ parseBenchOptions(int *argc, char **argv,
             options.tracePath = arg + 8;
         } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
             options.metricsPath = arg + 10;
+        } else if (std::strncmp(arg, "--prof-collapse=", 16) == 0) {
+            options.profCollapsePath = arg + 16;
         } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
             // CLI takes precedence over the TEPIC_LOG env filter.
             const char *level = arg + 12;
@@ -121,6 +149,21 @@ parseBenchOptions(int *argc, char **argv,
                             "' (expected debug|info|warn|error|none)");
             }
             support::setLogThreshold(support::parseLogLevel(level));
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printBenchUsage(options.benchName, stdout);
+            std::exit(0);
+        } else if (std::strncmp(arg, "--benchmark_", 12) == 0 ||
+                   std::strncmp(arg, "--v=", 4) == 0) {
+            // google-benchmark's namespace; forwarded untouched.
+            argv[out++] = argv[i];
+        } else if (std::strncmp(arg, "--", 2) == 0) {
+            // A typo'd harness flag silently reaching
+            // google-benchmark would run the full suite with the
+            // option dropped — fail loudly instead.
+            std::fprintf(stderr, "%s: unknown flag '%s'\n",
+                         options.benchName.c_str(), arg);
+            printBenchUsage(options.benchName, stderr);
+            std::exit(2);
         } else {
             argv[out++] = argv[i];
             continue;
@@ -268,6 +311,18 @@ reportBenchSummary(const BenchOptions &options)
                      stat.mean(), " ms)");
     }
 
+    // Host-performance attribution: fold the profiler's per-phase
+    // counters (runtime section) and throughput gauges into the
+    // registry, then write the per-binary PROF_<name>.json rollup.
+    // Runs before the BENCH snapshot below so the prof.* gauges are
+    // part of it.
+    support::prof::exportMetricsTo(metrics);
+    const std::string prof_json = "PROF_" + options.benchName + ".json";
+    if (support::prof::writeReport(prof_json, options.benchName,
+                                   metrics)) {
+        TEPIC_INFORM("[bench] wrote profile report to ", prof_json);
+    }
+
     if (!options.metricsPath.empty()) {
         metrics.writeJsonFile(options.metricsPath);
         TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
@@ -316,6 +371,9 @@ findArtifacts(const std::string &name)
     {                                                                  \
         const auto bench_options = ::tepic::bench::parseBenchOptions(  \
             &argc, argv, (default_request));                           \
+        ::tepic::support::prof::startSession();                        \
+        if (!bench_options.profCollapsePath.empty())                   \
+            ::tepic::support::prof::startSampling();                   \
         if (!bench_options.tracePath.empty())                          \
             ::tepic::support::trace::start(bench_options.tracePath);   \
         ::tepic::bench::buildAllArtifacts(bench_options);              \
@@ -325,6 +383,11 @@ findArtifacts(const std::string &name)
         ::benchmark::RunSpecifiedBenchmarks();                         \
         if (!bench_options.tracePath.empty())                          \
             ::tepic::support::trace::stop();                           \
+        if (!bench_options.profCollapsePath.empty()) {                 \
+            ::tepic::support::prof::stopSampling();                    \
+            ::tepic::support::prof::writeCollapsed(                    \
+                bench_options.profCollapsePath);                       \
+        }                                                              \
         return 0;                                                      \
     }
 

@@ -159,6 +159,10 @@ void
 recordMicroSentinels()
 {
     auto &m = support::MetricsRegistry::global();
+    // The sentinel pass is the microbench's "kernel work": charge it
+    // to kBenchKernel so prof.ops_encoded_per_sec has a denominator.
+    support::prof::ProfScope prof(
+        support::prof::Phase::kBenchKernel);
 
     support::BitWriter w;
     for (int i = 0; i < 10000; ++i)
@@ -193,6 +197,11 @@ recordMicroSentinels()
     m.addCounter("micro.compile.ops", compiled.program.opCount());
     m.addCounter("micro.baseline.image_bits",
                  isa::buildBaselineImage(compiled.program).bitSize);
+
+    // Deterministic work units behind prof.ops_encoded_per_sec: the
+    // 10000 Huffman symbol encodes plus the baseline image's ops.
+    m.addCounter("prof.work.ops_encoded",
+                 10000 + compiled.program.opCount());
 }
 
 } // namespace
@@ -205,8 +214,18 @@ main(int argc, char **argv)
     // sentinels build what they need inline.
     const auto options =
         tepic::bench::parseBenchOptions(&argc, argv, {});
+    support::prof::startSession();
+    if (!options.profCollapsePath.empty())
+        support::prof::startSampling();
     recordMicroSentinels();
     auto &metrics = support::MetricsRegistry::global();
+    support::prof::exportMetricsTo(metrics);
+    const std::string prof_json =
+        "PROF_" + options.benchName + ".json";
+    if (support::prof::writeReport(prof_json, options.benchName,
+                                   metrics)) {
+        TEPIC_INFORM("[bench] wrote profile report to ", prof_json);
+    }
     if (!options.metricsPath.empty())
         metrics.writeJsonFile(options.metricsPath);
     const std::string bench_json =
@@ -215,5 +234,9 @@ main(int argc, char **argv)
     TEPIC_INFORM("[bench] wrote bench metrics to ", bench_json);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    if (!options.profCollapsePath.empty()) {
+        support::prof::stopSampling();
+        support::prof::writeCollapsed(options.profCollapsePath);
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "compiler/parser.hh"
 #include "ir/analysis.hh"
 #include "support/logging.hh"
+#include "support/profiler.hh"
 
 namespace tepic::compiler {
 
@@ -30,12 +31,24 @@ layoutAndSchedule(CompiledProgram &out,
 CompiledProgram
 compileSource(const std::string &source, const CompileOptions &options)
 {
-    AstProgram ast = parse(source);
-    ir::IrModule module = generateIr(ast);
-    optimise(module, options.opt);
-    for (auto &fn : module.functions)
-        ir::estimateWeights(fn, options.loopWeightFactor);
+    using support::prof::Phase;
+    using support::prof::ProfScope;
 
+    AstProgram ast;
+    ir::IrModule module;
+    {
+        ProfScope prof(Phase::kFrontend);
+        ast = parse(source);
+        module = generateIr(ast);
+    }
+    {
+        ProfScope prof(Phase::kOptimise);
+        optimise(module, options.opt);
+        for (auto &fn : module.functions)
+            ir::estimateWeights(fn, options.loopWeightFactor);
+    }
+
+    ProfScope prof(Phase::kBackend);
     LirProgram lir = lower(module);
     CompiledProgram out;
     out.hoistOptions = options.hoist;
@@ -50,6 +63,7 @@ applyProfileAndRelayout(CompiledProgram &compiled,
                         const std::vector<std::uint64_t> &counts,
                         const isa::MachineConfig &machine)
 {
+    support::prof::ProfScope prof(support::prof::Phase::kBackend);
     TEPIC_ASSERT(counts.size() == compiled.blockSource.size(),
                  "profile size mismatch: ", counts.size(), " vs ",
                  compiled.blockSource.size());

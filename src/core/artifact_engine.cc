@@ -4,6 +4,7 @@
 
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/profiler.hh"
 #include "support/trace.hh"
 
 namespace tepic::core {
@@ -194,6 +195,8 @@ ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
 
     if (req.config.profileGuided) {
         TEPIC_TRACE_SPAN("engine.emulate.profile", "engine");
+        support::prof::ProfScope prof(
+            support::prof::Phase::kEmulate);
         // The profile pass only needs block counts, never the trace.
         auto profile_config = req.config.emulator;
         profile_config.recordTrace = false;
@@ -207,12 +210,30 @@ ArtifactEngine::compileStage(Artifacts &a, const BuildRequest &req)
     }
 
     TEPIC_TRACE_SPAN("engine.emulate", "engine");
+    support::prof::ProfScope prof(support::prof::Phase::kEmulate);
     auto run_config = req.config.emulator;
     run_config.recordTrace = want_trace;
     a.execution = sim::emulate(a.compiled.program, a.compiled.data,
                                run_config);
     emulations_.fetch_add(1, std::memory_order_relaxed);
 }
+
+namespace {
+
+/**
+ * Deterministic work counter behind the prof.ops_encoded_per_sec
+ * throughput gauge: one unit per operation encoded into an image.
+ * Charged per *performed* build (cache hits charge nothing), which is
+ * identical for any --jobs value.
+ */
+void
+chargeEncodedOps(const Artifacts &a)
+{
+    support::MetricsRegistry::global().addCounter(
+        "prof.work.ops_encoded", a.compiled.program.opCount());
+}
+
+} // namespace
 
 void
 ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
@@ -225,21 +246,27 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
     if (request.has(ArtifactKind::kBase)) {
         tasks.push_back([this, &a] {
             TEPIC_TRACE_SPAN("engine.build.base", "engine");
+            support::prof::ProfScope prof(
+                support::prof::Phase::kBuildBase);
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
                 "engine.build.base_ms");
             a.base_ = isa::buildBaselineImage(a.compiled.program);
+            chargeEncodedOps(a);
             baseImages_.fetch_add(1, std::memory_order_relaxed);
         });
     }
     if (request.has(ArtifactKind::kByte)) {
         tasks.push_back([this, &a, huffman] {
             TEPIC_TRACE_SPAN("engine.build.byte", "engine");
+            support::prof::ProfScope prof(
+                support::prof::Phase::kBuildByte);
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
                 "engine.build.byte_ms");
             a.byte_ = schemes::compressByte(a.compiled.program,
                                             huffman);
+            chargeEncodedOps(a);
             byteImages_.fetch_add(1, std::memory_order_relaxed);
         });
     }
@@ -249,11 +276,14 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         for (std::size_t i = 0; i < configs.size(); ++i) {
             tasks.push_back([this, &a, huffman, i, &configs] {
                 TEPIC_TRACE_SPAN("engine.build.stream", "engine");
+                support::prof::ProfScope prof(
+                    support::prof::Phase::kBuildStream);
                 support::ScopedTimerMs timer(
                     support::MetricsRegistry::global(),
                     "engine.build.stream_ms");
                 a.streams_[i] = schemes::compressStream(
                     a.compiled.program, configs[i], huffman);
+                chargeEncodedOps(a);
                 streamImages_.fetch_add(1, std::memory_order_relaxed);
             });
         }
@@ -261,17 +291,22 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
     if (request.has(ArtifactKind::kFull)) {
         tasks.push_back([this, &a, huffman] {
             TEPIC_TRACE_SPAN("engine.build.full", "engine");
+            support::prof::ProfScope prof(
+                support::prof::Phase::kBuildFull);
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
                 "engine.build.full_ms");
             a.full_ = schemes::compressFull(a.compiled.program,
                                             huffman);
+            chargeEncodedOps(a);
             fullImages_.fetch_add(1, std::memory_order_relaxed);
         });
     }
     if (request.has(ArtifactKind::kTailored)) {
         tasks.push_back([this, &a] {
             TEPIC_TRACE_SPAN("engine.build.tailored", "engine");
+            support::prof::ProfScope prof(
+                support::prof::Phase::kBuildTailored);
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
                 "engine.build.tailored_ms");
@@ -279,12 +314,15 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
                 schemes::TailoredIsa::build(a.compiled.program);
             a.tailoredImage_ =
                 a.tailoredIsa_->encode(a.compiled.program);
+            chargeEncodedOps(a);
             tailoredImages_.fetch_add(1, std::memory_order_relaxed);
         });
     }
     if (request.has(ArtifactKind::kAtt)) {
         att_tasks.push_back([this, &a] {
             TEPIC_TRACE_SPAN("engine.build.att", "engine");
+            support::prof::ProfScope prof(
+                support::prof::Phase::kBuildAtt);
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
                 "engine.build.att_ms");

@@ -9,6 +9,7 @@
 #include "decoder/complexity.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/profiler.hh"
 #include "support/trace.hh"
 
 namespace tepic::core {
@@ -217,6 +218,8 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
          std::optional<fetch::FetchConfig> config)
 {
     TEPIC_TRACE_SPAN("fetch.simulate", "fetch");
+    support::prof::ProfScope prof(support::prof::Phase::kFetchSim);
+    const std::uint64_t cpu_begin = support::prof::threadCpuNowNs();
     const fetch::FetchConfig fetch_config =
         config ? *config : fetch::FetchConfig::paper(scheme);
     auto stats = fetch::simulateFetch(imageFor(artifacts, scheme),
@@ -224,6 +227,17 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
                                       artifacts.trace(),
                                       fetch_config);
     recordFetchMetrics(scheme, stats);
+    // Deterministic work units feeding prof.blocks_simulated_per_sec
+    // and the per-scheme prof.fetch.<scheme>.blocks_per_sec gauges;
+    // the cpu-time delta lands in the env-dependent runtime section.
+    auto &m = support::MetricsRegistry::global();
+    m.addCounter("prof.work.blocks_simulated", stats.blocksFetched);
+    const std::string scheme_name = fetch::schemeClassName(scheme);
+    m.addCounter("prof.work.fetch." + scheme_name +
+                     ".blocks_simulated",
+                 stats.blocksFetched);
+    m.addRuntime("prof.fetch." + scheme_name + ".cpu_ns",
+                 support::prof::threadCpuNowNs() - cpu_begin);
     return stats;
 }
 

@@ -177,6 +177,17 @@ MetricsRegistry::counterNames() const
     return names;
 }
 
+std::vector<std::string>
+MetricsRegistry::gaugeNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(gauges_.size());
+    for (const auto &[name, value] : gauges_)
+        names.push_back(name);
+    return names;
+}
+
 bool
 MetricsRegistry::hasCounterWithPrefix(std::string_view prefix) const
 {

@@ -80,6 +80,7 @@ class MetricsRegistry
     std::uint64_t runtime(std::string_view name) const;
 
     std::vector<std::string> counterNames() const;
+    std::vector<std::string> gaugeNames() const;
     bool hasCounterWithPrefix(std::string_view prefix) const;
     std::vector<std::pair<std::string, ScalarStat>> timingsSnapshot()
         const;

@@ -1,0 +1,888 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include "support/profiler.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+#if TEPIC_PROFILING_ENABLED
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__linux__)
+#define TEPIC_PROF_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define TEPIC_PROF_HAVE_PERF 0
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TEPIC_PROF_HAVE_SIGNALS 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+#else
+#define TEPIC_PROF_HAVE_SIGNALS 0
+#endif
+#endif // TEPIC_PROFILING_ENABLED
+
+namespace tepic::support::prof {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::kFrontend: return "frontend";
+      case Phase::kOptimise: return "optimise";
+      case Phase::kBackend: return "backend";
+      case Phase::kEmulate: return "emulate";
+      case Phase::kBuildBase: return "build_base";
+      case Phase::kBuildByte: return "build_byte";
+      case Phase::kBuildStream: return "build_stream";
+      case Phase::kBuildFull: return "build_full";
+      case Phase::kBuildTailored: return "build_tailored";
+      case Phase::kBuildAtt: return "build_att";
+      case Phase::kFetchSim: return "fetch_sim";
+      case Phase::kWorker: return "worker";
+      case Phase::kBenchKernel: return "bench_kernel";
+      case Phase::kReport: return "report";
+      case Phase::kOther: return "other";
+    }
+    TEPIC_PANIC("bad profiler phase");
+}
+
+namespace {
+
+constexpr unsigned kNumValues = 5;  // cycles, instr, cmiss, bmiss, cpu_ns
+
+std::string
+formatGaugeValue(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+void
+appendCountersJson(std::string &out, const PhaseCounters &c,
+                   bool with_enters)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"cycles\":%llu,\"instructions\":%llu,"
+                  "\"cache_misses\":%llu,\"branch_misses\":%llu,"
+                  "\"cpu_ns\":%llu",
+                  (unsigned long long)c.cycles,
+                  (unsigned long long)c.instructions,
+                  (unsigned long long)c.cacheMisses,
+                  (unsigned long long)c.branchMisses,
+                  (unsigned long long)c.cpuNs);
+    out += buf;
+    if (with_enters) {
+        std::snprintf(buf, sizeof(buf), ",\"enters\":%llu",
+                      (unsigned long long)c.enters);
+        out += buf;
+    }
+    out += '}';
+}
+
+/**
+ * Render the shared report body from a snapshot plus the registry's
+ * prof.work.* counters and prof.* gauges. Also used by the disabled
+ * build (with an all-zero snapshot and source "disabled") so
+ * --prof-report= stays functional in every configuration.
+ */
+std::string
+renderReport(const std::string &name, const char *source,
+             const Snapshot &snap, const MetricsRegistry &metrics)
+{
+    std::string out = "{\n  \"schema\": \"tepic-prof-v1\",\n";
+    out += "  \"name\": " + jsonQuote(name) + ",\n";
+    out += "  \"source\": " + jsonQuote(source) + ",\n";
+
+    out += "  \"total\": ";
+    appendCountersJson(out, snap.total, false);
+    out += ",\n  \"phases\": {\n";
+    for (unsigned i = 0; i < kNumPhases; ++i) {
+        out += "    " + jsonQuote(phaseName(Phase(i))) + ": ";
+        appendCountersJson(out, snap.phases[i], true);
+        out += i + 1 < kNumPhases ? ",\n" : "\n";
+    }
+    out += "  },\n";
+
+    out += "  \"work\": {";
+    bool first = true;
+    for (const auto &counter : metrics.counterNames()) {
+        if (counter.rfind("prof.work.", 0) != 0)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " +
+               jsonQuote(counter.substr(std::strlen("prof.work."))) +
+               ": " + std::to_string(metrics.counter(counter));
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"throughput\": {";
+    first = true;
+    for (const auto &gauge : metrics.gaugeNames()) {
+        if (gauge.rfind("prof.", 0) != 0)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + jsonQuote(gauge.substr(std::strlen("prof."))) +
+               ": " + formatGaugeValue(metrics.gauge(gauge));
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"samples\": {\"taken\": %llu, \"dropped\": "
+                  "%llu}\n}\n",
+                  (unsigned long long)snap.samplesTaken,
+                  (unsigned long long)snap.samplesDropped);
+    out += buf;
+    return out;
+}
+
+bool
+writeStringFile(const std::string &path, const std::string &text,
+                const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TEPIC_WARN("cannot open ", what, " output '", path, "'");
+        return false;
+    }
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    std::fclose(f);
+    if (!ok)
+        TEPIC_WARN("short write to ", what, " output '", path, "'");
+    return ok;
+}
+
+} // namespace
+
+#if TEPIC_PROFILING_ENABLED
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-thread counter state.
+
+constexpr int kMaxDepth = 64;
+
+using Values = std::uint64_t[kNumValues];
+
+/** Process-wide perf mode: -1 undecided, 0 fallback, 1 perf events. */
+std::atomic<int> g_perfMode{-1};
+
+struct ThreadState
+{
+    // Scope stack (owner thread only).
+    struct Frame
+    {
+        Phase phase;
+        Values enter;
+        Values child;  ///< Σ inclusive cost of completed children
+    };
+    Frame stack[kMaxDepth];
+    int depth = 0;
+
+    // Committed charges: written by the owner with relaxed stores,
+    // summed by snapshot() with relaxed loads (no torn u64 reads).
+    std::atomic<std::uint64_t> self[kNumPhases][kNumValues] = {};
+    std::atomic<std::uint64_t> enters[kNumPhases] = {};
+    std::atomic<std::uint64_t> topLevel[kNumValues] = {};
+
+#if TEPIC_PROF_HAVE_PERF
+    int perfFd[4] = {-1, -1, -1, -1};  ///< group leader first
+    bool perfOpen = false;
+#endif
+
+    ThreadState *next = nullptr;
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    ThreadState *head = nullptr;
+    // Charges of threads that exited (folded under mutex).
+    std::uint64_t retiredSelf[kNumPhases][kNumValues] = {};
+    std::uint64_t retiredEnters[kNumPhases] = {};
+    std::uint64_t retiredTopLevel[kNumValues] = {};
+
+    // Session mark (Phase::kOther baseline).
+    ThreadState *sessionThread = nullptr;
+    Values sessionStart = {};
+    std::uint64_t sessionTopLevel[kNumValues] = {};
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry;  // leaked: threads may outlive main
+    return *r;
+}
+
+#if TEPIC_PROF_HAVE_PERF
+
+int
+openPerfCounter(std::uint32_t type, std::uint64_t config, int group)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return int(syscall(SYS_perf_event_open, &attr, 0, -1, group, 0));
+}
+
+bool
+openPerfGroup(ThreadState &state)
+{
+    static const std::uint64_t configs[4] = {
+        PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+    for (int i = 0; i < 4; ++i) {
+        state.perfFd[i] = openPerfCounter(
+            PERF_TYPE_HARDWARE, configs[i],
+            i == 0 ? -1 : state.perfFd[0]);
+        if (state.perfFd[i] < 0) {
+            for (int j = 0; j < i; ++j) {
+                ::close(state.perfFd[j]);
+                state.perfFd[j] = -1;
+            }
+            return false;
+        }
+    }
+    state.perfOpen = true;
+    return true;
+}
+
+#endif // TEPIC_PROF_HAVE_PERF
+
+std::uint64_t
+threadCpuNs()
+{
+#if TEPIC_PROF_HAVE_SIGNALS
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return std::uint64_t(ts.tv_sec) * 1000000000ull +
+           std::uint64_t(ts.tv_nsec);
+#else
+    return 0;
+#endif
+}
+
+void
+readNow(ThreadState &state, Values &out)
+{
+    const std::uint64_t ns = threadCpuNs();
+    out[4] = ns;
+#if TEPIC_PROF_HAVE_PERF
+    if (state.perfOpen) {
+        // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+        std::uint64_t buf[1 + 4] = {};
+        const ssize_t got = ::read(state.perfFd[0], buf, sizeof(buf));
+        if (got >= ssize_t(sizeof(std::uint64_t) * 5) && buf[0] == 4) {
+            out[0] = buf[1];
+            out[1] = buf[2];
+            out[2] = buf[3];
+            out[3] = buf[4];
+            return;
+        }
+    }
+#else
+    (void)state;
+#endif
+    // Fallback: "cycles" is defined as thread-CPU nanoseconds so the
+    // tiling invariant is preserved; the other events read zero.
+    out[0] = ns;
+    out[1] = out[2] = out[3] = 0;
+}
+
+/** Decide the process-wide counter source on first use. */
+int
+perfMode(ThreadState &state)
+{
+    int mode = g_perfMode.load(std::memory_order_acquire);
+    if (mode < 0) {
+#if TEPIC_PROF_HAVE_PERF
+        const bool ok = openPerfGroup(state);
+        int expected = -1;
+        if (!g_perfMode.compare_exchange_strong(
+                expected, ok ? 1 : 0, std::memory_order_acq_rel)) {
+            // Raced with another thread's probe; defer to its verdict.
+            mode = expected;
+            if (ok && mode == 0) {
+                for (int &fd : state.perfFd) {
+                    if (fd >= 0)
+                        ::close(fd);
+                    fd = -1;
+                }
+                state.perfOpen = false;
+            }
+        } else {
+            mode = ok ? 1 : 0;
+            if (!ok) {
+                TEPIC_INFORM("profiler: perf_event_open unavailable "
+                             "(falling back to thread CPU time)");
+            }
+        }
+#else
+        (void)state;
+        g_perfMode.store(0, std::memory_order_release);
+        mode = 0;
+#endif
+    }
+    return mode;
+}
+
+struct ThreadHolder;
+ThreadState &threadState();
+
+/** Folds a dying thread's charges into the retired accumulators. */
+struct ThreadHolder
+{
+    ThreadState *state = nullptr;
+
+    ~ThreadHolder()
+    {
+        if (!state)
+            return;
+        auto &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            for (unsigned v = 0; v < kNumValues; ++v) {
+                reg.retiredSelf[p][v] += state->self[p][v].load(
+                    std::memory_order_relaxed);
+            }
+            reg.retiredEnters[p] +=
+                state->enters[p].load(std::memory_order_relaxed);
+        }
+        for (unsigned v = 0; v < kNumValues; ++v) {
+            reg.retiredTopLevel[v] += state->topLevel[v].load(
+                std::memory_order_relaxed);
+        }
+        if (reg.sessionThread == state)
+            reg.sessionThread = nullptr;
+        ThreadState **link = &reg.head;
+        while (*link && *link != state)
+            link = &(*link)->next;
+        if (*link)
+            *link = state->next;
+#if TEPIC_PROF_HAVE_PERF
+        for (int fd : state->perfFd)
+            if (fd >= 0)
+                ::close(fd);
+#endif
+        delete state;
+    }
+};
+
+ThreadState &
+threadState()
+{
+    static thread_local ThreadHolder holder;
+    if (!holder.state) {
+        auto *state = new ThreadState;
+#if TEPIC_PROF_HAVE_PERF
+        if (perfMode(*state) == 1 && !state->perfOpen)
+            openPerfGroup(*state);  // probe ran on another thread
+#else
+        perfMode(*state);
+#endif
+        auto &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        state->next = reg.head;
+        reg.head = state;
+        holder.state = state;
+    }
+    return *holder.state;
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler (SIGPROF ring buffer).
+
+#if TEPIC_PROF_HAVE_SIGNALS
+
+constexpr unsigned kMaxFrames = 48;
+constexpr unsigned kSampleCapacity = 1u << 14;
+/** Handler frames to drop: the handler itself + signal trampoline. */
+constexpr int kSkipFrames = 2;
+
+struct SampleSlot
+{
+    void *frames[kMaxFrames];
+    std::atomic<int> depth{0};  ///< 0 until fully written (release)
+};
+
+SampleSlot *g_slots = nullptr;
+std::atomic<bool> g_sampling{false};
+std::atomic<std::uint32_t> g_nextSlot{0};
+
+extern "C" void
+tepicProfSignalHandler(int)
+{
+    if (!g_sampling.load(std::memory_order_relaxed))
+        return;
+    const std::uint32_t idx =
+        g_nextSlot.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kSampleCapacity)
+        return;  // dropped; accounted at snapshot from g_nextSlot
+    SampleSlot &slot = g_slots[idx];
+    const int n = backtrace(slot.frames, kMaxFrames);
+    slot.depth.store(n, std::memory_order_release);
+}
+
+std::string
+symbolize(void *addr, std::map<void *, std::string> &cache)
+{
+    auto it = cache.find(addr);
+    if (it != cache.end())
+        return it->second;
+    std::string name;
+    Dl_info info;
+    if (dladdr(addr, &info) && info.dli_sname) {
+        int status = 0;
+        char *demangled = abi::__cxa_demangle(info.dli_sname, nullptr,
+                                              nullptr, &status);
+        name = status == 0 && demangled ? demangled : info.dli_sname;
+        std::free(demangled);
+        // ';' is the collapsed-stack frame separator.
+        for (char &c : name)
+            if (c == ';')
+                c = ':';
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "[%p]", addr);
+        name = buf;
+    }
+    cache.emplace(addr, name);
+    return name;
+}
+
+#endif // TEPIC_PROF_HAVE_SIGNALS
+
+std::pair<std::uint64_t, std::uint64_t>
+sampleCounts()
+{
+#if TEPIC_PROF_HAVE_SIGNALS
+    const std::uint64_t requested =
+        g_nextSlot.load(std::memory_order_relaxed);
+    const std::uint64_t taken =
+        requested < kSampleCapacity ? requested : kSampleCapacity;
+    return {taken, requested - taken};
+#else
+    return {0, 0};
+#endif
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ProfScope.
+
+ProfScope::ProfScope(Phase phase)
+{
+    ThreadState &state = threadState();
+    if (state.depth >= kMaxDepth)
+        return;
+    ThreadState::Frame &frame = state.stack[state.depth++];
+    frame.phase = phase;
+    std::memset(frame.child, 0, sizeof(frame.child));
+    readNow(state, frame.enter);
+    active_ = true;
+}
+
+ProfScope::~ProfScope()
+{
+    if (!active_)
+        return;
+    ThreadState &state = threadState();
+    ThreadState::Frame &frame = state.stack[--state.depth];
+    Values now;
+    readNow(state, now);
+    const unsigned p = unsigned(frame.phase);
+    for (unsigned v = 0; v < kNumValues; ++v) {
+        const std::uint64_t inclusive =
+            now[v] >= frame.enter[v] ? now[v] - frame.enter[v] : 0;
+        const std::uint64_t self = inclusive >= frame.child[v]
+                                       ? inclusive - frame.child[v]
+                                       : 0;
+        state.self[p][v].store(
+            state.self[p][v].load(std::memory_order_relaxed) + self,
+            std::memory_order_relaxed);
+        if (state.depth > 0) {
+            state.stack[state.depth - 1].child[v] += inclusive;
+        } else {
+            state.topLevel[v].store(
+                state.topLevel[v].load(std::memory_order_relaxed) +
+                    inclusive,
+                std::memory_order_relaxed);
+        }
+    }
+    state.enters[p].store(
+        state.enters[p].load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Session / snapshot / export.
+
+std::uint64_t
+threadCpuNowNs()
+{
+    return threadCpuNs();
+}
+
+void
+startSession()
+{
+    ThreadState &state = threadState();
+    auto &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sessionThread = &state;
+    readNow(state, reg.sessionStart);
+    for (unsigned v = 0; v < kNumValues; ++v) {
+        reg.sessionTopLevel[v] =
+            state.topLevel[v].load(std::memory_order_relaxed);
+    }
+}
+
+Snapshot
+snapshot()
+{
+    Snapshot snap;
+    snap.perfEvents = g_perfMode.load(std::memory_order_acquire) == 1;
+    auto &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+
+    std::uint64_t self[kNumPhases][kNumValues];
+    std::uint64_t enters[kNumPhases];
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        for (unsigned v = 0; v < kNumValues; ++v)
+            self[p][v] = reg.retiredSelf[p][v];
+        enters[p] = reg.retiredEnters[p];
+    }
+    for (ThreadState *state = reg.head; state; state = state->next) {
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            for (unsigned v = 0; v < kNumValues; ++v) {
+                self[p][v] += state->self[p][v].load(
+                    std::memory_order_relaxed);
+            }
+            enters[p] +=
+                state->enters[p].load(std::memory_order_relaxed);
+        }
+    }
+
+    // Phase::kOther: session-thread CPU time not inside any scope.
+    // Computable only from the session thread itself (thread CPU
+    // clocks are per-calling-thread); from elsewhere it stays 0.
+    if (reg.sessionThread && reg.sessionThread == &threadState()) {
+        Values now;
+        readNow(*reg.sessionThread, now);
+        for (unsigned v = 0; v < kNumValues; ++v) {
+            const std::uint64_t session =
+                now[v] >= reg.sessionStart[v]
+                    ? now[v] - reg.sessionStart[v]
+                    : 0;
+            const std::uint64_t scoped =
+                reg.sessionThread->topLevel[v].load(
+                    std::memory_order_relaxed) -
+                reg.sessionTopLevel[v];
+            self[unsigned(Phase::kOther)][v] +=
+                session >= scoped ? session - scoped : 0;
+        }
+    }
+
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        snap.phases[p].cycles = self[p][0];
+        snap.phases[p].instructions = self[p][1];
+        snap.phases[p].cacheMisses = self[p][2];
+        snap.phases[p].branchMisses = self[p][3];
+        snap.phases[p].cpuNs = self[p][4];
+        snap.phases[p].enters = enters[p];
+        snap.total.cycles += self[p][0];
+        snap.total.instructions += self[p][1];
+        snap.total.cacheMisses += self[p][2];
+        snap.total.branchMisses += self[p][3];
+        snap.total.cpuNs += self[p][4];
+        snap.total.enters += enters[p];
+    }
+    const auto [taken, dropped] = sampleCounts();
+    snap.samplesTaken = taken;
+    snap.samplesDropped = dropped;
+    return snap;
+}
+
+namespace {
+
+double
+phaseSeconds(const Snapshot &snap,
+             std::initializer_list<Phase> phases)
+{
+    std::uint64_t ns = 0;
+    for (Phase phase : phases)
+        ns += snap.phases[unsigned(phase)].cpuNs;
+    return double(ns) / 1e9;
+}
+
+void
+setThroughputGauge(MetricsRegistry &metrics, const char *gauge,
+                   std::uint64_t work, double seconds)
+{
+    if (work == 0)
+        return;  // bench never did this work: keep its key set lean
+    metrics.setGauge(gauge, seconds > 0.0 ? double(work) / seconds
+                                          : 0.0);
+}
+
+} // namespace
+
+void
+exportMetricsTo(MetricsRegistry &metrics)
+{
+    const Snapshot snap = snapshot();
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        const std::string prefix =
+            std::string("prof.") + phaseName(Phase(p)) + ".";
+        const PhaseCounters &c = snap.phases[p];
+        metrics.addRuntime(prefix + "cycles", c.cycles);
+        metrics.addRuntime(prefix + "instructions", c.instructions);
+        metrics.addRuntime(prefix + "cache_misses", c.cacheMisses);
+        metrics.addRuntime(prefix + "branch_misses", c.branchMisses);
+        metrics.addRuntime(prefix + "cpu_ns", c.cpuNs);
+        metrics.addRuntime(prefix + "enters", c.enters);
+    }
+    metrics.addRuntime("prof.total.cycles", snap.total.cycles);
+    metrics.addRuntime("prof.total.instructions",
+                       snap.total.instructions);
+    metrics.addRuntime("prof.total.cpu_ns", snap.total.cpuNs);
+
+    setThroughputGauge(
+        metrics, "prof.ops_encoded_per_sec",
+        metrics.counter("prof.work.ops_encoded"),
+        phaseSeconds(snap,
+                     {Phase::kBuildBase, Phase::kBuildByte,
+                      Phase::kBuildStream, Phase::kBuildFull,
+                      Phase::kBuildTailored, Phase::kBenchKernel}));
+    setThroughputGauge(metrics, "prof.blocks_simulated_per_sec",
+                       metrics.counter("prof.work.blocks_simulated"),
+                       phaseSeconds(snap, {Phase::kFetchSim}));
+    static const char *kFetchSchemes[] = {"base", "compressed",
+                                          "tailored"};
+    for (const char *scheme : kFetchSchemes) {
+        const std::string base = std::string("prof.fetch.") + scheme;
+        const std::uint64_t blocks =
+            metrics.counter("prof.work.fetch." + std::string(scheme) +
+                            ".blocks_simulated");
+        const double seconds =
+            double(metrics.runtime(base + ".cpu_ns")) / 1e9;
+        if (blocks > 0) {
+            metrics.setGauge(base + ".blocks_per_sec",
+                             seconds > 0.0 ? double(blocks) / seconds
+                                           : 0.0);
+        }
+    }
+    // Always present (0.0 without perf events) so the gauge key set
+    // does not depend on the host's perf_event_paranoid setting.
+    metrics.setGauge("prof.ipc_host",
+                     snap.perfEvents && snap.total.cycles > 0
+                         ? double(snap.total.instructions) /
+                               double(snap.total.cycles)
+                         : 0.0);
+}
+
+std::string
+reportJson(const std::string &name, const MetricsRegistry &metrics)
+{
+    const Snapshot snap = snapshot();
+    // Re-assert the tiling invariant the schema promises.
+    std::uint64_t sum = 0;
+    for (unsigned p = 0; p < kNumPhases; ++p)
+        sum += snap.phases[p].cycles;
+    TEPIC_ASSERT(sum == snap.total.cycles,
+                 "profiler phase tiling violated: ", sum, " vs ",
+                 snap.total.cycles);
+    return renderReport(name,
+                        snap.perfEvents ? "perf_event"
+                                        : "thread_cputime",
+                        snap, metrics);
+}
+
+bool
+writeReport(const std::string &path, const std::string &name,
+            const MetricsRegistry &metrics)
+{
+    return writeStringFile(path, reportJson(name, metrics),
+                           "prof report");
+}
+
+// ---------------------------------------------------------------------------
+// Sampling.
+
+bool
+startSampling(unsigned hz)
+{
+#if TEPIC_PROF_HAVE_SIGNALS
+    if (g_sampling.load(std::memory_order_relaxed))
+        return false;
+    if (hz < 1)
+        hz = 1;
+    if (hz > 10000)
+        hz = 10000;
+    if (!g_slots)
+        g_slots = new SampleSlot[kSampleCapacity];
+    for (unsigned i = 0; i < kSampleCapacity; ++i)
+        g_slots[i].depth.store(0, std::memory_order_relaxed);
+    g_nextSlot.store(0, std::memory_order_relaxed);
+
+    // Prime backtrace: its first call may allocate (libgcc load),
+    // which must not happen inside the signal handler.
+    void *prime[4];
+    backtrace(prime, 4);
+
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = tepicProfSignalHandler;
+    action.sa_flags = SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    if (sigaction(SIGPROF, &action, nullptr) != 0) {
+        TEPIC_WARN("profiler: sigaction(SIGPROF) failed");
+        return false;
+    }
+    g_sampling.store(true, std::memory_order_release);
+
+    itimerval timer;
+    timer.it_interval.tv_sec = 0;
+    timer.it_interval.tv_usec = long(1000000 / hz);
+    if (timer.it_interval.tv_usec == 0)
+        timer.it_interval.tv_usec = 1;
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+        g_sampling.store(false, std::memory_order_release);
+        TEPIC_WARN("profiler: setitimer(ITIMER_PROF) failed");
+        return false;
+    }
+    return true;
+#else
+    (void)hz;
+    return false;
+#endif
+}
+
+void
+stopSampling()
+{
+#if TEPIC_PROF_HAVE_SIGNALS
+    if (!g_sampling.load(std::memory_order_relaxed))
+        return;
+    itimerval timer = {};
+    setitimer(ITIMER_PROF, &timer, nullptr);
+    g_sampling.store(false, std::memory_order_release);
+#endif
+}
+
+std::string
+collapsedStacks()
+{
+#if TEPIC_PROF_HAVE_SIGNALS
+    const auto [taken, dropped] = sampleCounts();
+    (void)dropped;
+    std::map<void *, std::string> symbols;
+    std::map<std::string, std::uint64_t> folded;
+    for (std::uint64_t i = 0; i < taken; ++i) {
+        SampleSlot &slot = g_slots[i];
+        const int depth = slot.depth.load(std::memory_order_acquire);
+        if (depth <= kSkipFrames)
+            continue;  // incomplete slot or nothing below the handler
+        std::string stack;
+        // backtrace() is leaf-first; collapsed format is root-first.
+        for (int f = depth - 1; f >= kSkipFrames; --f) {
+            if (!stack.empty())
+                stack += ';';
+            stack += symbolize(slot.frames[f], symbols);
+        }
+        ++folded[stack];
+    }
+    std::string out;
+    for (const auto &[stack, count] : folded)
+        out += stack + " " + std::to_string(count) + "\n";
+    return out;
+#else
+    return {};
+#endif
+}
+
+bool
+writeCollapsed(const std::string &path)
+{
+    return writeStringFile(path, collapsedStacks(),
+                           "collapsed stacks");
+}
+
+void
+resetForTest()
+{
+    auto &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (ThreadState *state = reg.head; state; state = state->next) {
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            for (unsigned v = 0; v < kNumValues; ++v)
+                state->self[p][v].store(0, std::memory_order_relaxed);
+            state->enters[p].store(0, std::memory_order_relaxed);
+        }
+        for (unsigned v = 0; v < kNumValues; ++v)
+            state->topLevel[v].store(0, std::memory_order_relaxed);
+    }
+    std::memset(reg.retiredSelf, 0, sizeof(reg.retiredSelf));
+    std::memset(reg.retiredEnters, 0, sizeof(reg.retiredEnters));
+    std::memset(reg.retiredTopLevel, 0, sizeof(reg.retiredTopLevel));
+    reg.sessionThread = nullptr;
+#if TEPIC_PROF_HAVE_SIGNALS
+    g_nextSlot.store(0, std::memory_order_relaxed);
+#endif
+}
+
+#else // !TEPIC_PROFILING_ENABLED
+
+std::string
+reportJson(const std::string &name, const MetricsRegistry &metrics)
+{
+    return renderReport(name, "disabled", Snapshot{}, metrics);
+}
+
+bool
+writeReport(const std::string &path, const std::string &name,
+            const MetricsRegistry &metrics)
+{
+    return writeStringFile(path, reportJson(name, metrics),
+                           "prof report");
+}
+
+#endif // TEPIC_PROFILING_ENABLED
+
+} // namespace tepic::support::prof

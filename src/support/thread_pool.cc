@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "support/logging.hh"
+#include "support/profiler.hh"
 #include "support/trace.hh"
 
 namespace tepic::support {
@@ -73,6 +74,10 @@ ThreadPool::workerLoop()
             std::memory_order_relaxed);
         {
             TEPIC_TRACE_SPAN("pool.task", "pool");
+            // Worker-side charge: jobs re-scope themselves (e.g. the
+            // engine's kBuild* phases), so only the residue between
+            // pickup and the job's own scopes lands in kWorker.
+            prof::ProfScope prof_scope(prof::Phase::kWorker);
             job.fn();  // packaged_task captures any exception
         }
         execNanos_.fetch_add(

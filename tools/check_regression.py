@@ -12,7 +12,12 @@ the same name from the fresh directory and compares:
               any drift is a functional change, not noise)
   histograms  exact (same contract)
   gauges      equal within a tiny relative epsilon (1e-9), guarding
-              only against cross-platform float formatting
+              only against cross-platform float formatting.
+              Exception: "prof." gauges are host throughput
+              (ops/sec on this machine) — key sets must still match,
+              but values are gated with the --time-band ratio like
+              timings (skipped when either side is 0, i.e. one run
+              had no perf/cpu-time source)
   timings     key sets must match; with --time-band F, each fresh
               sum must be within [sum/F, sum*F] of the baseline
               (wall-clock noise band; omit to skip the ratio check)
@@ -77,7 +82,21 @@ def compare_file(name, baseline, fresh, time_band):
             else "new in fresh run"
         drifts.append(f"{name}: gauges['{key}'] {where}")
     for key in sorted(set(base_g) & set(new_g)):
-        if not gauges_equal(base_g[key], new_g[key]):
+        if key.startswith("prof."):
+            # Host throughput: band-gated like wall-clock, and only
+            # when both runs actually measured something.
+            if time_band is None:
+                continue
+            base_v, new_v = base_g[key], new_g[key]
+            if base_v <= 0.0 or new_v <= 0.0:
+                continue
+            ratio = new_v / base_v
+            if ratio > time_band or ratio < 1.0 / time_band:
+                drifts.append(
+                    f"{name}: gauges['{key}'] outside the "
+                    f"x{time_band:g} throughput band: baseline "
+                    f"{base_v:g} -> fresh {new_v:g} (x{ratio:.2f})")
+        elif not gauges_equal(base_g[key], new_g[key]):
             drifts.append(f"{name}: gauges['{key}'] drifted: "
                           f"baseline {base_g[key]} -> fresh "
                           f"{new_g[key]}")

@@ -19,9 +19,14 @@ ranked tables so the top-ranked row is always the most specific leaf
 (the responsible field), not the total it rolls up into.
 
 --append-trend FILE appends one JSON line to FILE (created if absent)
-recording the NEW side's headline totals: label, UTC timestamp, and
-per-scheme total_bits. Run it after every bench sweep to maintain
-bench/trend.jsonl.
+recording the NEW side's headline totals: label, UTC timestamp,
+per-scheme total_bits, and the host-throughput gauges ("prof."
+gauges, averaged across the snapshots that report them). Run it after
+every bench sweep to maintain bench/trend.jsonl.
+
+"prof." gauges are host throughput rates (wall-clock data): they are
+excluded from the diff/ranking itself — a machine being 5% faster is
+not a snapshot difference — and only harvested for the trend log.
 
 Exit codes: 0 = snapshots identical, 1 = differences found,
 2 = usage/IO error. Only the standard library is used.
@@ -87,6 +92,10 @@ def flatten_metrics(doc):
     for key, value in doc.get("counters", {}).items():
         flat[f"counter {key}"] = value
     for key, value in doc.get("gauges", {}).items():
+        # Host throughput is wall-clock data, not a diffable metric;
+        # collect() harvests it separately for --append-trend.
+        if key.startswith("prof."):
+            continue
         flat[f"gauge {key}"] = value
     for key, hist in doc.get("histograms", {}).items():
         flat[f"hist {key}.total"] = hist.get("total", 0)
@@ -229,16 +238,25 @@ def headline_totals(flat):
     return totals
 
 
-def append_trend(trend_path, label, new_flats):
+def append_trend(trend_path, label, new_flats, new_throughput):
     totals = {}
     for flat in new_flats.values():
         for scheme, bits in headline_totals(flat).items():
             totals[scheme] = totals.get(scheme, 0) + bits
+    # Mean across the snapshots that measured each rate (a binary
+    # that did no fetch work reports no fetch gauge at all).
+    rates = {}
+    for gauges in new_throughput.values():
+        for key, value in gauges.items():
+            if value > 0:
+                rates.setdefault(key, []).append(value)
     record = {
         "timestamp": datetime.datetime.now(datetime.timezone.utc)
                      .isoformat(timespec="seconds"),
         "label": label,
         "total_bits": dict(sorted(totals.items())),
+        "throughput": {key: round(sum(vs) / len(vs), 3)
+                       for key, vs in sorted(rates.items())},
     }
     try:
         with open(trend_path, "a") as f:
@@ -257,19 +275,32 @@ def snapshot_names(directory):
                   and n.endswith(".json"))
 
 
+def throughput_gauges(doc):
+    """The snapshot's prof.* gauges (empty for size reports)."""
+    if doc.get("schema") != METRICS_SCHEMA:
+        return {}
+    return {k: v for k, v in doc.get("gauges", {}).items()
+            if k.startswith("prof.")}
+
+
 def collect(path):
-    """{display name: flattened snapshot} for a file or directory."""
+    """({name: flat}, {name: prof gauges}) for a file or directory."""
     if os.path.isdir(path):
-        flats = {}
+        flats, rates = {}, {}
         for name in snapshot_names(path):
             full = os.path.join(path, name)
-            flats[name] = flatten(full, load(full))
+            doc = load(full)
+            flats[name] = flatten(full, doc)
+            rates[name] = throughput_gauges(doc)
         if not flats:
             usage_error(f"no BENCH_*.json or SIZE_*.json in '{path}'")
-        return flats
+        return flats, rates
     if not os.path.exists(path):
         usage_error(f"'{path}' not found")
-    return {os.path.basename(path): flatten(path, load(path))}
+    doc = load(path)
+    name = os.path.basename(path)
+    return ({name: flatten(path, doc)},
+            {name: throughput_gauges(doc)})
 
 
 def main(argv):
@@ -297,8 +328,8 @@ def main(argv):
     if args.top <= 0:
         usage_error("--top must be > 0")
 
-    old_flats = collect(args.old)
-    new_flats = collect(args.new)
+    old_flats, _ = collect(args.old)
+    new_flats, new_throughput = collect(args.new)
 
     lines = [f"# tepic_diff: `{args.old}` -> `{args.new}`", ""]
     diff_count = 0
@@ -340,7 +371,8 @@ def main(argv):
     if args.append_trend:
         label = args.label or os.path.basename(
             os.path.abspath(args.new))
-        record = append_trend(args.append_trend, label, new_flats)
+        record = append_trend(args.append_trend, label, new_flats,
+                              new_throughput)
         print(f"tepic_diff: appended trend record for "
               f"'{record['label']}' to {args.append_trend}",
               file=sys.stderr)

@@ -36,6 +36,7 @@
 #include "decoder/complexity.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/profiler.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
 #include "workloads/workload.hh"
@@ -54,6 +55,9 @@ usage()
         "  workloads\n"
         "flags: --no-pgo, -O0, --trace=<file>, --metrics=<file>,\n"
         "       --size-report=<file> (compress|fetch|verify|verilog),\n"
+        "       --prof-report=<file> (host-profile rollup, schema "
+        "tepic-prof-v1),\n"
+        "       --prof-collapse=<file> (FlameGraph collapsed stacks),\n"
         "       --log-level=debug|info|warn|error|none (overrides "
         "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
@@ -85,6 +89,8 @@ struct Options
     std::string tracePath;
     std::string metricsPath;
     std::string sizeReportPath;
+    std::string profReportPath;
+    std::string profCollapsePath;
     std::vector<std::string> positional;
 };
 
@@ -123,6 +129,10 @@ parseArgs(int argc, char **argv)
             opts.metricsPath = argv[i] + 10;
         else if (std::strncmp(argv[i], "--size-report=", 14) == 0)
             opts.sizeReportPath = argv[i] + 14;
+        else if (std::strncmp(argv[i], "--prof-report=", 14) == 0)
+            opts.profReportPath = argv[i] + 14;
+        else if (std::strncmp(argv[i], "--prof-collapse=", 16) == 0)
+            opts.profCollapsePath = argv[i] + 16;
         else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
             const char *level = argv[i] + 12;
             if (!support::isLogLevelName(level)) {
@@ -134,6 +144,14 @@ parseArgs(int argc, char **argv)
             }
             // CLI takes precedence over the TEPIC_LOG env filter.
             support::setLogThreshold(support::parseLogLevel(level));
+        } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+            // A typo'd flag would otherwise be taken for a <prog>
+            // positional and fail with a confusing "not a workload
+            // or file" error — name the bad flag instead.
+            std::fprintf(stderr, "tepicc: unknown flag '%s'\n",
+                         argv[i]);
+            usage();
+            std::exit(2);
         } else
             opts.positional.push_back(argv[i]);
     }
@@ -396,10 +414,20 @@ finalizeObservability(const Options &opts)
                                        g_lastBuild.artifacts.get()}});
         }
     }
-    if (!opts.metricsPath.empty()) {
+    if (!opts.metricsPath.empty() || !opts.profReportPath.empty()) {
         auto &metrics = support::MetricsRegistry::global();
         core::ArtifactEngine::global().exportMetrics(metrics);
-        metrics.writeJsonFile(opts.metricsPath);
+        support::prof::exportMetricsTo(metrics);
+        if (!opts.profReportPath.empty()) {
+            support::prof::writeReport(opts.profReportPath, "tepicc",
+                                       metrics);
+        }
+        if (!opts.metricsPath.empty())
+            metrics.writeJsonFile(opts.metricsPath);
+    }
+    if (!opts.profCollapsePath.empty()) {
+        support::prof::stopSampling();
+        support::prof::writeCollapsed(opts.profCollapsePath);
     }
     if (!opts.tracePath.empty())
         support::trace::stop();
@@ -424,6 +452,9 @@ main(int argc, char **argv)
     if (opts.positional.size() < 2)
         return usage();
 
+    support::prof::startSession();
+    if (!opts.profCollapsePath.empty())
+        support::prof::startSampling();
     if (!opts.tracePath.empty())
         support::trace::start(opts.tracePath);
     const int status = dispatch(cmd, opts);

@@ -106,6 +106,48 @@ class CheckRegressionTest(TempDirs):
         self.assertEqual(result.returncode, 1)
         self.assertIn("noise band", result.stderr)
 
+    def test_prof_gauge_noise_within_band_passes(self):
+        doc = bench_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0
+        self.write(self.baseline, "BENCH_x.json", doc)
+        doc = bench_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 750000.0
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_prof_gauge_outside_band_fails(self):
+        doc = bench_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0
+        self.write(self.baseline, "BENCH_x.json", doc)
+        doc = bench_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 2000.0
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("throughput band", result.stderr)
+
+    def test_prof_gauge_zero_side_skipped(self):
+        # One run without a perf/cpu-time source reports 0 — never a
+        # regression by itself.
+        doc = bench_doc()
+        doc["gauges"]["prof.ipc_host"] = 0.0
+        self.write(self.baseline, "BENCH_x.json", doc)
+        doc = bench_doc()
+        doc["gauges"]["prof.ipc_host"] = 1.7
+        self.write(self.fresh, "BENCH_x.json", doc)
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_prof_gauge_key_set_still_gated(self):
+        doc = bench_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0
+        self.write(self.baseline, "BENCH_x.json", doc)
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        result = self.run_check("--time-band", "100")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("missing from fresh", result.stderr)
+
     def test_empty_baseline_dir_is_usage_error(self):
         result = self.run_check()
         self.assertEqual(result.returncode, 2)

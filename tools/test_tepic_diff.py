@@ -174,6 +174,32 @@ class TepicDiffTest(TempDirs):
         self.assertEqual(records[0]["total_bits"]["base"], 5840)
         self.assertIn("timestamp", records[0])
 
+    def test_prof_gauges_excluded_from_diff_but_in_trend(self):
+        doc = metrics_doc()
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0
+        doc["gauges"]["prof.fetch.base.blocks_per_sec"] = 1.0e7
+        doc["gauges"]["prof.ipc_host"] = 0.0
+        a = self.write(self.old_dir, "BENCH_x.json", doc)
+        doc = metrics_doc()
+        # A faster machine is not a snapshot difference...
+        doc["gauges"]["prof.ops_encoded_per_sec"] = 900000.0
+        doc["gauges"]["prof.fetch.base.blocks_per_sec"] = 2.0e7
+        doc["gauges"]["prof.ipc_host"] = 0.0
+        b = self.write(self.new_dir, "BENCH_x.json", doc)
+        trend = os.path.join(self.new_dir, "trend.jsonl")
+        result = self.run_diff(a, b, "--append-trend", trend,
+                               "--label", "run1")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("identical", result.stdout)
+        # ...but the trend log carries the throughput history
+        # (zero-valued gauges — no measurement source — excluded).
+        with open(trend) as f:
+            record = json.loads(f.readline())
+        self.assertEqual(record["throughput"], {
+            "prof.fetch.base.blocks_per_sec": 2.0e7,
+            "prof.ops_encoded_per_sec": 900000.0,
+        })
+
     def test_out_file_and_missing_input_usage_error(self):
         a = self.write(self.old_dir, "BENCH_x.json", metrics_doc())
         out = os.path.join(self.new_dir, "report.md")

@@ -75,6 +75,22 @@ class ValidateMetricsTest(unittest.TestCase):
         result = self.run_tool("--compare", path_a, path_b)
         self.assertEqual(result.returncode, 0, result.stderr)
 
+    def test_compare_masks_prof_gauge_values_not_keys(self):
+        doc_a = valid_doc()
+        doc_a["gauges"]["prof.blocks_simulated_per_sec"] = 1.0e7
+        doc_b = valid_doc()
+        doc_b["gauges"]["prof.blocks_simulated_per_sec"] = 2.5e7
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        # ...but a prof gauge present on only one side is key-set
+        # drift, which stays fatal.
+        doc_b = valid_doc()
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("gauges", result.stderr)
+
     def test_compare_counter_drift_rejected(self):
         doc = valid_doc()
         doc["counters"]["a.b"] = 4

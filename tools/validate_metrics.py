@@ -14,7 +14,13 @@ Usage:
                                          determinism contract; the
                                          timings and runtime sections
                                          are wall-clock/environment
-                                         data and excluded
+                                         data and excluded. "prof."
+                                         gauges (host throughput) are
+                                         compared by key set only:
+                                         their values are wall-clock
+                                         rates, but which gauges a
+                                         binary emits is part of the
+                                         contract
 
 Exits non-zero with a diagnostic on the first violation. Only the
 standard library is used.
@@ -90,16 +96,31 @@ def check_trace(path, doc):
     print(f"validate_metrics: {path}: ok ({len(events)} trace events)")
 
 
+def comparable_section(doc, section):
+    """The section with env-dependent values masked out.
+
+    prof.* gauges are host throughput rates: the key set is part of
+    the determinism contract (it must not depend on --jobs), the
+    values are wall-clock data and compared as mere presence.
+    """
+    if section != "gauges":
+        return doc[section]
+    return {k: (None if k.startswith("prof.") else v)
+            for k, v in doc[section].items()}
+
+
 def compare(path_a, path_b):
     a, b = load(path_a), load(path_b)
     check_metrics(path_a, a)
     check_metrics(path_b, b)
     for section in DETERMINISTIC_SECTIONS:
-        if a[section] != b[section]:
-            only_a = set(a[section]) - set(b[section])
-            only_b = set(b[section]) - set(a[section])
-            diff = {k for k in set(a[section]) & set(b[section])
-                    if a[section][k] != b[section][k]}
+        sec_a = comparable_section(a, section)
+        sec_b = comparable_section(b, section)
+        if sec_a != sec_b:
+            only_a = set(sec_a) - set(sec_b)
+            only_b = set(sec_b) - set(sec_a)
+            diff = {k for k in set(sec_a) & set(sec_b)
+                    if sec_a[k] != sec_b[k]}
             fail(f"deterministic section '{section}' differs: "
                  f"only in {path_a}: {sorted(only_a)}; "
                  f"only in {path_b}: {sorted(only_b)}; "
