@@ -14,6 +14,7 @@
 
 #include "common.hh"
 
+#include "codec/codec.hh"
 #include "decoder/complexity.hh"
 
 namespace {
@@ -93,17 +94,11 @@ printFigure10()
                     "m bits"});
     auto row = [&](const std::string &name,
                    const schemes::CompressedImage &img) {
-        unsigned max_n = 0;
-        std::size_t k = 0;
-        unsigned max_m = 0;
-        for (std::size_t t = 0; t < img.tables.size(); ++t) {
-            max_n = std::max(max_n, img.tables[t].maxCodeLength());
-            k += img.tables[t].size();
-            max_m = std::max(max_m, img.symbolBits[t]);
-        }
-        dict.addRow({name, std::to_string(img.tables.size()),
-                     std::to_string(max_n), std::to_string(k),
-                     std::to_string(max_m)});
+        const codec::DictionaryShape shape = codec::describeShape(img);
+        dict.addRow({name, std::to_string(shape.tables),
+                     std::to_string(shape.maxCodeLength),
+                     std::to_string(shape.entries),
+                     std::to_string(shape.maxSymbolBits)});
     };
     row("byte", gcc.byteImage());
     row("stream_1", gcc.streamImage(gcc.bestStreamBySize()));

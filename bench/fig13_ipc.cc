@@ -205,4 +205,5 @@ TEPIC_BENCH_MAIN(printFigure13,
                      tepic::core::ArtifactKind::kBase,
                      tepic::core::ArtifactKind::kFull,
                      tepic::core::ArtifactKind::kTailored,
-                     tepic::core::ArtifactKind::kTrace}))
+                     tepic::core::ArtifactKind::kTrace,
+                     tepic::core::ArtifactKind::kDecoder}))

@@ -88,4 +88,5 @@ TEPIC_BENCH_MAIN(printFigure14,
                      tepic::core::ArtifactKind::kBase,
                      tepic::core::ArtifactKind::kFull,
                      tepic::core::ArtifactKind::kTailored,
-                     tepic::core::ArtifactKind::kTrace}))
+                     tepic::core::ArtifactKind::kTrace,
+                     tepic::core::ArtifactKind::kDecoder}))

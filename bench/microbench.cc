@@ -10,6 +10,7 @@
 
 #include "common.hh"
 
+#include "codec/codec.hh"
 #include "compiler/driver.hh"
 #include "fetch/att.hh"
 #include "fetch/banked_cache.hh"
@@ -95,14 +96,34 @@ BM_HuffmanDecode(benchmark::State &state)
         table.encode(rng.below(500), w);
     for (auto _ : state) {
         support::BitReader r(w.bytes().data(), w.bitSize());
-        std::uint64_t acc = 0;
-        for (int i = 0; i < 10000; ++i)
-            acc ^= table.decode(r);
-        benchmark::DoNotOptimize(acc);
+        benchmark::DoNotOptimize(
+            codec::decodeChecksum(table, r, 10000));
     }
     state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_HuffmanDecode);
+
+/**
+ * The pre-LUT per-bit canonical walk, kept as a measurable reference:
+ * the BM_HuffmanDecode / BM_HuffmanDecodeReference ratio is the
+ * observable win of the first-level lookup table.
+ */
+void
+BM_HuffmanDecodeReference(benchmark::State &state)
+{
+    const auto &table = sampleTable();
+    support::Rng rng(2);
+    support::BitWriter w;
+    for (int i = 0; i < 10000; ++i)
+        table.encode(rng.below(500), w);
+    for (auto _ : state) {
+        support::BitReader r(w.bytes().data(), w.bitSize());
+        benchmark::DoNotOptimize(
+            codec::decodeChecksumReference(table, r, 10000));
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_HuffmanDecodeReference);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -175,10 +196,16 @@ recordMicroSentinels()
     for (int i = 0; i < 10000; ++i)
         table.encode(rng.below(500), hw);
     m.addCounter("micro.huffman.encoded_bits", hw.bitSize());
+    // The production (LUT) decoder and the canonical-walk reference
+    // must agree symbol-for-symbol; the sentinel below is the LUT
+    // path's checksum and the reference run re-derives it exactly.
     support::BitReader r(hw.bytes().data(), hw.bitSize());
-    std::uint64_t checksum = 0;
-    for (int i = 0; i < 10000; ++i)
-        checksum ^= table.decode(r) + i;
+    const std::uint64_t checksum =
+        codec::decodeChecksum(table, r, 10000);
+    support::BitReader ref_reader(hw.bytes().data(), hw.bitSize());
+    TEPIC_ASSERT(codec::decodeChecksumReference(table, ref_reader,
+                                                10000) == checksum,
+                 "LUT decode diverged from the canonical reference");
     m.addCounter("micro.huffman.decode_checksum", checksum);
 
     fetch::BankedCache cache(fetch::CacheConfig::paperCompressed());

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "decoder/complexity.hh"
 #include "huffman/huffman.hh"
@@ -59,7 +60,16 @@ main(int argc, char **argv)
     const std::string source =
         loadSource(argc > 1 ? argv[1] : "compress");
 
-    const auto artifacts = tepic::core::buildArtifacts(source);
+    // A size study needs every image but no trace: ask for exactly
+    // that instead of the build-everything wrapper.
+    using tepic::core::ArtifactKind;
+    const auto built = tepic::core::ArtifactEngine::global().build(
+        source,
+        tepic::core::ArtifactRequest{
+            ArtifactKind::kBase, ArtifactKind::kByte,
+            ArtifactKind::kStream, ArtifactKind::kFull,
+            ArtifactKind::kTailored});
+    const auto &artifacts = *built;
     tepic::core::verifyRoundTrips(artifacts);
 
     const auto &program = artifacts.compiled.program;

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "support/table.hh"
 #include "workloads/workload.hh"
@@ -38,7 +39,17 @@ main(int argc, char **argv)
     std::printf("workload: %s — %s\n", workload.name.c_str(),
                 workload.description.c_str());
 
-    const auto artifacts = tepic::core::buildArtifacts(workload.source);
+    // The fetch study needs the three organisation images, the block
+    // trace, and the memoized decoders runFetch replays blocks from —
+    // not the byte/stream alphabets buildArtifacts() would also pay.
+    using tepic::core::ArtifactKind;
+    const auto built = tepic::core::ArtifactEngine::global().build(
+        workload.source,
+        tepic::core::ArtifactRequest{
+            ArtifactKind::kBase, ArtifactKind::kFull,
+            ArtifactKind::kTailored, ArtifactKind::kTrace,
+            ArtifactKind::kDecoder});
+    const auto &artifacts = *built;
     std::printf("trace: %zu block fetches, %lu dynamic ops\n\n",
                 artifacts.execution.trace.events.size(),
                 (unsigned long)artifacts.execution.dynamicOps);

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The unified decode interface and the decoded-block cache.
+ *
+ * Every encoding scheme in the study (baseline 40-bit, the Huffman
+ * alphabets, the tailored ISA, the dictionary scheme) decodes a block
+ * of an encoded isa::Image back into its Operation vector. Before
+ * this interface existed each consumer reached into per-scheme decode
+ * internals (CodeTable::decode, ad-hoc tailored/dictionary readers);
+ * codec::Decoder is the one seam they all go through now. Concrete
+ * implementations live next to their encoders in src/schemes/ (and
+ * src/codec/codec.cc for the baseline); see codec/codec.hh for the
+ * factories.
+ *
+ * This header is deliberately header-only and depends on nothing
+ * above src/isa, so the fetch simulator can hold a DecodedBlockCache
+ * pointer without a link-time dependency on the scheme libraries.
+ *
+ * DecodedBlockCache is the host-side decode accelerator of the
+ * "raw speed" roadmap era: static code means a block's decoded form
+ * never changes during a simulation, so each block is decoded once on
+ * first touch and replayed from the cache for the other ~10^5
+ * dynamic executions. The cache is keyed by construction: one cache
+ * wraps one Decoder, which fingerprints (scheme, image content), and
+ * block ids index it directly. It cannot perturb architectural
+ * metrics — cycle accounting, L0/ATB state and bus bit-flips are
+ * computed from the image metadata and trace, never from the decoded
+ * operations (DESIGN.md §10).
+ */
+
+#ifndef TEPIC_CODEC_DECODER_HH
+#define TEPIC_CODEC_DECODER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/image.hh"
+#include "isa/operation.hh"
+#include "isa/program.hh"
+#include "support/logging.hh"
+
+namespace tepic::codec {
+
+/** FNV-1a over an image's identity: scheme name + packed bytes. */
+inline std::uint64_t
+imageFingerprint(const isa::Image &image)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    auto mix = [&hash](std::uint8_t byte) {
+        hash ^= byte;
+        hash *= 1099511628211ull;
+    };
+    for (char c : image.scheme)
+        mix(std::uint8_t(c));
+    for (std::size_t shift = 0; shift < 64; shift += 8)
+        mix(std::uint8_t(image.bitSize >> shift));
+    for (std::uint8_t byte : image.bytes)
+        mix(byte);
+    return hash;
+}
+
+/**
+ * Decodes blocks of one encoded image. Implementations are immutable
+ * views over the image (plus whatever tables the scheme needs) and
+ * are safe to share across threads for const use.
+ */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /** Scheme label of the decoded image (e.g. "base", "huff-full"). */
+    virtual const char *name() const = 0;
+
+    /** Number of static blocks in the image. */
+    virtual std::size_t blockCount() const = 0;
+
+    /**
+     * Identity of (scheme, image content) — the cache key part that
+     * is not the block id. Two decoders over bit-identical images of
+     * the same scheme agree; any content change disagrees.
+     */
+    virtual std::uint64_t fingerprint() const = 0;
+
+    /** Decode block @p id into @p out (cleared first). */
+    virtual void decodeBlockInto(isa::BlockId id,
+                                 std::vector<isa::Operation> &out)
+        const = 0;
+
+    /** Convenience: decode one block into a fresh vector. */
+    std::vector<isa::Operation>
+    decodeBlock(isa::BlockId id) const
+    {
+        std::vector<isa::Operation> ops;
+        decodeBlockInto(id, ops);
+        return ops;
+    }
+
+    /** Convenience: decode the whole image, one vector per block. */
+    std::vector<std::vector<isa::Operation>>
+    decodeAll() const
+    {
+        std::vector<std::vector<isa::Operation>> blocks;
+        blocks.resize(blockCount());
+        for (std::size_t id = 0; id < blocks.size(); ++id)
+            decodeBlockInto(isa::BlockId(id), blocks[id]);
+        return blocks;
+    }
+};
+
+/**
+ * Decode-once-replay-forever cache over one Decoder.
+ *
+ * ops(id) decodes the block on first touch and returns a reference
+ * that stays valid for the cache's lifetime (storage is sized at
+ * construction; entries are never evicted — static code is small).
+ * Hit/miss/ops-decoded counters are deterministic given the access
+ * sequence and are exported as the codec.* metrics.
+ */
+class DecodedBlockCache
+{
+  public:
+    explicit DecodedBlockCache(const Decoder &decoder)
+        : decoder_(&decoder), fingerprint_(decoder.fingerprint()),
+          blocks_(decoder.blockCount()),
+          decoded_(decoder.blockCount(), 0)
+    {
+    }
+
+    /** Decoded operations of @p id; decodes on the first touch. */
+    const std::vector<isa::Operation> &
+    ops(isa::BlockId id)
+    {
+        TEPIC_ASSERT(id < blocks_.size(),
+                     "block id out of range: ", id);
+        if (decoded_[id]) {
+            ++hits_;
+            return blocks_[id];
+        }
+        ++misses_;
+        decoder_->decodeBlockInto(id, blocks_[id]);
+        opsDecoded_ += blocks_[id].size();
+        decoded_[id] = 1;
+        return blocks_[id];
+    }
+
+    /** The decoder this cache replays (identity == cache key). */
+    const Decoder &decoder() const { return *decoder_; }
+
+    /** Cached copy of decoder().fingerprint(). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Accesses served from already-decoded blocks. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** First-touch accesses that ran the scheme decoder. */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Operations decoded across all first touches. */
+    std::uint64_t opsDecoded() const { return opsDecoded_; }
+
+    /** Static block capacity (== decoder().blockCount()). */
+    std::size_t size() const { return blocks_.size(); }
+
+  private:
+    const Decoder *decoder_;
+    std::uint64_t fingerprint_;
+    std::vector<std::vector<isa::Operation>> blocks_;
+    std::vector<std::uint8_t> decoded_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t opsDecoded_ = 0;
+};
+
+} // namespace tepic::codec
+
+#endif // TEPIC_CODEC_DECODER_HH

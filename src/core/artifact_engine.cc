@@ -23,6 +23,7 @@ artifactKindName(ArtifactKind kind)
       case ArtifactKind::kTailored: return "tailored";
       case ArtifactKind::kAtt: return "att";
       case ArtifactKind::kTrace: return "trace";
+      case ArtifactKind::kDecoder: return "decoder";
     }
     TEPIC_PANIC("bad artifact kind");
 }
@@ -71,7 +72,8 @@ ArtifactRequest::parse(const std::string &csv)
         if (!known) {
             TEPIC_FATAL("unknown artifact kind '", name,
                         "' (expected base, byte, stream, full, "
-                        "tailored, att, trace, all or none)");
+                        "tailored, att, trace, decoder, all or "
+                        "none)");
         }
     }
     return request;
@@ -331,6 +333,24 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
             attBuilds_.fetch_add(1, std::memory_order_relaxed);
         });
     }
+    if (request.has(ArtifactKind::kDecoder)) {
+        // Third phase alongside the ATT: the decoders reference the
+        // base/full/tailored images written in phase 2. Pre-warming
+        // here fills the memoized slots at the published object's
+        // final heap address, so consumers never pay construction
+        // inside a timed fetch window (and concurrent readers of a
+        // shared Artifacts see fully-built decoders).
+        att_tasks.push_back([this, &a] {
+            TEPIC_TRACE_SPAN("engine.build.decoder", "engine");
+            support::ScopedTimerMs timer(
+                support::MetricsRegistry::global(),
+                "engine.build.decoder_ms");
+            a.decoder(fetch::SchemeClass::kBase);
+            a.decoder(fetch::SchemeClass::kCompressed);
+            a.decoder(fetch::SchemeClass::kTailored);
+            decoderBuilds_.fetch_add(3, std::memory_order_relaxed);
+        });
+    }
 }
 
 void
@@ -537,6 +557,7 @@ ArtifactEngine::stats() const
     s.tailoredImages =
         tailoredImages_.load(std::memory_order_relaxed);
     s.attBuilds = attBuilds_.load(std::memory_order_relaxed);
+    s.decoderBuilds = decoderBuilds_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -554,6 +575,7 @@ ArtifactEngine::exportMetrics(support::MetricsRegistry &out) const
     out.addCounter("engine.images.full", s.fullImages);
     out.addCounter("engine.images.tailored", s.tailoredImages);
     out.addCounter("engine.att_builds", s.attBuilds);
+    out.addCounter("engine.decoder_builds", s.decoderBuilds);
     if (pool_) {
         const support::PoolStats pool = pool_->stats();
         out.addRuntime("threadpool.workers", pool_->threadCount());

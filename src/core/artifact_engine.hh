@@ -71,6 +71,7 @@ struct EngineStats
     std::uint64_t fullImages = 0;
     std::uint64_t tailoredImages = 0;
     std::uint64_t attBuilds = 0;
+    std::uint64_t decoderBuilds = 0;  ///< pre-warmed codec::Decoders
 
     /** Total Huffman-family images built (byte + stream + full). */
     std::uint64_t
@@ -190,6 +191,7 @@ class ArtifactEngine
     std::atomic<std::uint64_t> fullImages_{0};
     std::atomic<std::uint64_t> tailoredImages_{0};
     std::atomic<std::uint64_t> attBuilds_{0};
+    std::atomic<std::uint64_t> decoderBuilds_{0};
 };
 
 /** Content hash of (source, config): the engine's cache key. */

@@ -22,10 +22,13 @@
 #ifndef TEPIC_CORE_PIPELINE_HH
 #define TEPIC_CORE_PIPELINE_HH
 
+#include <array>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "codec/codec.hh"
 #include "compiler/driver.hh"
 #include "core/artifact_request.hh"
 #include "fetch/att.hh"
@@ -72,6 +75,13 @@ struct Artifacts
     const fetch::Att &att() const;   ///< ATT over the Full image
     const sim::BlockTrace &trace() const;
 
+    /**
+     * The memoized codec::Decoder for one of the three fetch
+     * organisations (requires kDecoder in the request). The decoder
+     * references the images held by this Artifacts object.
+     */
+    const codec::Decoder &decoder(fetch::SchemeClass scheme) const;
+
     /** Compression ratio of @p image vs the baseline code segment. */
     double
     ratio(const isa::Image &image) const
@@ -97,6 +107,36 @@ struct Artifacts
     std::optional<schemes::TailoredIsa> tailoredIsa_;
     std::optional<isa::Image> tailoredImage_;
     std::optional<fetch::Att> att_;
+
+    /**
+     * Memoized per-scheme decoders, indexed by SchemeClass. The
+     * decoders point into the sibling image members, so a cached
+     * decoder must not outlive a move/copy of this object: the
+     * wrapper drops the cache on both (decoder() rebuilds lazily at
+     * the object's final address; the engine pre-warms cache entries,
+     * whose heap address is stable, before publishing them).
+     */
+    struct DecoderSlots
+    {
+        mutable std::array<std::unique_ptr<const codec::Decoder>, 3>
+            byScheme;
+        DecoderSlots() = default;
+        DecoderSlots(DecoderSlots &&) noexcept {}
+        DecoderSlots(const DecoderSlots &) noexcept {}
+        DecoderSlots &
+        operator=(DecoderSlots &&) noexcept
+        {
+            byScheme = {};
+            return *this;
+        }
+        DecoderSlots &
+        operator=(const DecoderSlots &) noexcept
+        {
+            byScheme = {};
+            return *this;
+        }
+    };
+    DecoderSlots decoderSlots_;
 };
 
 /**

@@ -39,46 +39,78 @@ Att::build(const isa::Image &image, const isa::VliwProgram &program)
     return att;
 }
 
+void
+Atb::unlink(std::uint32_t id)
+{
+    Node &node = nodes_[id];
+    if (node.prev != kNil)
+        nodes_[node.prev].next = node.next;
+    else
+        head_ = node.next;
+    if (node.next != kNil)
+        nodes_[node.next].prev = node.prev;
+    else
+        tail_ = node.prev;
+    node.prev = node.next = kNil;
+}
+
+void
+Atb::pushFront(std::uint32_t id)
+{
+    Node &node = nodes_[id];
+    node.prev = kNil;
+    node.next = head_;
+    if (head_ != kNil)
+        nodes_[head_].prev = id;
+    head_ = id;
+    if (tail_ == kNil)
+        tail_ = id;
+}
+
 bool
 Atb::access(isa::BlockId block)
 {
-    auto it = entries_.find(block);
-    if (it != entries_.end()) {
+    TEPIC_ASSERT(block < nodes_.size(),
+                 "block id outside the ATT: ", block);
+    Node &node = nodes_[block];
+    if (node.resident) {
         ++hits_;
-        lru_.erase(it->second.lruPos);
-        lru_.push_front(block);
-        it->second.lruPos = lru_.begin();
+        if (head_ != block) {
+            unlink(block);
+            pushFront(block);
+        }
         return true;
     }
     ++misses_;
-    if (entries_.size() >= capacity_) {
-        const isa::BlockId victim = lru_.back();
-        lru_.pop_back();
-        entries_.erase(victim);
+    if (count_ >= capacity_) {
+        const std::uint32_t victim = tail_;
+        unlink(victim);
+        nodes_[victim].resident = false;
+        --count_;
     }
-    lru_.push_front(block);
-    Entry entry;
-    entry.lruPos = lru_.begin();
-    // Cold predictor: last target primed with the static branch
-    // target the compiler stored in the ATT.
-    entry.lastTarget = att_.entry(block).staticTarget;
-    entries_[block] = entry;
+    // Cold predictor: 2-bit counter back to weakly-not-taken, last
+    // target primed with the static branch target the compiler stored
+    // in the ATT (per-entry state does not survive eviction).
+    node.counter = 1;
+    node.lastTarget = att_.entry(block).staticTarget;
+    node.resident = true;
+    pushFront(block);
+    ++count_;
     return false;
 }
 
 isa::BlockId
 Atb::predictNext(isa::BlockId block) const
 {
-    auto it = entries_.find(block);
-    TEPIC_ASSERT(it != entries_.end(),
+    const Node &node = nodes_[block];
+    TEPIC_ASSERT(node.resident,
                  "predictNext on non-resident block ", block);
-    const Entry &entry = it->second;
     const isa::BlockId fall = att_.entry(block).fallthrough;
     if (fall == isa::kNoBlock)
-        return entry.lastTarget;
-    if (direction_.predictTaken(block, entry.counter) &&
-        entry.lastTarget != isa::kNoBlock) {
-        return entry.lastTarget;
+        return node.lastTarget;
+    if (direction_.predictTaken(block, node.counter) &&
+        node.lastTarget != isa::kNoBlock) {
+        return node.lastTarget;
     }
     return fall;
 }
@@ -86,17 +118,16 @@ Atb::predictNext(isa::BlockId block) const
 void
 Atb::update(isa::BlockId block, bool taken, isa::BlockId next)
 {
-    auto it = entries_.find(block);
-    TEPIC_ASSERT(it != entries_.end(),
+    Node &node = nodes_[block];
+    TEPIC_ASSERT(node.resident,
                  "update on non-resident block ", block);
-    Entry &entry = it->second;
     if (taken) {
-        if (entry.counter < 3)
-            ++entry.counter;
-        entry.lastTarget = next;
+        if (node.counter < 3)
+            ++node.counter;
+        node.lastTarget = next;
     } else {
-        if (entry.counter > 0)
-            --entry.counter;
+        if (node.counter > 0)
+            --node.counter;
     }
     direction_.update(block, taken);
 }

@@ -16,8 +16,6 @@
 #define TEPIC_FETCH_ATT_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "fetch/predictor.hh"
@@ -86,14 +84,22 @@ class Att
 /**
  * The runtime ATB: fully associative, LRU, with per-entry branch
  * prediction state. The paper couples the branch prediction table with
- * the ATB (one predictor per block entry, §3.4).
+ * the ATB (one predictor per block entry, §3.4). Per-entry predictor
+ * state is lost on eviction and re-primed from the ATT's static
+ * target on re-insertion, as in the paper.
+ *
+ * Host representation: one flat node vector indexed by block id (the
+ * static block count is known from the ATT) carrying residency, the
+ * predictor state and intrusive LRU links — the fetch simulator's
+ * hottest structure, accessed once per dynamic block.
  */
 class Atb
 {
   public:
     explicit Atb(const Att &att, unsigned entries = 64,
                  const PredictorConfig &predictor = {})
-        : att_(att), capacity_(entries), direction_(predictor) {}
+        : att_(att), capacity_(entries), direction_(predictor),
+          nodes_(att.entries().size()) {}
 
     /** Look up @p block; true on hit. Misses insert (LRU evict). */
     bool access(isa::BlockId block);
@@ -114,18 +120,28 @@ class Atb
     std::uint64_t misses() const { return misses_; }
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    /** Residency, predictor state and LRU links for one block id. */
+    struct Node
     {
         std::uint8_t counter = 1;  ///< 2-bit saturating, weakly n-t
+        bool resident = false;
         isa::BlockId lastTarget = isa::kNoBlock;
-        std::list<isa::BlockId>::iterator lruPos;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
     };
+
+    void unlink(std::uint32_t id);
+    void pushFront(std::uint32_t id);
 
     const Att &att_;
     unsigned capacity_;
     DirectionPredictor direction_;
-    std::unordered_map<isa::BlockId, Entry> entries_;
-    std::list<isa::BlockId> lru_;  ///< front = most recent
+    std::vector<Node> nodes_;      ///< indexed by block id
+    std::uint32_t head_ = kNil;    ///< most recently used
+    std::uint32_t tail_ = kNil;    ///< least recently used
+    unsigned count_ = 0;           ///< resident entries
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -80,6 +80,11 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
     bool next_prediction_correct = true;
     std::uint64_t event_index = 0;
 
+    // Scratch for the ATT-entry bus transfer on ATB misses: sized
+    // once, refilled per miss (the fill pattern depends only on the
+    // block id, so reuse cannot change the bit-flip accounting).
+    std::vector<std::uint8_t> att_bytes((att.entryBits() + 7) / 8);
+
     for (const auto &event : trace.events) {
         const isa::BlockId block = event.block;
         const AttEntry &entry = att.entry(block);
@@ -98,9 +103,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         if (!atb_hit) {
             causes.atbMiss += config.penalties.atbMissPenalty;
             // The ATT entry travels over the memory bus.
-            std::vector<std::uint8_t> att_bytes(
-                (att.entryBits() + 7) / 8,
-                std::uint8_t(0xa5 ^ (block & 0xff)));
+            std::fill(att_bytes.begin(), att_bytes.end(),
+                      std::uint8_t(0xa5 ^ (block & 0xff)));
             bus.transfer(att_bytes);
         }
 
@@ -140,6 +144,12 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
                 config.cache.lineBytes;
             n_lines = std::max(1u, span);
         }
+
+        // Host-side decode: first touch decodes the block, replays
+        // come from the cache. Outside the architectural model by
+        // construction — nothing below reads the decoded ops.
+        if (config.decodedBlocks != nullptr)
+            config.decodedBlocks->ops(block);
 
         {
             const StallBreakdown model = stallBreakdown(

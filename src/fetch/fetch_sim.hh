@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codec/decoder.hh"
 #include "fetch/att.hh"
 #include "fetch/banked_cache.hh"
 #include "fetch/cycle_model.hh"
@@ -100,6 +101,20 @@ struct FetchConfig
     unsigned busWidthBytes = 8;
     CyclePenalties penalties;
     FetchTraceOptions trace;      ///< off by default: zero-cost loop
+
+    /**
+     * Optional decoded-block cache (codec/decoder.hh): when set, the
+     * simulator touches it once per fetched block, so each static
+     * block is host-decoded exactly once per simulation and replayed
+     * thereafter. Purely a host-side accelerator: every architectural
+     * number (cycles, stall tiling, L0/ATB state, bus bit flips) is
+     * computed from image metadata and the trace, never from decoded
+     * operations, so stats with and without a cache are identical
+     * (asserted by tests). The caller owns the cache (and reads its
+     * hit/miss counters afterwards); it must wrap a decoder over the
+     * same image being simulated.
+     */
+    codec::DecodedBlockCache *decodedBlocks = nullptr;
 
     /** Paper configuration for a scheme (cache geometry per §5). */
     static FetchConfig

@@ -2,29 +2,60 @@
 
 namespace tepic::fetch {
 
+void
+L0Buffer::unlink(std::uint32_t id)
+{
+    Node &node = nodes_[id];
+    if (node.prev != kNil)
+        nodes_[node.prev].next = node.next;
+    else
+        head_ = node.next;
+    if (node.next != kNil)
+        nodes_[node.next].prev = node.prev;
+    else
+        tail_ = node.prev;
+    node.prev = node.next = kNil;
+}
+
+void
+L0Buffer::pushFront(std::uint32_t id)
+{
+    Node &node = nodes_[id];
+    node.prev = kNil;
+    node.next = head_;
+    if (head_ != kNil)
+        nodes_[head_].prev = id;
+    head_ = id;
+    if (tail_ == kNil)
+        tail_ = id;
+}
+
 bool
 L0Buffer::access(isa::BlockId block, std::uint32_t ops)
 {
-    auto it = blocks_.find(block);
-    if (it != blocks_.end()) {
+    if (block >= nodes_.size())
+        nodes_.resize(std::size_t(block) + 1);
+    Node &node = nodes_[block];
+    if (node.resident) {
         ++hits_;
-        lru_.erase(it->second.second);
-        lru_.push_front(block);
-        it->second.second = lru_.begin();
+        if (head_ != block) {
+            unlink(block);
+            pushFront(block);
+        }
         return true;
     }
     ++misses_;
     if (ops > capacity_)
         return false;  // can never fit; bypass
     while (used_ + ops > capacity_) {
-        const isa::BlockId victim = lru_.back();
-        lru_.pop_back();
-        auto vit = blocks_.find(victim);
-        used_ -= vit->second.first;
-        blocks_.erase(vit);
+        const std::uint32_t victim = tail_;
+        unlink(victim);
+        used_ -= nodes_[victim].ops;
+        nodes_[victim].resident = false;
     }
-    lru_.push_front(block);
-    blocks_[block] = {ops, lru_.begin()};
+    node.ops = ops;
+    node.resident = true;
+    pushFront(block);
     used_ += ops;
     return false;
 }

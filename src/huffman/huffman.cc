@@ -173,6 +173,24 @@ CodeTable::buildDecodeTables()
         code += countAt_[len];
         idx += countAt_[len];
     }
+
+    // First-level LUT: every code of length <= lutBits_ owns the
+    // 2^(lutBits_ - length) slots sharing its prefix. Prefix-freedom
+    // makes the owned ranges disjoint; slots nobody claims are
+    // prefixes of longer codes and stay length == 0 (overflow).
+    lutBits_ = std::min(maxLength_, kMaxLutBits);
+    lut_.assign(std::size_t(1) << lutBits_, LutEntry{});
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const CodeEntry &entry = entries_[i];
+        if (entry.length > lutBits_)
+            continue;
+        const unsigned pad = lutBits_ - entry.length;
+        const std::size_t base = std::size_t(entry.code) << pad;
+        const std::size_t span = std::size_t(1) << pad;
+        for (std::size_t slot = 0; slot < span; ++slot)
+            lut_[base + slot] =
+                {std::uint32_t(i), std::uint8_t(entry.length)};
+    }
 }
 
 void
@@ -196,7 +214,25 @@ CodeTable::codeLength(std::uint64_t symbol) const
 }
 
 std::uint64_t
-CodeTable::decode(support::BitReader &reader) const
+CodeTable::decodeOverflow(support::BitReader &reader) const
+{
+    // The LUT said every code sharing the peeked lutBits_-bit prefix
+    // is longer than lutBits_: consume the prefix and resume the
+    // canonical walk from length lutBits_ + 1.
+    std::uint64_t code = reader.readBits(lutBits_);
+    for (unsigned len = lutBits_ + 1; len <= maxLength_; ++len) {
+        code = (code << 1) | (reader.readBit() ? 1 : 0);
+        if (countAt_[len] > 0 && code >= firstCode_[len] &&
+            code < firstCode_[len] + countAt_[len]) {
+            return entries_[firstIndex_[len] +
+                            (code - firstCode_[len])].symbol;
+        }
+    }
+    TEPIC_PANIC("corrupt bitstream: no code matched");
+}
+
+std::uint64_t
+CodeTable::decodeReference(support::BitReader &reader) const
 {
     std::uint64_t code = 0;
     for (unsigned len = 1; len <= maxLength_; ++len) {

@@ -35,6 +35,7 @@ class SymbolHistogram
     void add(std::uint64_t symbol, std::uint64_t count = 1)
     {
         counts_[symbol] += count;
+        total_ += count;
     }
 
     const std::map<std::uint64_t, std::uint64_t> &counts() const
@@ -44,20 +45,15 @@ class SymbolHistogram
 
     std::size_t distinctSymbols() const { return counts_.size(); }
 
-    std::uint64_t
-    totalCount() const
-    {
-        std::uint64_t total = 0;
-        for (const auto &[sym, c] : counts_)
-            total += c;
-        return total;
-    }
+    /** Sum of all counts (maintained incrementally by add()). */
+    std::uint64_t totalCount() const { return total_; }
 
     /** Shannon entropy in bits per symbol. */
     double entropyBits() const;
 
   private:
     std::map<std::uint64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
 };
 
 /** One assigned code. */
@@ -98,8 +94,40 @@ class CodeTable
     /** Code length for @p symbol (encoded size accounting). */
     unsigned codeLength(std::uint64_t symbol) const;
 
-    /** Decode one symbol from @p reader. */
-    std::uint64_t decode(support::BitReader &reader) const;
+    /**
+     * Decode one symbol from @p reader.
+     *
+     * Fast path: peek lutBits() bits and index the first-level lookup
+     * table built at build() time — one load resolves any code of
+     * length <= lutBits() (the window slot stores the entry index and
+     * the true code length to consume). Codes longer than lutBits()
+     * land in overflow slots and fall back to the length-indexed
+     * canonical walk, resumed past the already-peeked prefix. The LUT
+     * is a host-side decode accelerator only; the §3.5 hardware
+     * decoder cost model still sees maxCodeLength()/size().
+     */
+    std::uint64_t
+    decode(support::BitReader &reader) const
+    {
+        const auto window =
+            std::size_t(reader.peekBits(lutBits_));
+        const LutEntry entry = lut_[window];
+        if (entry.length != 0) {
+            reader.skip(entry.length);
+            return entries_[entry.index].symbol;
+        }
+        return decodeOverflow(reader);
+    }
+
+    /**
+     * Reference decoder: the per-bit canonical-tables walk the LUT
+     * replaced. Kept public so differential tests can assert the two
+     * agree symbol-for-symbol on any table.
+     */
+    std::uint64_t decodeReference(support::BitReader &reader) const;
+
+    /** First-level decode window width: min(maxCodeLength(), 11). */
+    unsigned lutBits() const { return lutBits_; }
 
     /** Total encoded bits for a histogram under this table. */
     std::uint64_t encodedBits(const SymbolHistogram &hist) const;
@@ -113,16 +141,29 @@ class CodeTable
     support::Histogram lengthHistogram() const;
 
   private:
+    /** One first-level LUT slot: resolved entry + code length. */
+    struct LutEntry
+    {
+        std::uint32_t index = 0;  ///< entries_ index of the match
+        std::uint8_t length = 0;  ///< code length; 0 = overflow slot
+    };
+
+    /** Window width cap: 2^11 slots = at most 2048 LutEntry per table. */
+    static constexpr unsigned kMaxLutBits = 11;
+
     std::vector<CodeEntry> entries_;  ///< canonical order
     std::unordered_map<std::uint64_t, std::size_t> index_;
     unsigned maxLength_ = 0;
+    unsigned lutBits_ = 0;
 
     // Canonical decode tables, indexed by code length (1-based).
     std::vector<std::uint64_t> firstCode_;   ///< first code of length L
     std::vector<std::uint64_t> firstIndex_;  ///< entries_ index of it
     std::vector<std::uint64_t> countAt_;     ///< #codes of length L
+    std::vector<LutEntry> lut_;              ///< 2^lutBits_ slots
 
     void buildDecodeTables();
+    std::uint64_t decodeOverflow(support::BitReader &reader) const;
 };
 
 /**

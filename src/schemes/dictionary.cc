@@ -102,29 +102,65 @@ compressDictionary(const isa::VliwProgram &program,
 std::vector<std::vector<isa::Operation>>
 decompressDictionary(const DictionaryImage &compressed)
 {
-    std::vector<std::vector<isa::Operation>> result;
-    result.reserve(compressed.image.blocks.size());
-    support::BitReader reader(compressed.image.bytes.data(),
-                              compressed.image.bitSize);
-    for (const auto &layout : compressed.image.blocks) {
+    return makeBlockDecoder(compressed)->decodeAll();
+}
+
+namespace {
+
+class DictionaryBlockDecoder final : public codec::Decoder
+{
+  public:
+    explicit DictionaryBlockDecoder(const DictionaryImage &compressed)
+        : compressed_(&compressed),
+          fingerprint_(codec::imageFingerprint(compressed.image))
+    {
+    }
+
+    const char *name() const override { return "dict"; }
+
+    std::size_t blockCount() const override
+    {
+        return compressed_->image.blocks.size();
+    }
+
+    std::uint64_t fingerprint() const override { return fingerprint_; }
+
+    void
+    decodeBlockInto(isa::BlockId id,
+                    std::vector<isa::Operation> &ops) const override
+    {
+        const isa::Image &image = compressed_->image;
+        const isa::BlockLayout &layout = image.blocks.at(id);
+        support::BitReader reader(image.bytes.data(), image.bitSize);
         reader.seek(layout.bitOffset);
-        std::vector<isa::Operation> ops;
+        ops.clear();
         ops.reserve(layout.numOps);
         for (std::uint32_t i = 0; i < layout.numOps; ++i) {
             std::uint64_t bits;
             if (reader.readBit()) {
-                const auto idx = reader.readBits(compressed.indexBits);
-                TEPIC_ASSERT(idx < compressed.dictionary.size(),
+                const auto idx =
+                    reader.readBits(compressed_->indexBits);
+                TEPIC_ASSERT(idx < compressed_->dictionary.size(),
                              "bad dictionary index");
-                bits = compressed.dictionary[idx];
+                bits = compressed_->dictionary[idx];
             } else {
                 bits = reader.readBits(isa::kOpBits);
             }
             ops.push_back(isa::Operation::decode(bits));
         }
-        result.push_back(std::move(ops));
     }
-    return result;
+
+  private:
+    const DictionaryImage *compressed_;
+    std::uint64_t fingerprint_;
+};
+
+} // namespace
+
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const DictionaryImage &compressed)
+{
+    return std::make_unique<DictionaryBlockDecoder>(compressed);
 }
 
 std::uint64_t

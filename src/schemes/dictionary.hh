@@ -22,9 +22,11 @@
 #define TEPIC_SCHEMES_DICTIONARY_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "codec/decoder.hh"
 #include "isa/image.hh"
 #include "isa/program.hh"
 
@@ -56,6 +58,13 @@ struct DictionaryImage
 DictionaryImage compressDictionary(
     const isa::VliwProgram &program,
     const DictionaryOptions &options = {});
+
+/**
+ * The codec::Decoder over a dictionary image. The caller keeps
+ * @p compressed alive.
+ */
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const DictionaryImage &compressed);
 
 /** Expand back to per-block operations (bit-exact). */
 std::vector<std::vector<isa::Operation>>

@@ -229,45 +229,85 @@ compressFull(const VliwProgram &program, const HuffmanOptions &options)
     return out;
 }
 
-std::vector<std::vector<Operation>>
-decompress(const CompressedImage &compressed)
-{
-    const isa::Image &image = compressed.image;
-    std::vector<std::vector<Operation>> result;
-    result.reserve(image.blocks.size());
-    support::BitReader reader(image.bytes.data(), image.bitSize);
+namespace {
 
-    for (const auto &layout : image.blocks) {
+/** codec::Decoder over a Huffman image: the one decode path. */
+class HuffmanBlockDecoder final : public codec::Decoder
+{
+  public:
+    explicit HuffmanBlockDecoder(const CompressedImage &compressed)
+        : compressed_(&compressed),
+          fingerprint_(codec::imageFingerprint(compressed.image))
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return alphabetName(compressed_->alphabet);
+    }
+
+    std::size_t
+    blockCount() const override
+    {
+        return compressed_->image.blocks.size();
+    }
+
+    std::uint64_t fingerprint() const override { return fingerprint_; }
+
+    void
+    decodeBlockInto(isa::BlockId id,
+                    std::vector<Operation> &ops) const override
+    {
+        const isa::Image &image = compressed_->image;
+        const isa::BlockLayout &layout = image.blocks.at(id);
+        support::BitReader reader(image.bytes.data(), image.bitSize);
         reader.seek(layout.bitOffset);
-        std::vector<Operation> ops;
+        ops.clear();
         ops.reserve(layout.numOps);
         for (std::uint32_t i = 0; i < layout.numOps; ++i) {
             std::uint64_t bits = 0;
-            switch (compressed.alphabet) {
+            switch (compressed_->alphabet) {
               case HuffmanAlphabet::kByte:
                 for (int b = 0; b < 5; ++b) {
                     bits = (bits << 8) |
-                           compressed.tables[0].decode(reader);
+                           compressed_->tables[0].decode(reader);
                 }
                 break;
               case HuffmanAlphabet::kStream:
                 for (std::size_t s = 0;
-                     s < compressed.tables.size(); ++s) {
+                     s < compressed_->tables.size(); ++s) {
                     const unsigned w =
-                        compressed.streamConfig.widths[s];
+                        compressed_->streamConfig.widths[s];
                     bits = (bits << w) |
-                           compressed.tables[s].decode(reader);
+                           compressed_->tables[s].decode(reader);
                 }
                 break;
               case HuffmanAlphabet::kFull:
-                bits = compressed.tables[0].decode(reader);
+                bits = compressed_->tables[0].decode(reader);
                 break;
             }
             ops.push_back(Operation::decode(bits));
         }
-        result.push_back(std::move(ops));
     }
-    return result;
+
+  private:
+    const CompressedImage *compressed_;
+    std::uint64_t fingerprint_;
+};
+
+} // namespace
+
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const CompressedImage &compressed)
+{
+    return std::make_unique<HuffmanBlockDecoder>(compressed);
+}
+
+std::vector<std::vector<Operation>>
+decompress(const CompressedImage &compressed)
+{
+    return HuffmanBlockDecoder(compressed).decodeAll();
 }
 
 } // namespace tepic::schemes

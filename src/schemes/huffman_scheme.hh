@@ -14,9 +14,11 @@
 #ifndef TEPIC_SCHEMES_HUFFMAN_SCHEME_HH
 #define TEPIC_SCHEMES_HUFFMAN_SCHEME_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "codec/decoder.hh"
 #include "huffman/huffman.hh"
 #include "isa/image.hh"
 #include "isa/program.hh"
@@ -82,8 +84,18 @@ CompressedImage compressFull(const isa::VliwProgram &program,
                              const HuffmanOptions &options = {});
 
 /**
+ * The codec::Decoder over a Huffman-compressed image (any alphabet).
+ * This is the single decode implementation for the scheme —
+ * decompress() below and everything reached through codec::makeDecoder
+ * go through it. The caller keeps @p compressed alive.
+ */
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const CompressedImage &compressed);
+
+/**
  * Expand @p compressed back to per-block operation vectors — the
- * software model of the hit-path hardware decompressor.
+ * software model of the hit-path hardware decompressor. Convenience
+ * wrapper over makeBlockDecoder()->decodeAll().
  */
 std::vector<std::vector<isa::Operation>>
 decompress(const CompressedImage &compressed);

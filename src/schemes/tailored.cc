@@ -196,57 +196,104 @@ TailoredIsa::encode(const isa::VliwProgram &program) const
     return image;
 }
 
+void
+TailoredIsa::decodeBlockInto(const isa::Image &image, isa::BlockId id,
+                             std::vector<Operation> &ops) const
+{
+    const isa::BlockLayout &layout = image.blocks.at(id);
+    support::BitReader reader(image.bytes.data(), image.bitSize);
+    reader.seek(layout.bitOffset);
+    ops.clear();
+    ops.reserve(layout.numOps);
+    for (std::uint32_t i = 0; i < layout.numOps; ++i) {
+        const bool tail = reader.readBit();
+        const auto type_idx =
+            unsigned(reader.readBits(optWidth_));
+        TEPIC_ASSERT(type_idx < usedTypes_.size(),
+                     "bad tailored type index");
+        const std::uint32_t type = usedTypes_[type_idx];
+        const auto opc_idx = unsigned(reader.readBits(opcWidth_));
+        const auto &opcs = usedOpcodes_.at(type);
+        TEPIC_ASSERT(opc_idx < opcs.size(),
+                     "bad tailored opcode index");
+        const std::uint32_t opcode = opcs[opc_idx];
+
+        Operation op =
+            Operation::make(OpType(type), Opcode(opcode));
+        op.setTail(tail);
+        const TailoredFormat &tf = formats_[unsigned(
+            isa::formatFor(OpType(type), Opcode(opcode)))];
+        for (const auto &field : tf.fields) {
+            if (field.kind == FieldKind::kReserved)
+                continue;
+            std::uint32_t value;
+            if (field.width == 0) {
+                TEPIC_ASSERT(field.values.size() == 1,
+                             "implied field without value");
+                value = field.values[0];
+            } else {
+                const auto idx =
+                    unsigned(reader.readBits(field.width));
+                TEPIC_ASSERT(idx < field.values.size(),
+                             "bad tailored field index");
+                value = field.values[idx];
+            }
+            op.setField(field.kind, value);
+        }
+        ops.push_back(std::move(op));
+    }
+}
+
 std::vector<std::vector<Operation>>
 TailoredIsa::decode(const isa::Image &image) const
 {
     std::vector<std::vector<Operation>> result;
-    result.reserve(image.blocks.size());
-    support::BitReader reader(image.bytes.data(), image.bitSize);
-
-    for (const auto &layout : image.blocks) {
-        reader.seek(layout.bitOffset);
-        std::vector<Operation> ops;
-        ops.reserve(layout.numOps);
-        for (std::uint32_t i = 0; i < layout.numOps; ++i) {
-            const bool tail = reader.readBit();
-            const auto type_idx =
-                unsigned(reader.readBits(optWidth_));
-            TEPIC_ASSERT(type_idx < usedTypes_.size(),
-                         "bad tailored type index");
-            const std::uint32_t type = usedTypes_[type_idx];
-            const auto opc_idx = unsigned(reader.readBits(opcWidth_));
-            const auto &opcs = usedOpcodes_.at(type);
-            TEPIC_ASSERT(opc_idx < opcs.size(),
-                         "bad tailored opcode index");
-            const std::uint32_t opcode = opcs[opc_idx];
-
-            Operation op =
-                Operation::make(OpType(type), Opcode(opcode));
-            op.setTail(tail);
-            const TailoredFormat &tf = formats_[unsigned(
-                isa::formatFor(OpType(type), Opcode(opcode)))];
-            for (const auto &field : tf.fields) {
-                if (field.kind == FieldKind::kReserved)
-                    continue;
-                std::uint32_t value;
-                if (field.width == 0) {
-                    TEPIC_ASSERT(field.values.size() == 1,
-                                 "implied field without value");
-                    value = field.values[0];
-                } else {
-                    const auto idx =
-                        unsigned(reader.readBits(field.width));
-                    TEPIC_ASSERT(idx < field.values.size(),
-                                 "bad tailored field index");
-                    value = field.values[idx];
-                }
-                op.setField(field.kind, value);
-            }
-            ops.push_back(std::move(op));
-        }
-        result.push_back(std::move(ops));
-    }
+    result.resize(image.blocks.size());
+    for (std::size_t id = 0; id < result.size(); ++id)
+        decodeBlockInto(image, isa::BlockId(id), result[id]);
     return result;
+}
+
+namespace {
+
+class TailoredBlockDecoder final : public codec::Decoder
+{
+  public:
+    TailoredBlockDecoder(const TailoredIsa &isa,
+                         const isa::Image &image)
+        : isa_(&isa), image_(&image),
+          fingerprint_(codec::imageFingerprint(image))
+    {
+    }
+
+    const char *name() const override { return "tailored"; }
+
+    std::size_t blockCount() const override
+    {
+        return image_->blocks.size();
+    }
+
+    std::uint64_t fingerprint() const override { return fingerprint_; }
+
+    void
+    decodeBlockInto(isa::BlockId id,
+                    std::vector<Operation> &ops) const override
+    {
+        isa_->decodeBlockInto(*image_, id, ops);
+    }
+
+  private:
+    const TailoredIsa *isa_;
+    const isa::Image *image_;
+    std::uint64_t fingerprint_;
+};
+
+} // namespace
+
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const TailoredIsa &isa, const isa::Image &image)
+{
+    return std::make_unique<TailoredBlockDecoder>(isa, image);
 }
 
 unsigned

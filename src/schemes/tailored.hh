@@ -29,9 +29,11 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "codec/decoder.hh"
 #include "isa/image.hh"
 #include "isa/program.hh"
 
@@ -68,6 +70,10 @@ class TailoredIsa
     /** Decode a tailored image back to per-block operations. */
     std::vector<std::vector<isa::Operation>>
     decode(const isa::Image &image) const;
+
+    /** Decode one block of @p image into @p ops (cleared first). */
+    void decodeBlockInto(const isa::Image &image, isa::BlockId id,
+                         std::vector<isa::Operation> &ops) const;
 
     /** Encoded size of one op of the given type/code, in bits. */
     unsigned opBits(isa::OpType type, isa::Opcode opcode) const;
@@ -107,6 +113,13 @@ class TailoredIsa
     unsigned typeIndex(std::uint32_t type) const;
     unsigned opcodeIndex(std::uint32_t type, std::uint32_t opcode) const;
 };
+
+/**
+ * The codec::Decoder over a tailored image. The caller keeps both
+ * @p isa (the PLA programming) and @p image alive.
+ */
+std::unique_ptr<codec::Decoder>
+makeBlockDecoder(const TailoredIsa &isa, const isa::Image &image);
 
 } // namespace tepic::schemes
 

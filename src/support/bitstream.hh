@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/logging.hh"
+
 namespace tepic::support {
 
 /**
@@ -74,6 +76,42 @@ class BitReader
 
     /** Read one bit. */
     bool readBit() { return readBits(1) != 0; }
+
+    /**
+     * Look at the next @p width bits without advancing the cursor.
+     * Unlike readBits(), peeking may extend past the end of the
+     * buffer: missing bits read as zero (the caller is expected to
+     * consume — via skip() — only bits that really exist). This is
+     * the contract table-driven decoders need: peek a fixed window,
+     * then skip the matched code length. Width is capped at 56 so the
+     * window always fits one 64-bit load regardless of bit alignment.
+     */
+    std::uint64_t
+    peekBits(unsigned width) const
+    {
+        TEPIC_ASSERT(width >= 1 && width <= 56,
+                     "peek width out of range: ", width);
+        const std::size_t first = pos_ / 8;
+        const unsigned offset = unsigned(pos_ % 8);
+        const std::size_t last = (bitSize_ + 7) / 8;
+        std::uint64_t window = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            const std::size_t idx = first + b;
+            window = (window << 8) |
+                     (idx < last ? std::uint64_t(data_[idx]) : 0u);
+        }
+        return (window << offset) >> (64u - width);
+    }
+
+    /** Advance the cursor by @p bits without reading them. */
+    void
+    skip(unsigned bits)
+    {
+        TEPIC_ASSERT(pos_ + bits <= bitSize_,
+                     "bitstream overrun: pos=", pos_, " skip=", bits,
+                     " size=", bitSize_);
+        pos_ += bits;
+    }
 
     /** Reposition the cursor to an absolute bit offset. */
     void seek(std::size_t bit_pos);

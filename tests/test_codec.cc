@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the unified codec layer: the canonical-Huffman LUT decode
+ * fast path against the per-bit reference walk (differential, over
+ * randomized tables), the codec::Decoder implementations against the
+ * compiled program, the decoded-block cache's counters and reference
+ * stability, the cached-vs-uncached fetch-simulation equivalence, and
+ * the engine's kDecoder memoization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.hh"
+#include "core/artifact_engine.hh"
+#include "core/pipeline.hh"
+#include "huffman/huffman.hh"
+#include "support/bitstream.hh"
+#include "support/rng.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tepic;
+using core::ArtifactKind;
+using core::ArtifactRequest;
+using huffman::CodeTable;
+using huffman::SymbolHistogram;
+using support::Rng;
+
+// --- LUT decode vs canonical reference walk --------------------------
+
+/** Encode @p count random symbols; decode with both paths. */
+void
+expectLutMatchesReference(const CodeTable &table,
+                          const std::vector<std::uint64_t> &symbols)
+{
+    support::BitWriter writer;
+    for (auto symbol : symbols)
+        table.encode(symbol, writer);
+
+    support::BitReader lut_reader(writer.bytes().data(),
+                                  writer.bitSize());
+    support::BitReader ref_reader(writer.bytes().data(),
+                                  writer.bitSize());
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        const std::uint64_t via_lut = table.decode(lut_reader);
+        const std::uint64_t via_ref =
+            table.decodeReference(ref_reader);
+        ASSERT_EQ(via_lut, via_ref) << "symbol index " << i;
+        ASSERT_EQ(via_lut, symbols[i]) << "symbol index " << i;
+        ASSERT_EQ(lut_reader.position(), ref_reader.position())
+            << "symbol index " << i;
+    }
+    EXPECT_EQ(lut_reader.position(), writer.bitSize());
+}
+
+class LutDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LutDifferential, MatchesReferenceOnRandomTables)
+{
+    const std::uint64_t seed =
+        std::uint64_t(GetParam()) * 0x9e3779b9u + 17;
+    Rng rng(seed);
+    // Alphabet sizes from degenerate to larger-than-LUT; code-length
+    // bounds straddling the 11-bit first-level window on both sides.
+    const std::size_t alphabet = 1 + rng.below(600);
+    unsigned max_length = unsigned(4 + rng.below(13));  // 4..16
+    while ((std::uint64_t(1) << max_length) < alphabet)
+        ++max_length;
+    SymbolHistogram hist;
+    for (std::size_t s = 0; s < alphabet; ++s)
+        hist.add(s, rng.below(10000) + 1);
+
+    const CodeTable table = CodeTable::build(hist, max_length);
+    std::vector<std::uint64_t> symbols;
+    for (int i = 0; i < 2000; ++i)
+        symbols.push_back(rng.below(alphabet));
+    expectLutMatchesReference(table, symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LutDifferential,
+                         ::testing::Range(0, 20));
+
+TEST(LutDecode, OverflowSlotsFallBackToTheCanonicalWalk)
+{
+    // Exponentially skewed counts force a deep tree: with a 16-bit
+    // bound and 40 symbols whose counts halve, many codes exceed the
+    // 11-bit LUT window, so this exercises the overflow path.
+    SymbolHistogram hist;
+    std::uint64_t count = std::uint64_t(1) << 50;
+    for (std::uint64_t s = 0; s < 40; ++s) {
+        hist.add(s, count);
+        count = count > 1 ? count / 2 : 1;
+    }
+    const CodeTable table = CodeTable::build(hist, 16);
+    ASSERT_GT(table.maxCodeLength(), table.lutBits())
+        << "histogram failed to produce codes past the LUT window";
+    EXPECT_EQ(table.lutBits(), 11u);
+
+    Rng rng(7);
+    std::vector<std::uint64_t> symbols;
+    for (int i = 0; i < 4000; ++i)
+        symbols.push_back(rng.below(40));  // uniform: hits rare codes
+    expectLutMatchesReference(table, symbols);
+}
+
+TEST(LutDecode, ShortTablesUseNarrowWindows)
+{
+    SymbolHistogram hist;
+    hist.add(1, 10);
+    hist.add(2, 1);
+    const CodeTable table = CodeTable::build(hist, 8);
+    EXPECT_EQ(table.lutBits(), table.maxCodeLength());
+    EXPECT_LE(table.lutBits(), 11u);
+    expectLutMatchesReference(table, {1, 2, 1, 1, 2, 1});
+}
+
+TEST(LutDecode, ChecksumKernelsAgree)
+{
+    SymbolHistogram hist;
+    Rng rng(3);
+    for (int i = 0; i < 300; ++i)
+        hist.add(std::uint64_t(i), rng.below(5000) + 1);
+    const CodeTable table = CodeTable::build(hist, 16);
+    support::BitWriter writer;
+    for (int i = 0; i < 5000; ++i)
+        table.encode(rng.below(300), writer);
+
+    support::BitReader lut_reader(writer.bytes().data(),
+                                  writer.bitSize());
+    support::BitReader ref_reader(writer.bytes().data(),
+                                  writer.bitSize());
+    EXPECT_EQ(codec::decodeChecksum(table, lut_reader, 5000),
+              codec::decodeChecksumReference(table, ref_reader, 5000));
+}
+
+TEST(SymbolHistogram, TotalCountTracksAdds)
+{
+    SymbolHistogram hist;
+    EXPECT_EQ(hist.totalCount(), 0u);
+    hist.add(5);
+    hist.add(5, 9);
+    hist.add(7, 100);
+    EXPECT_EQ(hist.totalCount(), 110u);
+    EXPECT_EQ(hist.distinctSymbols(), 2u);
+}
+
+// --- Decoder implementations over real artifacts ---------------------
+
+const core::Artifacts &
+firArtifacts()
+{
+    static const core::Artifacts instance =
+        core::ArtifactEngine::buildUncached(
+            workloads::workloadByName("fir").source,
+            ArtifactRequest{ArtifactKind::kBase, ArtifactKind::kFull,
+                            ArtifactKind::kTailored,
+                            ArtifactKind::kTrace,
+                            ArtifactKind::kDecoder},
+            {});
+    return instance;
+}
+
+/** Flatten the program's block @p id into its operation sequence. */
+std::vector<isa::Operation>
+programOps(const isa::VliwProgram &program, isa::BlockId id)
+{
+    std::vector<isa::Operation> ops;
+    for (const auto &mop : program.blocks()[id].mops)
+        for (const auto &op : mop.ops())
+            ops.push_back(op);
+    return ops;
+}
+
+TEST(Decoder, EverySchemeDecodesBackToTheProgram)
+{
+    const auto &a = firArtifacts();
+    const auto &program = a.compiled.program;
+    for (auto scheme :
+         {fetch::SchemeClass::kBase, fetch::SchemeClass::kCompressed,
+          fetch::SchemeClass::kTailored}) {
+        const codec::Decoder &decoder = a.decoder(scheme);
+        SCOPED_TRACE(decoder.name());
+        ASSERT_EQ(decoder.blockCount(), program.blocks().size());
+        for (const auto &blk : program.blocks())
+            EXPECT_EQ(decoder.decodeBlock(blk.id),
+                      programOps(program, blk.id));
+    }
+}
+
+TEST(Decoder, FingerprintsSeparateSchemesAndContents)
+{
+    const auto &a = firArtifacts();
+    const auto base = a.decoder(fetch::SchemeClass::kBase)
+                          .fingerprint();
+    const auto full = a.decoder(fetch::SchemeClass::kCompressed)
+                          .fingerprint();
+    const auto tailored = a.decoder(fetch::SchemeClass::kTailored)
+                              .fingerprint();
+    EXPECT_NE(base, full);
+    EXPECT_NE(base, tailored);
+    EXPECT_NE(full, tailored);
+    // Same image, fresh decoder: identity is content, not object.
+    EXPECT_EQ(codec::makeBaseDecoder(a.baseImage())->fingerprint(),
+              base);
+}
+
+TEST(DecodedBlockCache, CountsAndKeepsReferencesStable)
+{
+    const auto &a = firArtifacts();
+    const codec::Decoder &decoder =
+        a.decoder(fetch::SchemeClass::kCompressed);
+    codec::DecodedBlockCache cache(decoder);
+    ASSERT_EQ(cache.size(), decoder.blockCount());
+    EXPECT_EQ(cache.fingerprint(), decoder.fingerprint());
+
+    const auto &first = cache.ops(0);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.opsDecoded(), first.size());
+    const auto *address = &first;
+
+    const auto &again = cache.ops(0);
+    EXPECT_EQ(&again, address) << "replay must not move the storage";
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(again, decoder.decodeBlock(0));
+
+    // Touch everything: misses are bounded by the static block count.
+    for (std::size_t id = 0; id < cache.size(); ++id)
+        cache.ops(isa::BlockId(id));
+    EXPECT_EQ(cache.misses(), cache.size());
+    EXPECT_EQ(&cache.ops(0), address);
+}
+
+TEST(DecodedBlockCache, CachedFetchSimulationIsBitIdentical)
+{
+    const auto &a = firArtifacts();
+    for (auto scheme :
+         {fetch::SchemeClass::kBase, fetch::SchemeClass::kCompressed,
+          fetch::SchemeClass::kTailored}) {
+        SCOPED_TRACE(fetch::schemeClassName(scheme));
+        const auto &image = core::imageFor(a, scheme);
+        const auto config = fetch::FetchConfig::paper(scheme);
+        const auto plain = fetch::simulateFetch(
+            image, a.compiled.program, a.trace(), config);
+
+        codec::DecodedBlockCache cache(a.decoder(scheme));
+        auto cached_config = config;
+        cached_config.decodedBlocks = &cache;
+        const auto cached = fetch::simulateFetch(
+            image, a.compiled.program, a.trace(), cached_config);
+
+        EXPECT_EQ(cached.cycles, plain.cycles);
+        EXPECT_EQ(cached.stallCycles, plain.stallCycles);
+        EXPECT_EQ(cached.mispredictStallCycles,
+                  plain.mispredictStallCycles);
+        EXPECT_EQ(cached.refillStallCycles, plain.refillStallCycles);
+        EXPECT_EQ(cached.decodeStallCycles, plain.decodeStallCycles);
+        EXPECT_EQ(cached.atbStallCycles, plain.atbStallCycles);
+        EXPECT_EQ(cached.l0SavedCycles, plain.l0SavedCycles);
+        EXPECT_EQ(cached.busBitFlips, plain.busBitFlips);
+        EXPECT_EQ(cached.bytesTransferred, plain.bytesTransferred);
+        EXPECT_EQ(cached.l1Hits, plain.l1Hits);
+        EXPECT_EQ(cached.l1Misses, plain.l1Misses);
+        EXPECT_EQ(cached.l0Hits, plain.l0Hits);
+        EXPECT_EQ(cached.l0Misses, plain.l0Misses);
+        EXPECT_EQ(cached.atbHits, plain.atbHits);
+        EXPECT_EQ(cached.atbMisses, plain.atbMisses);
+        EXPECT_EQ(cached.predictionsCorrect,
+                  plain.predictionsCorrect);
+        EXPECT_EQ(cached.predictionsWrong, plain.predictionsWrong);
+        EXPECT_EQ(cached.blocksFetched, plain.blocksFetched);
+        EXPECT_EQ(cached.opsDelivered, plain.opsDelivered);
+
+        // Every dynamic fetch touched the cache; every static block
+        // at most one decode.
+        EXPECT_EQ(cache.hits() + cache.misses(), cached.blocksFetched);
+        EXPECT_LE(cache.misses(), cache.size());
+    }
+}
+
+// --- Engine integration ----------------------------------------------
+
+TEST(EngineDecoders, PrewarmedMemoizedAndCached)
+{
+    core::ArtifactEngine engine(1);
+    const std::string source =
+        workloads::workloadByName("matmul").source;
+    const ArtifactRequest request{ArtifactKind::kDecoder};
+
+    const auto built = engine.build(source, request);
+    EXPECT_EQ(engine.stats().decoderBuilds, 3u);
+
+    // kDecoder implies the three fetch-scheme images.
+    EXPECT_TRUE(built->has(ArtifactKind::kBase));
+    EXPECT_TRUE(built->has(ArtifactKind::kFull));
+    EXPECT_TRUE(built->has(ArtifactKind::kTailored));
+
+    // Memoized: repeated access is the same object.
+    const auto &first = built->decoder(fetch::SchemeClass::kBase);
+    EXPECT_EQ(&built->decoder(fetch::SchemeClass::kBase), &first);
+
+    // Cached: a second request rebuilds nothing.
+    const auto again = engine.build(source, request);
+    EXPECT_EQ(again.get(), built.get());
+    EXPECT_EQ(engine.stats().decoderBuilds, 3u);
+
+    // The decoders view this object's images.
+    EXPECT_EQ(built->decoder(fetch::SchemeClass::kCompressed)
+                  .blockCount(),
+              built->fullImage().image.blocks.size());
+}
+
+TEST(EngineDecoders, RequestParsingKnowsDecoder)
+{
+    const auto parsed = ArtifactRequest::parse("base,decoder");
+    EXPECT_TRUE(parsed.has(ArtifactKind::kDecoder));
+    EXPECT_EQ(parsed.toString(), "base,decoder");
+    const auto normalized = parsed.normalized();
+    EXPECT_TRUE(normalized.has(ArtifactKind::kFull));
+    EXPECT_TRUE(normalized.has(ArtifactKind::kTailored));
+    EXPECT_TRUE(ArtifactRequest::all().has(ArtifactKind::kDecoder));
+    EXPECT_EQ(ArtifactRequest::parse(
+                  ArtifactRequest::all().toString()),
+              ArtifactRequest::all());
+}
+
+} // namespace

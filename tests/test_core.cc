@@ -168,9 +168,11 @@ TEST(CorePipeline, NonProfileGuidedStillWorks)
 {
     core::PipelineConfig config;
     config.profileGuided = false;
-    config.buildAllStreamConfigs = false;
-    const auto a = core::buildArtifacts(
-        workloads::workloadByName("matmul").source, config);
+    const auto a = core::ArtifactEngine::buildUncached(
+        workloads::workloadByName("matmul").source,
+        core::ArtifactRequest::all().without(
+            core::ArtifactKind::kStream),
+        config);
     EXPECT_FALSE(a.has(core::ArtifactKind::kStream));
     EXPECT_EQ(a.execution.exitValue,
               workloads::workloadByName("matmul").reference());

@@ -16,7 +16,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "codec/codec.hh"
 #include "compiler/driver.hh"
+#include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "fetch/att.hh"
 #include "fetch/fetch_sim.hh"
@@ -254,7 +256,15 @@ TEST_P(FuzzDifferential, ImagesRoundTrip)
     tepic::core::PipelineConfig config;
     config.profileGuided = false;
     config.emulator.maxMops = 20'000'000;
-    const auto artifacts = tepic::core::buildArtifacts(source, config);
+    // Round-tripping needs every image but no trace or decoders.
+    using tepic::core::ArtifactKind;
+    const auto artifacts = tepic::core::ArtifactEngine::buildUncached(
+        source,
+        tepic::core::ArtifactRequest{
+            ArtifactKind::kBase, ArtifactKind::kByte,
+            ArtifactKind::kStream, ArtifactKind::kFull,
+            ArtifactKind::kTailored},
+        config);
     tepic::core::verifyRoundTrips(artifacts);
 }
 
@@ -307,10 +317,11 @@ TEST_P(FuzzStallTiling, CausesTileUnderRandomConfigs)
         config.busWidthBytes = 1u << rng.range(0, 4);
         config.trace.enabled = rng.below(2) == 0;
 
+        const auto &image = scheme == SchemeClass::kCompressed
+            ? full.image
+            : base_image;
         const auto stats = tepic::fetch::simulateFetch(
-            scheme == SchemeClass::kCompressed ? full.image
-                                               : base_image,
-            compiled.program, emu.trace, config);
+            image, compiled.program, emu.trace, config);
         SCOPED_TRACE(tepic::fetch::schemeClassName(scheme));
         EXPECT_EQ(stats.mispredictStallCycles +
                       stats.refillStallCycles +
@@ -319,6 +330,47 @@ TEST_P(FuzzStallTiling, CausesTileUnderRandomConfigs)
         EXPECT_EQ(stats.cycles, stats.idealCycles + stats.stallCycles);
         if (scheme != SchemeClass::kCompressed)
             EXPECT_EQ(stats.l0SavedCycles, 0u);
+
+        // The decoded-block cache is host-side only: re-running the
+        // identical configuration with a cache attached must leave
+        // every architectural statistic bit-identical.
+        const auto decoder = scheme == SchemeClass::kCompressed
+            ? tepic::codec::makeDecoder(full)
+            : tepic::codec::makeBaseDecoder(base_image);
+        tepic::codec::DecodedBlockCache cache(*decoder);
+        auto cached_config = config;
+        cached_config.decodedBlocks = &cache;
+        const auto cached = tepic::fetch::simulateFetch(
+            image, compiled.program, emu.trace, cached_config);
+        EXPECT_EQ(cached.cycles, stats.cycles);
+        EXPECT_EQ(cached.idealCycles, stats.idealCycles);
+        EXPECT_EQ(cached.stallCycles, stats.stallCycles);
+        EXPECT_EQ(cached.mispredictStallCycles,
+                  stats.mispredictStallCycles);
+        EXPECT_EQ(cached.refillStallCycles, stats.refillStallCycles);
+        EXPECT_EQ(cached.decodeStallCycles, stats.decodeStallCycles);
+        EXPECT_EQ(cached.atbStallCycles, stats.atbStallCycles);
+        EXPECT_EQ(cached.l0SavedCycles, stats.l0SavedCycles);
+        EXPECT_EQ(cached.busBitFlips, stats.busBitFlips);
+        EXPECT_EQ(cached.bytesTransferred, stats.bytesTransferred);
+        EXPECT_EQ(cached.linesTransferred, stats.linesTransferred);
+        EXPECT_EQ(cached.l1Hits, stats.l1Hits);
+        EXPECT_EQ(cached.l1Misses, stats.l1Misses);
+        EXPECT_EQ(cached.l0Hits, stats.l0Hits);
+        EXPECT_EQ(cached.l0Misses, stats.l0Misses);
+        EXPECT_EQ(cached.atbHits, stats.atbHits);
+        EXPECT_EQ(cached.atbMisses, stats.atbMisses);
+        EXPECT_EQ(cached.predictionsCorrect,
+                  stats.predictionsCorrect);
+        EXPECT_EQ(cached.predictionsWrong, stats.predictionsWrong);
+        EXPECT_EQ(cached.blocksFetched, stats.blocksFetched);
+        EXPECT_EQ(cached.opsDelivered, stats.opsDelivered);
+        // And the cache itself must have decoded each touched static
+        // block exactly once: misses are bounded by the static block
+        // count while hits+misses count every dynamic fetch.
+        EXPECT_LE(cache.misses(), cache.size());
+        EXPECT_EQ(cache.hits() + cache.misses(),
+                  stats.blocksFetched);
     }
 }
 

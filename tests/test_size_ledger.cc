@@ -115,8 +115,9 @@ class SizeTiling : public ::testing::Test
     {
         static const core::Artifacts instance = [] {
             core::PipelineConfig config;
-            return core::buildArtifacts(
-                workloads::workloadByName("fir").source, config);
+            return core::ArtifactEngine::buildUncached(
+                workloads::workloadByName("fir").source,
+                core::ArtifactRequest::all(), config);
         }();
         return instance;
     }

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/driver.hh"
+#include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "fetch/superblock.hh"
 #include "workloads/workload.hh"
@@ -142,8 +143,12 @@ TEST(FetchUnits, DegenerateUnitsMatchPlainSim)
 TEST(FetchUnits, WorksOnRealWorkloads)
 {
     for (const char *name : {"go", "m88ksim"}) {
-        const auto artifacts = core::buildArtifacts(
-            workloads::workloadByName(name).source);
+        // Unit formation needs only the baseline image + the trace.
+        const auto artifacts = core::ArtifactEngine::buildUncached(
+            workloads::workloadByName(name).source,
+            core::ArtifactRequest{core::ArtifactKind::kBase,
+                                  core::ArtifactKind::kTrace},
+            {});
         const auto units = fetch::formFetchUnits(
             artifacts.compiled.program, artifacts.execution.trace);
         const auto config =
