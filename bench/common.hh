@@ -46,6 +46,7 @@
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
+#include "support/sched.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
@@ -238,8 +239,8 @@ buildAllArtifacts(const BenchOptions &options)
     for (const auto *w : selected) {
         TEPIC_INFORM("[bench] requesting {",
                      options.request.toString(), "} for ", w->name);
-        requests.push_back(
-            core::BuildRequest{w->source, options.request, {}});
+        requests.push_back(core::BuildRequest{
+            w->source, options.request, {}, w->name});
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -323,6 +324,17 @@ reportBenchSummary(const BenchOptions &options)
         TEPIC_INFORM("[bench] wrote profile report to ", prof_json);
     }
 
+    // Scheduling observability: fold the exact-gated sched.* counters
+    // into the registry (part of the BENCH snapshot below) and write
+    // the per-binary SCHED_<name>.json task-graph report
+    // (tools/tepic_critpath.py renders and gates it).
+    support::sched::exportMetricsTo(metrics);
+    const std::string sched_json =
+        "SCHED_" + options.benchName + ".json";
+    if (support::sched::writeReport(sched_json, options.benchName)) {
+        TEPIC_INFORM("[bench] wrote sched report to ", sched_json);
+    }
+
     if (!options.metricsPath.empty()) {
         metrics.writeJsonFile(options.metricsPath);
         TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
@@ -372,6 +384,7 @@ findArtifacts(const std::string &name)
         const auto bench_options = ::tepic::bench::parseBenchOptions(  \
             &argc, argv, (default_request));                           \
         ::tepic::support::prof::startSession();                        \
+        ::tepic::support::sched::startSession(bench_options.jobs);     \
         if (!bench_options.profCollapsePath.empty())                   \
             ::tepic::support::prof::startSampling();                   \
         if (!bench_options.tracePath.empty())                          \

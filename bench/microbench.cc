@@ -185,45 +185,84 @@ recordMicroSentinels()
     support::prof::ProfScope prof(
         support::prof::Phase::kBenchKernel);
 
-    support::BitWriter w;
-    for (int i = 0; i < 10000; ++i)
-        w.writeBits(std::uint64_t(i) & 0x1fff, 13);
-    m.addCounter("micro.bitwriter.bytes", w.byteSize());
+    // The microbench has no ArtifactEngine DAG, but its sentinel
+    // pass is still schedulable work: declare it up front (the
+    // whole graph before anything runs, like the engine does) so
+    // SCHED_microbench.json exercises the serial-on-main shape of
+    // the tepic-sched-v1 contract. The only true edge is
+    // compile -> baseline (the image needs the compiled program).
+    const auto t_bits = support::sched::declareTask(
+        {"micro/bitwriter", "micro", "micro", "", {}, false});
+    const auto t_huff = support::sched::declareTask(
+        {"micro/huffman", "micro", "micro", "", {}, false});
+    const auto t_cache = support::sched::declareTask(
+        {"micro/cache", "micro", "micro", "", {}, false});
+    const auto t_compile = support::sched::declareTask(
+        {"compress/compile", "compile", "compress", "", {}, false});
+    const auto t_base = support::sched::declareTask(
+        {"compress/base", "base", "compress", "", {t_compile},
+         false});
 
-    const auto &table = sampleTable();
-    support::Rng rng(2);
-    support::BitWriter hw;
-    for (int i = 0; i < 10000; ++i)
-        table.encode(rng.below(500), hw);
-    m.addCounter("micro.huffman.encoded_bits", hw.bitSize());
-    // The production (LUT) decoder and the canonical-walk reference
-    // must agree symbol-for-symbol; the sentinel below is the LUT
-    // path's checksum and the reference run re-derives it exactly.
-    support::BitReader r(hw.bytes().data(), hw.bitSize());
-    const std::uint64_t checksum =
-        codec::decodeChecksum(table, r, 10000);
-    support::BitReader ref_reader(hw.bytes().data(), hw.bitSize());
-    TEPIC_ASSERT(codec::decodeChecksumReference(table, ref_reader,
-                                                10000) == checksum,
-                 "LUT decode diverged from the canonical reference");
-    m.addCounter("micro.huffman.decode_checksum", checksum);
+    {
+        support::sched::TaskScope scope(t_bits);
+        support::BitWriter w;
+        for (int i = 0; i < 10000; ++i)
+            w.writeBits(std::uint64_t(i) & 0x1fff, 13);
+        m.addCounter("micro.bitwriter.bytes", w.byteSize());
+    }
 
-    fetch::BankedCache cache(fetch::CacheConfig::paperCompressed());
-    support::Rng cache_rng(7);
-    std::uint64_t hits = 0;
-    for (int i = 0; i < 4096; ++i) {
-        hits += cache
+    {
+        support::sched::TaskScope scope(t_huff);
+        const auto &table = sampleTable();
+        support::Rng rng(2);
+        support::BitWriter hw;
+        for (int i = 0; i < 10000; ++i)
+            table.encode(rng.below(500), hw);
+        m.addCounter("micro.huffman.encoded_bits", hw.bitSize());
+        // The production (LUT) decoder and the canonical-walk
+        // reference must agree symbol-for-symbol; the sentinel below
+        // is the LUT path's checksum and the reference run re-derives
+        // it exactly.
+        support::BitReader r(hw.bytes().data(), hw.bitSize());
+        const std::uint64_t checksum =
+            codec::decodeChecksum(table, r, 10000);
+        support::BitReader ref_reader(hw.bytes().data(),
+                                      hw.bitSize());
+        TEPIC_ASSERT(codec::decodeChecksumReference(
+                         table, ref_reader, 10000) == checksum,
+                     "LUT decode diverged from the canonical "
+                     "reference");
+        m.addCounter("micro.huffman.decode_checksum", checksum);
+    }
+
+    {
+        support::sched::TaskScope scope(t_cache);
+        fetch::BankedCache cache(
+            fetch::CacheConfig::paperCompressed());
+        support::Rng cache_rng(7);
+        std::uint64_t hits = 0;
+        for (int i = 0; i < 4096; ++i) {
+            hits +=
+                cache
                     .accessBlock(
                         std::uint32_t(cache_rng.below(64 * 1024)), 24)
                     .hit;
+        }
+        m.addCounter("micro.cache.hits", hits);
     }
-    m.addCounter("micro.cache.hits", hits);
 
-    const auto compiled = compiler::compileSource(
-        workloads::workloadByName("compress").source);
+    const compiler::CompiledProgram compiled = [&] {
+        support::sched::TaskScope scope(t_compile);
+        return compiler::compileSource(
+            workloads::workloadByName("compress").source);
+    }();
     m.addCounter("micro.compile.ops", compiled.program.opCount());
-    m.addCounter("micro.baseline.image_bits",
-                 isa::buildBaselineImage(compiled.program).bitSize);
+    {
+        support::sched::TaskScope scope(t_base);
+        m.addCounter("micro.baseline.image_bits",
+                     isa::buildBaselineImage(compiled.program)
+                         .bitSize);
+    }
 
     // Deterministic work units behind prof.ops_encoded_per_sec: the
     // 10000 Huffman symbol encodes plus the baseline image's ops.
@@ -242,6 +281,7 @@ main(int argc, char **argv)
     const auto options =
         tepic::bench::parseBenchOptions(&argc, argv, {});
     support::prof::startSession();
+    support::sched::startSession(options.jobs);
     if (!options.profCollapsePath.empty())
         support::prof::startSampling();
     recordMicroSentinels();
@@ -252,6 +292,13 @@ main(int argc, char **argv)
     if (support::prof::writeReport(prof_json, options.benchName,
                                    metrics)) {
         TEPIC_INFORM("[bench] wrote profile report to ", prof_json);
+    }
+    support::sched::exportMetricsTo(metrics);
+    const std::string sched_json =
+        "SCHED_" + options.benchName + ".json";
+    if (support::sched::writeReport(sched_json,
+                                    options.benchName)) {
+        TEPIC_INFORM("[bench] wrote sched report to ", sched_json);
     }
     if (!options.metricsPath.empty())
         metrics.writeJsonFile(options.metricsPath);

@@ -1,10 +1,12 @@
 #include "core/artifact_engine.hh"
 
+#include <cstdio>
 #include <cstring>
 
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
+#include "support/sched.hh"
 #include "support/trace.hh"
 
 namespace tepic::core {
@@ -235,18 +237,63 @@ chargeEncodedOps(const Artifacts &a)
         "prof.work.ops_encoded", a.compiled.program.opCount());
 }
 
+/**
+ * Workload label for sched task records: the caller-supplied
+ * BuildRequest::label, or (deterministically) the cache key when the
+ * caller did not name the request.
+ */
+std::string
+schedWorkload(const std::string &label, std::uint64_t key)
+{
+    if (!label.empty())
+        return label;
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "w%016llx",
+                  (unsigned long long)key);
+    return buf;
+}
+
+std::uint64_t
+declareSchedTask(const std::string &workload, const char *kind,
+                 std::string scheme,
+                 std::vector<std::uint64_t> deps,
+                 bool cache_hit = false)
+{
+    if (!support::sched::enabled())
+        return ~std::uint64_t(0);
+    support::sched::TaskDecl decl;
+    decl.label = workload + "/" + kind +
+                 (scheme.empty() ? "" : "." + scheme);
+    decl.kind = kind;
+    decl.workload = workload;
+    decl.scheme = std::move(scheme);
+    decl.deps = std::move(deps);
+    decl.cacheHit = cache_hit;
+    return support::sched::declareTask(std::move(decl));
+}
+
 } // namespace
 
 void
 ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
+                            const std::string &workload,
+                            std::uint64_t compile_task,
                             std::vector<std::function<void()>> &tasks,
                             std::vector<std::function<void()>> &att_tasks)
 {
     const ArtifactRequest request = req.request;
     const schemes::HuffmanOptions huffman = req.config.huffman;
 
+    // Ids of the image tasks the phase-3 builders depend on.
+    std::uint64_t base_task = ~std::uint64_t(0);
+    std::uint64_t full_task = ~std::uint64_t(0);
+    std::uint64_t tailored_task = ~std::uint64_t(0);
+
     if (request.has(ArtifactKind::kBase)) {
-        tasks.push_back([this, &a] {
+        base_task = declareSchedTask(workload, "base", "",
+                                     {compile_task});
+        tasks.push_back([this, &a, base_task] {
+            support::sched::TaskScope sched_scope(base_task);
             TEPIC_TRACE_SPAN("engine.build.base", "engine");
             support::prof::ProfScope prof(
                 support::prof::Phase::kBuildBase);
@@ -259,7 +306,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         });
     }
     if (request.has(ArtifactKind::kByte)) {
-        tasks.push_back([this, &a, huffman] {
+        const std::uint64_t task_id =
+            declareSchedTask(workload, "byte", "", {compile_task});
+        tasks.push_back([this, &a, huffman, task_id] {
+            support::sched::TaskScope sched_scope(task_id);
             TEPIC_TRACE_SPAN("engine.build.byte", "engine");
             support::prof::ProfScope prof(
                 support::prof::Phase::kBuildByte);
@@ -276,7 +326,13 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         const auto &configs = schemes::allStreamConfigs();
         a.streams_.resize(configs.size());
         for (std::size_t i = 0; i < configs.size(); ++i) {
-            tasks.push_back([this, &a, huffman, i, &configs] {
+            const std::uint64_t task_id =
+                declareSchedTask(workload, "stream",
+                                 "s" + std::to_string(i),
+                                 {compile_task});
+            tasks.push_back([this, &a, huffman, i, &configs,
+                             task_id] {
+                support::sched::TaskScope sched_scope(task_id);
                 TEPIC_TRACE_SPAN("engine.build.stream", "engine");
                 support::prof::ProfScope prof(
                     support::prof::Phase::kBuildStream);
@@ -291,7 +347,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         }
     }
     if (request.has(ArtifactKind::kFull)) {
-        tasks.push_back([this, &a, huffman] {
+        full_task = declareSchedTask(workload, "full", "",
+                                     {compile_task});
+        tasks.push_back([this, &a, huffman, full_task] {
+            support::sched::TaskScope sched_scope(full_task);
             TEPIC_TRACE_SPAN("engine.build.full", "engine");
             support::prof::ProfScope prof(
                 support::prof::Phase::kBuildFull);
@@ -305,7 +364,10 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         });
     }
     if (request.has(ArtifactKind::kTailored)) {
-        tasks.push_back([this, &a] {
+        tailored_task = declareSchedTask(workload, "tailored", "",
+                                         {compile_task});
+        tasks.push_back([this, &a, tailored_task] {
+            support::sched::TaskScope sched_scope(tailored_task);
             TEPIC_TRACE_SPAN("engine.build.tailored", "engine");
             support::prof::ProfScope prof(
                 support::prof::Phase::kBuildTailored);
@@ -321,7 +383,12 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         });
     }
     if (request.has(ArtifactKind::kAtt)) {
-        att_tasks.push_back([this, &a] {
+        // The ATT reads the Full image, so it depends on that task
+        // (normalized() guarantees kFull is in the request).
+        const std::uint64_t task_id =
+            declareSchedTask(workload, "att", "", {full_task});
+        att_tasks.push_back([this, &a, task_id] {
+            support::sched::TaskScope sched_scope(task_id);
             TEPIC_TRACE_SPAN("engine.build.att", "engine");
             support::prof::ProfScope prof(
                 support::prof::Phase::kBuildAtt);
@@ -340,7 +407,11 @@ ArtifactEngine::schemeTasks(Artifacts &a, const BuildRequest &req,
         // final heap address, so consumers never pay construction
         // inside a timed fetch window (and concurrent readers of a
         // shared Artifacts see fully-built decoders).
-        att_tasks.push_back([this, &a] {
+        const std::uint64_t task_id = declareSchedTask(
+            workload, "decoder", "",
+            {base_task, full_task, tailored_task});
+        att_tasks.push_back([this, &a, task_id] {
+            support::sched::TaskScope sched_scope(task_id);
             TEPIC_TRACE_SPAN("engine.build.decoder", "engine");
             support::ScopedTimerMs timer(
                 support::MetricsRegistry::global(),
@@ -402,9 +473,11 @@ ArtifactEngine::clearCache()
 std::shared_ptr<const Artifacts>
 ArtifactEngine::build(const std::string &source,
                       ArtifactRequest request,
-                      const PipelineConfig &config)
+                      const PipelineConfig &config,
+                      const std::string &label)
 {
-    return buildMany({BuildRequest{source, request, config}}).front();
+    return buildMany({BuildRequest{source, request, config, label}})
+        .front();
 }
 
 std::vector<std::shared_ptr<const Artifacts>>
@@ -449,6 +522,8 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
     }
 
     // Cache pass: a stored superset satisfies any subset request.
+    // Hits become zero-duration sched tasks, so the scheduling report
+    // carries an exact-gated cache-hit count alongside the DAG.
     std::vector<std::size_t> misses;
     for (std::size_t g = 0; g < pending.size(); ++g) {
         auto &p = pending[g];
@@ -456,6 +531,9 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
             for (std::size_t idx : p.indices)
                 results[idx] = hit;
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            declareSchedTask(
+                schedWorkload(p.proto->label, p.key), "hit", "", {},
+                /*cache_hit=*/true);
             continue;
         }
         cacheMisses_.fetch_add(1, std::memory_order_relaxed);
@@ -463,15 +541,31 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
         misses.push_back(g);
     }
 
-    // Phase 1: the shared compile + emulate stage, one task per
-    // workload, concurrently across workloads.
+    // Declare the whole task DAG up front, in batch order on the
+    // calling thread — task ids are therefore identical for any
+    // --jobs value, and tasks blocked behind the compile stage are
+    // visible to the sched idle-cause attribution while phase 1 runs.
     std::vector<BuildRequest> effective(misses.size());
+    std::vector<std::uint64_t> compile_tasks(misses.size(),
+                                             ~std::uint64_t(0));
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::function<void()>> att_tasks;
     for (std::size_t m = 0; m < misses.size(); ++m) {
         const Pending &p = pending[misses[m]];
         effective[m] = BuildRequest{p.proto->source, p.request,
-                                    p.proto->config};
+                                    p.proto->config, p.proto->label};
+        const std::string workload =
+            schedWorkload(p.proto->label, p.key);
+        compile_tasks[m] =
+            declareSchedTask(workload, "compile", "", {});
+        schemeTasks(*pending[misses[m]].building, effective[m],
+                    workload, compile_tasks[m], tasks, att_tasks);
     }
+
+    // Phase 1: the shared compile + emulate stage, one task per
+    // workload, concurrently across workloads.
     const auto compile_one = [&](std::size_t m) {
+        support::sched::TaskScope sched_scope(compile_tasks[m]);
         compileStage(*pending[misses[m]].building, effective[m]);
     };
     {
@@ -487,12 +581,6 @@ ArtifactEngine::buildMany(const std::vector<BuildRequest> &requests)
     // Phase 2: fan every independent scheme build out as a task;
     // each writes a pre-assigned slot, so scheduling order cannot
     // change the result. ATTs run third — they read the Full image.
-    std::vector<std::function<void()>> tasks;
-    std::vector<std::function<void()>> att_tasks;
-    for (std::size_t m = 0; m < misses.size(); ++m) {
-        schemeTasks(*pending[misses[m]].building, effective[m], tasks,
-                    att_tasks);
-    }
     {
         TEPIC_TRACE_SPAN("engine.phase.schemes", "engine");
         runScheduled(tasks);
@@ -533,10 +621,18 @@ ArtifactEngine::buildUncached(const std::string &source,
     ArtifactEngine serial(1);
     Artifacts artifacts;
     const BuildRequest req{source, request.normalized(), config};
-    serial.compileStage(artifacts, req);
+    const std::string workload =
+        schedWorkload({}, pipelineCacheKey(source, config));
+    const std::uint64_t compile_task =
+        declareSchedTask(workload, "compile", "", {});
     std::vector<std::function<void()>> tasks;
     std::vector<std::function<void()>> att_tasks;
-    serial.schemeTasks(artifacts, req, tasks, att_tasks);
+    serial.schemeTasks(artifacts, req, workload, compile_task, tasks,
+                       att_tasks);
+    {
+        support::sched::TaskScope sched_scope(compile_task);
+        serial.compileStage(artifacts, req);
+    }
     serial.runScheduled(tasks);
     serial.runScheduled(att_tasks);
     return artifacts;

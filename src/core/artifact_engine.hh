@@ -51,6 +51,13 @@ struct BuildRequest
     std::string source;                              ///< tinkerc text
     ArtifactRequest request = ArtifactRequest::all();
     PipelineConfig config;
+    /**
+     * Display name for scheduling observability (support::sched task
+     * labels); empty falls back to a hash of (source, config). Never
+     * part of the cache key — two requests differing only in label
+     * still coalesce.
+     */
+    std::string label;
 };
 
 /**
@@ -105,7 +112,8 @@ class ArtifactEngine
     std::shared_ptr<const Artifacts>
     build(const std::string &source,
           ArtifactRequest request = ArtifactRequest::all(),
-          const PipelineConfig &config = {});
+          const PipelineConfig &config = {},
+          const std::string &label = {});
 
     /**
      * Build many programs concurrently; results come back in request
@@ -158,11 +166,18 @@ class ArtifactEngine
     void compileStage(Artifacts &artifacts, const BuildRequest &req);
 
     /**
-     * Append one task per requested scheme to @p tasks; ATT tasks go
-     * to @p att_tasks because they read the Full image and must run
-     * after the scheme phase.
+     * Append one task per requested scheme to @p tasks; ATT and
+     * decoder tasks go to @p att_tasks because they read the images
+     * written in the scheme phase and must run after it. Also
+     * declares every task (with its dependency edges on
+     * @p compile_task) to the support::sched recorder — called
+     * *before* phase 1 runs, so declared-but-blocked tasks are
+     * visible to the idle-cause attribution while earlier phases
+     * execute. @p workload labels the tasks.
      */
     void schemeTasks(Artifacts &artifacts, const BuildRequest &req,
+                     const std::string &workload,
+                     std::uint64_t compile_task,
                      std::vector<std::function<void()>> &tasks,
                      std::vector<std::function<void()>> &att_tasks);
 

@@ -4,6 +4,7 @@
 
 #include "support/logging.hh"
 #include "support/profiler.hh"
+#include "support/sched.hh"
 #include "support/trace.hh"
 
 namespace tepic::support {
@@ -14,7 +15,7 @@ ThreadPool::ThreadPool(unsigned threads)
         threads = hardwareThreads();
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -48,9 +49,24 @@ ThreadPool::enqueue(std::function<void()> job)
     available_.notify_one();
 }
 
-void
-ThreadPool::workerLoop()
+namespace {
+
+/** Tags the worker thread for the sched recorder, detaching on exit. */
+struct SchedWorkerTag
 {
+    explicit SchedWorkerTag(unsigned index)
+    {
+        sched::workerAttach(index);
+    }
+    ~SchedWorkerTag() { sched::workerDetach(); }
+};
+
+} // namespace
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    const SchedWorkerTag sched_tag(index);
     for (;;) {
         Job job;
         {

@@ -105,7 +105,7 @@ class ThreadPool
     };
 
     void enqueue(std::function<void()> job);
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     mutable std::mutex mutex_;
     std::condition_variable available_;

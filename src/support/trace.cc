@@ -73,9 +73,18 @@ ThreadBuffer::~ThreadBuffer()
     auto &r = registry();
     std::lock_guard<std::mutex> registry_lock(r.mutex);
     std::lock_guard<std::mutex> buffer_lock(mutex);
-    r.retired.insert(r.retired.end(),
-                     std::make_move_iterator(events.begin()),
-                     std::make_move_iterator(events.end()));
+    // Retire only into a live session. stop() keeps r.started true
+    // until after its drain, so a worker exiting concurrently with
+    // stop() either retires here first (and the drain picks the
+    // events out of r.retired) or is drained directly — its spans are
+    // never dropped. Once the session is over, anything still
+    // buffered carries a dead epoch's timestamps and must not
+    // resurface in the next session.
+    if (r.started) {
+        r.retired.insert(r.retired.end(),
+                         std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+    }
     std::erase(r.live, this);
     t_hasBuffer = false;
 }
@@ -102,6 +111,14 @@ append(Event event)
     auto &buffer = threadBuffer();
     event.tid = buffer.tid;
     std::lock_guard<std::mutex> lock(buffer.mutex);
+    // Re-check under the buffer mutex: collectJson() holds this mutex
+    // while draining, so an append racing with stop() either lands
+    // before the drain (and is collected) or — because the mutex
+    // hand-off makes stop()'s enabled=false store visible — is
+    // dropped here. It can never land in an already-drained buffer
+    // and leak into the next session with a stale-epoch timestamp.
+    if (!registry().enabled.load(std::memory_order_relaxed))
+        return;
     buffer.events.push_back(std::move(event));
 }
 
@@ -209,14 +226,20 @@ void
 stop()
 {
     auto &r = registry();
-    if (!r.started)
-        return;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (!r.started)
+            return;
+    }
     r.enabled.store(false, std::memory_order_relaxed);
-    r.started = false;
+    // r.started stays true across the drain so threads exiting right
+    // now (a ThreadPool draining on destruct) still retire their
+    // buffers into r.retired where collectJson() finds them.
     const std::string json = collectJson();
     std::string path;
     {
         std::lock_guard<std::mutex> lock(r.mutex);
+        r.started = false;
         path = r.path;
         r.path.clear();
     }
@@ -236,12 +259,15 @@ stopToJson()
 {
     auto &r = registry();
     r.enabled.store(false, std::memory_order_relaxed);
-    r.started = false;
+    // Same retirement ordering as stop(): drain first, then end the
+    // session.
+    const std::string json = collectJson();
     {
         std::lock_guard<std::mutex> lock(r.mutex);
+        r.started = false;
         r.path.clear();
     }
-    return collectJson();
+    return json;
 }
 
 void

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "codec/codec.hh"
@@ -18,6 +20,7 @@
 #include "core/pipeline.hh"
 #include "huffman/huffman.hh"
 #include "support/bitstream.hh"
+#include "support/metrics.hh"
 #include "support/rng.hh"
 #include "workloads/workload.hh"
 
@@ -282,6 +285,61 @@ TEST(DecodedBlockCache, CachedFetchSimulationIsBitIdentical)
         // at most one decode.
         EXPECT_EQ(cache.hits() + cache.misses(), cached.blocksFetched);
         EXPECT_LE(cache.misses(), cache.size());
+    }
+}
+
+TEST(DecodedBlockCache, ConcurrentRunFetchChargesExactPerRunDeltas)
+{
+    // core::runFetch() attaches a fresh DecodedBlockCache per call
+    // over the shared pre-warmed (const) decoder, so concurrent runs
+    // stay independent and the per-run codec.* deltas it charges are
+    // exact-gated: K parallel runs add exactly K times one run's
+    // counters, and each run's cache accesses tile its fetches
+    // (hits + misses == blocks fetched).
+    const auto &a = firArtifacts();
+    auto &m = support::MetricsRegistry::global();
+    const auto scheme = fetch::SchemeClass::kCompressed;
+    const std::string prefix = "codec.compressed.";
+    const auto snapshot = [&] {
+        return std::array<std::uint64_t, 3>{
+            m.counter(prefix + "block_cache_hits"),
+            m.counter(prefix + "block_cache_misses"),
+            m.counter(prefix + "ops_decoded")};
+    };
+
+    const auto before = snapshot();
+    const auto serial = core::runFetch(a, scheme);
+    const auto after_one = snapshot();
+    const std::uint64_t hits = after_one[0] - before[0];
+    const std::uint64_t misses = after_one[1] - before[1];
+    const std::uint64_t decoded = after_one[2] - before[2];
+    EXPECT_EQ(hits + misses, serial.blocksFetched);
+    EXPECT_GE(misses, 1u);
+    EXPECT_LE(misses, a.decoder(scheme).blockCount())
+        << "a cold cache misses each touched static block once";
+    EXPECT_GT(decoded, 0u);
+
+    constexpr unsigned kRuns = 8;
+    std::vector<fetch::FetchStats> stats(kRuns);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kRuns);
+        for (unsigned k = 0; k < kRuns; ++k) {
+            threads.emplace_back([&a, &stats, scheme, k] {
+                stats[k] = core::runFetch(a, scheme);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+    }
+    const auto after_all = snapshot();
+    EXPECT_EQ(after_all[0] - after_one[0], kRuns * hits);
+    EXPECT_EQ(after_all[1] - after_one[1], kRuns * misses);
+    EXPECT_EQ(after_all[2] - after_one[2], kRuns * decoded);
+    for (unsigned k = 0; k < kRuns; ++k) {
+        EXPECT_EQ(stats[k].blocksFetched, serial.blocksFetched)
+            << "run " << k;
+        EXPECT_EQ(stats[k].cycles, serial.cycles) << "run " << k;
     }
 }
 

@@ -18,6 +18,7 @@
 #include "core/pipeline.hh"
 #include "fetch/fetch_sim.hh"
 #include "json_mini.hh"
+#include "support/thread_pool.hh"
 #include "support/trace.hh"
 #include "workloads/workload.hh"
 
@@ -124,6 +125,38 @@ TEST(Trace, ThreadBuffersFlushAtStop)
     const auto main_span = findEvent(doc, "main.span");
     const auto worker_span = findEvent(doc, "worker.span");
     EXPECT_NE(main_span.at("tid").number, worker_span.at("tid").number);
+}
+
+TEST(Trace, PoolDrainOnDestructRetainsWorkerSpans)
+{
+    // Regression: spans emitted by ThreadPool workers while the pool
+    // drains its queue on destruction must all survive into the
+    // report. The workers' thread-local buffers retire as the threads
+    // exit (inside ~ThreadPool's join), which races with nothing here
+    // — but the retirement path must run with the session still
+    // started, or the drained tasks' spans would be discarded.
+    constexpr int kRounds = 10;
+    constexpr int kTasks = 32;
+    for (int round = 0; round < kRounds; ++round) {
+        trace::start("");
+        {
+            support::ThreadPool pool(4);
+            for (int i = 0; i < kTasks; ++i) {
+                pool.submit([] {
+                    TEPIC_TRACE_SPAN("drain.span", "test");
+                });
+            }
+            // Pool destroyed with tasks still queued/in flight:
+            // drain-on-destruct runs every one of them first.
+        }
+        const auto doc = testjson::parse(trace::stopToJson());
+        int spans = 0;
+        for (const auto &event : doc.at("traceEvents").array)
+            if (event.at("name").str == "drain.span")
+                ++spans;
+        ASSERT_EQ(spans, kTasks) << "round " << round;
+        ASSERT_EQ(trace::pendingEvents(), 0u) << "round " << round;
+    }
 }
 
 TEST(Trace, SpanStraddlingStopIsDropped)

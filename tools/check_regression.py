@@ -3,7 +3,8 @@
 
 Usage:
   check_regression.py --baseline-dir DIR --fresh-dir DIR
-                      [--time-band FACTOR] [--only NAME[,NAME...]]
+                      [--time-band FACTOR]
+                      [--only NAME[,NAME...]] [--only NAME ...]
 
 For every BENCH_*.json in the baseline directory, loads the file of
 the same name from the fresh directory and compares:
@@ -131,8 +132,10 @@ def main(argv):
     parser.add_argument("--fresh-dir", required=True)
     parser.add_argument("--time-band", type=float, default=None,
                         help="allowed wall-clock ratio (e.g. 100)")
-    parser.add_argument("--only", default=None,
-                        help="comma-separated BENCH file names")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="restrict to these BENCH file names; "
+                             "comma-separated and/or repeated")
     try:
         args = parser.parse_args(argv)
     except SystemExit:
@@ -148,7 +151,10 @@ def main(argv):
     names = sorted(n for n in os.listdir(args.baseline_dir)
                    if n.startswith("BENCH_") and n.endswith(".json"))
     if args.only:
-        wanted = set(args.only.split(","))
+        wanted = {name for group in args.only
+                  for name in group.split(",") if name}
+        if not wanted:
+            usage_error("--only given without any file name")
         names = [n for n in names if n in wanted]
         missing = wanted - set(names)
         if missing:

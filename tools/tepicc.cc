@@ -37,6 +37,7 @@
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
+#include "support/sched.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
 #include "workloads/workload.hh"
@@ -58,6 +59,8 @@ usage()
         "       --prof-report=<file> (host-profile rollup, schema "
         "tepic-prof-v1),\n"
         "       --prof-collapse=<file> (FlameGraph collapsed stacks),\n"
+        "       --sched-report=<file> (task-graph scheduling report, "
+        "schema tepic-sched-v1),\n"
         "       --log-level=debug|info|warn|error|none (overrides "
         "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
@@ -91,6 +94,7 @@ struct Options
     std::string sizeReportPath;
     std::string profReportPath;
     std::string profCollapsePath;
+    std::string schedReportPath;
     std::vector<std::string> positional;
 };
 
@@ -133,6 +137,8 @@ parseArgs(int argc, char **argv)
             opts.profReportPath = argv[i] + 14;
         else if (std::strncmp(argv[i], "--prof-collapse=", 16) == 0)
             opts.profCollapsePath = argv[i] + 16;
+        else if (std::strncmp(argv[i], "--sched-report=", 15) == 0)
+            opts.schedReportPath = argv[i] + 15;
         else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
             const char *level = argv[i] + 12;
             if (!support::isLogLevelName(level)) {
@@ -244,7 +250,7 @@ cmdCompress(const Options &opts)
         opts.positional[1],
         core::ArtifactEngine::global().build(
             source, core::ArtifactRequest::all(),
-            pipelineConfig(opts)));
+            pipelineConfig(opts), opts.positional[1]));
     const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     support::TextTable table;
@@ -266,7 +272,7 @@ cmdFetch(const Options &opts)
         opts.positional[1],
         core::ArtifactEngine::global().build(
             source, core::ArtifactRequest::all(),
-            pipelineConfig(opts)));
+            pipelineConfig(opts), opts.positional[1]));
     const auto &artifacts = *built;
     std::vector<fetch::SchemeClass> schemes;
     if (opts.positional.size() > 2) {
@@ -310,7 +316,7 @@ cmdVerify(const Options &opts)
         opts.positional[1],
         core::ArtifactEngine::global().build(
             source, core::ArtifactRequest::all(),
-            pipelineConfig(opts)));
+            pipelineConfig(opts), opts.positional[1]));
     const auto &artifacts = *built;
     core::verifyRoundTrips(artifacts);
     std::printf("round trips: ok (base, byte, 6 streams, full, "
@@ -345,7 +351,7 @@ cmdVerilog(const Options &opts)
         core::ArtifactEngine::global().build(
             source,
             core::ArtifactRequest{core::ArtifactKind::kTailored},
-            pipelineConfig(opts)));
+            pipelineConfig(opts), opts.positional[1]));
     std::fputs(artifacts->tailoredIsa().emitVerilog("tailored_decoder")
                    .c_str(), stdout);
     return 0;
@@ -414,10 +420,14 @@ finalizeObservability(const Options &opts)
                                        g_lastBuild.artifacts.get()}});
         }
     }
+    if (!opts.schedReportPath.empty()) {
+        support::sched::writeReport(opts.schedReportPath, "tepicc");
+    }
     if (!opts.metricsPath.empty() || !opts.profReportPath.empty()) {
         auto &metrics = support::MetricsRegistry::global();
         core::ArtifactEngine::global().exportMetrics(metrics);
         support::prof::exportMetricsTo(metrics);
+        support::sched::exportMetricsTo(metrics);
         if (!opts.profReportPath.empty()) {
             support::prof::writeReport(opts.profReportPath, "tepicc",
                                        metrics);
@@ -453,6 +463,10 @@ main(int argc, char **argv)
         return usage();
 
     support::prof::startSession();
+    // Scheduling observability is always recorded (the engine emits a
+    // handful of task events per build); the report is written only
+    // when --sched-report= asks for it.
+    support::sched::startSession(0);
     if (!opts.profCollapsePath.empty())
         support::prof::startSampling();
     if (!opts.tracePath.empty())

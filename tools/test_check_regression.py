@@ -148,6 +148,46 @@ class CheckRegressionTest(TempDirs):
         self.assertEqual(result.returncode, 1)
         self.assertIn("missing from fresh", result.stderr)
 
+    def test_only_accepts_a_comma_separated_list(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        self.write(self.baseline, "BENCH_y.json", bench_doc())
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        self.write(self.fresh, "BENCH_y.json", bench_doc())
+        # BENCH_z would drift, but it is not selected.
+        self.write(self.baseline, "BENCH_z.json", bench_doc())
+        result = self.run_check("--only", "BENCH_x.json,BENCH_y.json")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("all 2 baseline(s) match", result.stdout)
+
+    def test_only_accepts_repeated_flags(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        self.write(self.baseline, "BENCH_y.json", bench_doc())
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        doc = bench_doc()
+        doc["counters"]["fetch.base.stall_cycles"] += 1
+        self.write(self.fresh, "BENCH_y.json", doc)
+        # Repeated flags union with comma groups; the drifting file
+        # is selected, so the exit code must still be 1.
+        result = self.run_check("--only", "BENCH_x.json",
+                                "--only", "BENCH_y.json")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("stall_cycles", result.stderr)
+
+    def test_only_unknown_name_is_usage_error(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        result = self.run_check("--only", "BENCH_x.json",
+                                "--only", "BENCH_nope.json")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("BENCH_nope.json", result.stderr)
+
+    def test_only_empty_value_is_usage_error(self):
+        self.write(self.baseline, "BENCH_x.json", bench_doc())
+        self.write(self.fresh, "BENCH_x.json", bench_doc())
+        result = self.run_check("--only", ",")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("without any file name", result.stderr)
+
     def test_empty_baseline_dir_is_usage_error(self):
         result = self.run_check()
         self.assertEqual(result.returncode, 2)
