@@ -40,7 +40,7 @@ printAblation()
             config.l0CapacityOps = s;
             const auto stats = core::runFetch(
                 named.artifacts(), SchemeClass::kCompressed,
-                config);
+                config, named.name);
             row.push_back(TextTable::num(stats.ipc(), 3));
             if (s == 32) {
                 hit32 = stats.l0Hits + stats.l0Misses

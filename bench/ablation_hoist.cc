@@ -68,12 +68,13 @@ printAblation()
         const auto &w = *selected[i];
         const auto &off = *built[2 * i];
         const auto &on = *built[2 * i + 1];
-        const auto base_off =
-            core::runFetch(off, fetch::SchemeClass::kBase);
-        const auto base_on =
-            core::runFetch(on, fetch::SchemeClass::kBase);
-        const auto tail_on =
-            core::runFetch(on, fetch::SchemeClass::kTailored);
+        const auto base_off = core::runFetch(
+            off, fetch::SchemeClass::kBase, std::nullopt,
+            w.name + "/hoist-off");
+        const auto base_on = core::runFetch(
+            on, fetch::SchemeClass::kBase, std::nullopt, w.name);
+        const auto tail_on = core::runFetch(
+            on, fetch::SchemeClass::kTailored, std::nullopt, w.name);
         ipc_gain.push_back(base_on.ipc() / base_off.ipc());
 
         const double dyn_delta =
@@ -101,8 +102,8 @@ printAblation()
     for (unsigned budget : {0u, 1u, 2u, 4u, 8u}) {
         const auto a = engine->build(
             go.source, kRequest, hoistConfig(budget > 0, budget));
-        const auto stats =
-            core::runFetch(*a, fetch::SchemeClass::kBase);
+        const auto stats = core::runFetch(
+            *a, fetch::SchemeClass::kBase, std::nullopt, "go");
         sweep.addRow({std::to_string(budget),
                       std::to_string(a->compiled.hoistStats.hoistedOps),
                       TextTable::num(a->compiled.schedStats.ilp(), 3),

@@ -48,7 +48,8 @@ printAblation()
             a.compiled.program, a.trace());
         const auto config = fetch::FetchConfig::paper(
             SchemeClass::kBase);
-        const auto plain = core::runFetch(a, SchemeClass::kBase);
+        const auto plain = core::runFetch(a, SchemeClass::kBase,
+                                          std::nullopt, named.name);
         const auto unit = fetch::simulateUnitFetch(
             a.baseImage(), a.compiled.program, a.trace(), units,
             config);

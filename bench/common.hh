@@ -43,6 +43,7 @@
 
 #include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
+#include "fetch/cache_stats.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
@@ -335,6 +336,20 @@ reportBenchSummary(const BenchOptions &options)
         TEPIC_INFORM("[bench] wrote sched report to ", sched_json);
     }
 
+    // Cache-behavior observability: write the per-binary
+    // CACHE_<name>.json report (tools/tepic_cache.py validates,
+    // renders and --compare-gates it; the cache.<scheme>.* counters
+    // were folded into the registry by runFetch as the print phase
+    // ran). The session ends here so the timed loops below re-run
+    // the fetch sims unrecorded, at full speed.
+    const std::string cache_json =
+        "CACHE_" + options.benchName + ".json";
+    if (fetch::cachestats::writeReport(cache_json,
+                                       options.benchName)) {
+        TEPIC_INFORM("[bench] wrote cache report to ", cache_json);
+    }
+    fetch::cachestats::endSession();
+
     if (!options.metricsPath.empty()) {
         metrics.writeJsonFile(options.metricsPath);
         TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
@@ -385,6 +400,7 @@ findArtifacts(const std::string &name)
             &argc, argv, (default_request));                           \
         ::tepic::support::prof::startSession();                        \
         ::tepic::support::sched::startSession(bench_options.jobs);     \
+        ::tepic::fetch::cachestats::startSession();                    \
         if (!bench_options.profCollapsePath.empty())                   \
             ::tepic::support::prof::startSampling();                   \
         if (!bench_options.tracePath.empty())                          \

@@ -42,8 +42,9 @@ printFigure7()
             att.overheadVs(a.fullImage().image.bitSize);
         overheads.push_back(vs_original);
 
-        const auto stats =
-            core::runFetch(a, fetch::SchemeClass::kCompressed);
+        const auto stats = core::runFetch(
+            a, fetch::SchemeClass::kCompressed, std::nullopt,
+            named.name);
         const double atb_rate =
             double(stats.atbHits) /
             double(stats.atbHits + stats.atbMisses);
@@ -81,7 +82,7 @@ printFigure7()
         config.atbEntries = entries;
         const auto stats = core::runFetch(
             gcc->artifacts(), fetch::SchemeClass::kCompressed,
-            config);
+            config, "gcc");
         sweep.addRow({std::to_string(entries),
                       TextTable::percent(
                           double(stats.atbHits) /

@@ -66,9 +66,12 @@ printFigure13()
 
     for (const auto &named : bench::allArtifacts()) {
         const auto &a = named.artifacts();
-        const auto base = core::runFetch(a, SchemeClass::kBase);
-        const auto comp = core::runFetch(a, SchemeClass::kCompressed);
-        const auto tail = core::runFetch(a, SchemeClass::kTailored);
+        const auto base = core::runFetch(a, SchemeClass::kBase,
+                                         std::nullopt, named.name);
+        const auto comp = core::runFetch(
+            a, SchemeClass::kCompressed, std::nullopt, named.name);
+        const auto tail = core::runFetch(
+            a, SchemeClass::kTailored, std::nullopt, named.name);
 
         auto &metrics = support::MetricsRegistry::global();
         metrics.setGauge("fetch.ipc." + named.name + ".base",

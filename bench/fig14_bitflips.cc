@@ -29,9 +29,12 @@ printFigure14()
     std::vector<double> tail_rel;
     for (const auto &named : bench::allArtifacts()) {
         const auto &a = named.artifacts();
-        const auto base = core::runFetch(a, SchemeClass::kBase);
-        const auto comp = core::runFetch(a, SchemeClass::kCompressed);
-        const auto tail = core::runFetch(a, SchemeClass::kTailored);
+        const auto base = core::runFetch(a, SchemeClass::kBase,
+                                         std::nullopt, named.name);
+        const auto comp = core::runFetch(
+            a, SchemeClass::kCompressed, std::nullopt, named.name);
+        const auto tail = core::runFetch(
+            a, SchemeClass::kTailored, std::nullopt, named.name);
 
         const double mb = double(base.busBitFlips) / 1e6;
         const double mc = double(comp.busBitFlips) / 1e6;

@@ -282,6 +282,7 @@ main(int argc, char **argv)
         tepic::bench::parseBenchOptions(&argc, argv, {});
     support::prof::startSession();
     support::sched::startSession(options.jobs);
+    fetch::cachestats::startSession();
     if (!options.profCollapsePath.empty())
         support::prof::startSampling();
     recordMicroSentinels();
@@ -300,6 +301,13 @@ main(int argc, char **argv)
                                     options.benchName)) {
         TEPIC_INFORM("[bench] wrote sched report to ", sched_json);
     }
+    const std::string cache_json =
+        "CACHE_" + options.benchName + ".json";
+    if (fetch::cachestats::writeReport(cache_json,
+                                       options.benchName)) {
+        TEPIC_INFORM("[bench] wrote cache report to ", cache_json);
+    }
+    fetch::cachestats::endSession();
     if (!options.metricsPath.empty())
         metrics.writeJsonFile(options.metricsPath);
     const std::string bench_json =

@@ -239,15 +239,63 @@ recordFetchMetrics(fetch::SchemeClass scheme,
     }
 }
 
+/**
+ * Fold one simulation's cache-behavior record into the process
+ * metrics. Every counter and histogram here is a pure function of
+ * (trace, config) — deterministic, exact-gated. The *_rate gauges
+ * are derived ratios and band-gated by naming convention
+ * (tools/validate_metrics.py masks `cache.*_rate` values like
+ * `prof.*_per_sec`).
+ */
+void
+recordCacheMetrics(fetch::SchemeClass scheme,
+                   const fetch::CacheStats &cs)
+{
+    cs.assertTiling();
+    auto &m = support::MetricsRegistry::global();
+    const std::string prefix =
+        std::string("cache.") + fetch::schemeClassName(scheme) + ".";
+    m.addCounter(prefix + "accesses", cs.accesses);
+    m.addCounter(prefix + "hits", cs.hits);
+    m.addCounter(prefix + "misses", cs.misses);
+    // The 3C split; tiles cache.<scheme>.misses exactly (tested).
+    m.addCounter(prefix + "miss.compulsory", cs.compulsory);
+    m.addCounter(prefix + "miss.capacity", cs.capacity);
+    m.addCounter(prefix + "miss.conflict", cs.conflict);
+    m.addCounter(prefix + "l0_bypasses", cs.l0Bypasses);
+    m.addCounter(prefix + "line.fills", cs.lineFills);
+    m.addCounter(prefix + "line.evictions", cs.lineEvictions);
+    m.addCounter(prefix + "line.dead_on_fill", cs.deadOnFill);
+    m.addCounter(prefix + "reuse.samples", cs.reuseSamples);
+    m.addCounter(prefix + "reuse.cold", cs.reuseCold);
+    if (cs.reuseLog2Histogram.total() > 0) {
+        m.mergeHistogram(prefix + "reuse.log2_hist",
+                         cs.reuseLog2Histogram);
+    }
+    if (cs.evictionUseHistogram.total() > 0) {
+        m.mergeHistogram(prefix + "line.eviction_use_hist",
+                         cs.evictionUseHistogram);
+    }
+    m.setGauge(prefix + "miss_rate", cs.missRate());
+    m.setGauge(prefix + "dead_on_fill_rate", cs.deadOnFillRate());
+}
+
 } // namespace
 
 fetch::FetchStats
 runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
-         std::optional<fetch::FetchConfig> config)
+         std::optional<fetch::FetchConfig> config,
+         const std::string &label)
 {
     TEPIC_TRACE_SPAN("fetch.simulate", "fetch");
     fetch::FetchConfig fetch_config =
         config ? *config : fetch::FetchConfig::paper(scheme);
+
+    // A live cachestats session turns recording on (bench print
+    // phase, tepicc --cache-report=); callers that enabled it in
+    // their own config are honored as-is.
+    if (fetch::cachestats::enabled())
+        fetch_config.cacheStats.enabled = true;
 
     // Attach a decoded-block cache unless the caller brought one.
     // Decoder construction happens here, *before* the profiled fetch
@@ -290,6 +338,10 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
                                       artifacts.trace(),
                                       fetch_config);
     recordFetchMetrics(scheme, stats);
+    if (stats.cacheStats.recorded) {
+        recordCacheMetrics(scheme, stats.cacheStats);
+        fetch::cachestats::record(label, scheme, stats.cacheStats);
+    }
     // Deterministic work units feeding prof.blocks_simulated_per_sec
     // and the per-scheme prof.fetch.<scheme>.blocks_per_sec gauges;
     // the cpu-time delta lands in the env-dependent runtime section.

@@ -153,10 +153,18 @@ Artifacts buildArtifacts(const std::string &source,
 const isa::Image &imageFor(const Artifacts &artifacts,
                            fetch::SchemeClass scheme);
 
-/** Fetch-simulate @p scheme with the paper's configuration. */
+/**
+ * Fetch-simulate @p scheme with the paper's configuration. While a
+ * fetch::cachestats session is active (benches, tepicc
+ * --cache-report=), cache-behavior recording is switched on and the
+ * simulation's CacheStats land in the session store under
+ * @p label (the workload name; "-" when empty) plus the exact
+ * cache.<scheme>.* metrics counters.
+ */
 fetch::FetchStats
 runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
-         std::optional<fetch::FetchConfig> config = std::nullopt);
+         std::optional<fetch::FetchConfig> config = std::nullopt,
+         const std::string &label = {});
 
 /** One row of the compression comparison (Figure 5). */
 struct SchemeSummary

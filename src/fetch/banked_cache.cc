@@ -19,6 +19,9 @@ BankedCache::lookupLine(std::uint64_t line_id)
     for (unsigned w = 0; w < config_.ways; ++w) {
         if (base[w].valid && base[w].tag == line_id) {
             base[w].lastUse = ++clock_;
+            ++base[w].uses;
+            if (observer_)
+                observer_->onLineHit(line_id, std::uint32_t(set));
             return true;
         }
     }
@@ -49,10 +52,17 @@ BankedCache::fillLine(std::uint64_t line_id)
         if (base[w].lastUse < base[victim].lastUse)
             victim = w;
     }
+    if (observer_ && base[victim].valid) {
+        observer_->onLineEvict(base[victim].tag, std::uint32_t(set),
+                               base[victim].uses);
+    }
     base[victim].valid = true;
     base[victim].tag = line_id;
     base[victim].lastUse = ++clock_;
+    base[victim].uses = 0;
     ++linesFilled_;
+    if (observer_)
+        observer_->onLineFill(line_id, std::uint32_t(set));
 }
 
 CacheAccess

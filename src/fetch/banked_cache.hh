@@ -60,6 +60,26 @@ struct CacheAccess
     std::uint32_t linesFilled = 0;  ///< lines brought in on a miss
 };
 
+/**
+ * Line-granularity event sink (cache_stats.hh observability). A hit
+ * is a lookup that found the line resident; a fill installs a line
+ * on the block-miss path; an eviction reports the victim with the
+ * number of re-references it served since its fill (0 = dead on
+ * fill). Null observer costs the hot loop one predictable branch
+ * per event.
+ */
+class CacheLineObserver
+{
+  public:
+    virtual ~CacheLineObserver() = default;
+    virtual void onLineHit(std::uint64_t lineId,
+                           std::uint32_t set) = 0;
+    virtual void onLineFill(std::uint64_t lineId,
+                            std::uint32_t set) = 0;
+    virtual void onLineEvict(std::uint64_t lineId, std::uint32_t set,
+                             std::uint64_t uses) = 0;
+};
+
 class BankedCache
 {
   public:
@@ -71,6 +91,13 @@ class BankedCache
      */
     CacheAccess accessBlock(std::uint32_t addr, std::uint32_t size);
 
+    /** Attach (or clear, with nullptr) the line-event sink. Purely
+     *  observational: replacement decisions never change. */
+    void setObserver(CacheLineObserver *observer)
+    {
+        observer_ = observer;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t linesFilled() const { return linesFilled_; }
@@ -81,10 +108,12 @@ class BankedCache
         bool valid = false;
         std::uint64_t tag = 0;
         std::uint64_t lastUse = 0;
+        std::uint64_t uses = 0;  ///< re-references since fill
     };
 
     CacheConfig config_;
     std::vector<Way> ways_;  ///< sets_ x ways_, row-major
+    CacheLineObserver *observer_ = nullptr;
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

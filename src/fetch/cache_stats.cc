@@ -1,0 +1,682 @@
+#include "fetch/cache_stats.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace tepic::fetch {
+
+// ---------------------------------------------------------------------------
+// CacheStats: merge + invariants (compiled unconditionally).
+
+void
+CacheStats::merge(const CacheStats &other)
+{
+    if (!other.recorded)
+        return;
+    if (!recorded) {
+        *this = other;
+        return;
+    }
+    TEPIC_ASSERT(sameGeometry(other),
+                 "CacheStats::merge across cache geometries (the "
+                 "session layer must key these apart)");
+    fetches += other.fetches;
+    l0Bypasses += other.l0Bypasses;
+    atbHits += other.atbHits;
+    atbMisses += other.atbMisses;
+    accesses += other.accesses;
+    hits += other.hits;
+    misses += other.misses;
+    compulsory += other.compulsory;
+    capacity += other.capacity;
+    conflict += other.conflict;
+    lineFills += other.lineFills;
+    lineEvictions += other.lineEvictions;
+    deadOnFill += other.deadOnFill;
+    residentAtEnd += other.residentAtEnd;
+    evictionUseHistogram.merge(other.evictionUseHistogram);
+    reuseSamples += other.reuseSamples;
+    reuseCold += other.reuseCold;
+    reuseMax = std::max(reuseMax, other.reuseMax);
+    reuseLog2Histogram.merge(other.reuseLog2Histogram);
+
+    auto add_vec = [](std::vector<std::uint64_t> &into,
+                      const std::vector<std::uint64_t> &from) {
+        TEPIC_ASSERT(into.size() == from.size(),
+                     "CacheStats::merge with mismatched vectors");
+        for (std::size_t i = 0; i < into.size(); ++i)
+            into[i] += from[i];
+    };
+    add_vec(setAccesses, other.setAccesses);
+    add_vec(setHits, other.setHits);
+    add_vec(setFills, other.setFills);
+    add_vec(setEvictions, other.setEvictions);
+    add_vec(setDeadOnFill, other.setDeadOnFill);
+    add_vec(heatAccesses, other.heatAccesses);
+    add_vec(heatFills, other.heatFills);
+    add_vec(heatEvictions, other.heatEvictions);
+}
+
+void
+CacheStats::assertTiling() const
+{
+    if (!recorded)
+        return;
+    TEPIC_ASSERT(misses == compulsory + capacity + conflict,
+                 "3C classes must tile L1 misses exactly: ", misses,
+                 " != ", compulsory, " + ", capacity, " + ", conflict);
+    TEPIC_ASSERT(accesses == hits + misses,
+                 "L1 accesses must tile into hits + misses");
+    TEPIC_ASSERT(fetches == accesses + l0Bypasses,
+                 "fetches must tile into L1 accesses + L0 bypasses");
+    TEPIC_ASSERT(atbHits + atbMisses == fetches,
+                 "every fetch makes exactly one ATB access");
+    TEPIC_ASSERT(lineFills >= lineEvictions,
+                 "more evictions than fills");
+    TEPIC_ASSERT(residentAtEnd == lineFills - lineEvictions,
+                 "resident lines must be fills - evictions");
+    TEPIC_ASSERT(deadOnFill <= lineEvictions,
+                 "dead-on-fill lines are a subset of evictions");
+    TEPIC_ASSERT(reuseSamples ==
+                     reuseCold + reuseLog2Histogram.total(),
+                 "reuse histogram + cold must tile the samples");
+    TEPIC_ASSERT(evictionUseHistogram.total() == lineEvictions,
+                 "every eviction samples the use histogram once");
+
+    std::uint64_t acc_sum = 0, hit_sum = 0, fill_sum = 0;
+    std::uint64_t evict_sum = 0;
+    for (std::size_t s = 0; s < setAccesses.size(); ++s) {
+        TEPIC_ASSERT(setAccesses[s] == setHits[s] + setFills[s],
+                     "per-set line accesses must tile into hits + "
+                     "fills (set ", s, ")");
+        acc_sum += setAccesses[s];
+        hit_sum += setHits[s];
+        fill_sum += setFills[s];
+        evict_sum += setEvictions[s];
+    }
+    TEPIC_ASSERT(fill_sum == lineFills,
+                 "per-set fills must sum to the fill total");
+    TEPIC_ASSERT(evict_sum == lineEvictions,
+                 "per-set evictions must sum to the eviction total");
+
+    // Heatmap column sums reproduce the per-set vectors.
+    auto check_heat = [&](const std::vector<std::uint64_t> &heat,
+                          const std::vector<std::uint64_t> &per_set,
+                          const char *what) {
+        for (unsigned s = 0; s < sets; ++s) {
+            std::uint64_t col = 0;
+            for (unsigned e = 0; e < heatmapEpochs; ++e)
+                col += heat[std::size_t(e) * sets + s];
+            TEPIC_ASSERT(col == per_set[s],
+                         "heatmap ", what, " column must sum to the "
+                         "per-set total (set ", s, ")");
+        }
+    };
+    check_heat(heatAccesses, setAccesses, "accesses");
+    check_heat(heatFills, setFills, "fills");
+    check_heat(heatEvictions, setEvictions, "evictions");
+    (void)acc_sum;
+    (void)hit_sum;
+}
+
+#if TEPIC_CACHESTATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// ReuseDistanceTracker.
+
+ReuseDistanceTracker::ReuseDistanceTracker(std::size_t expectedBlocks)
+{
+    const std::uint64_t want =
+        std::max<std::uint64_t>(64, 4 * std::uint64_t(expectedBlocks));
+    cap_ = std::uint32_t(std::bit_ceil(want));
+    fenwick_.assign(cap_ + 1, 0);
+}
+
+void
+ReuseDistanceTracker::add(std::uint32_t index, std::int32_t delta)
+{
+    for (; index <= cap_; index += index & (~index + 1))
+        fenwick_[index] = std::uint32_t(std::int64_t(fenwick_[index]) +
+                                        delta);
+}
+
+std::uint64_t
+ReuseDistanceTracker::prefix(std::uint32_t index) const
+{
+    std::uint64_t sum = 0;
+    for (; index > 0; index -= index & (~index + 1))
+        sum += fenwick_[index];
+    return sum;
+}
+
+void
+ReuseDistanceTracker::compact()
+{
+    // Renumber the live markers by rank order: distances only depend
+    // on the *relative* order of last-access positions, so the tree
+    // stays exact while the position space shrinks to O(live).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> live;
+    live.reserve(live_);
+    for (std::uint32_t b = 0; b < lastPos_.size(); ++b)
+        if (lastPos_[b] != 0)
+            live.emplace_back(lastPos_[b], b);
+    std::sort(live.begin(), live.end());
+
+    if (std::uint64_t(live.size()) * 4 > cap_)
+        cap_ = std::uint32_t(std::bit_ceil(std::uint64_t(
+            std::max<std::uint64_t>(64, 4 * live.size()))));
+    fenwick_.assign(cap_ + 1, 0);
+    std::uint32_t pos = 0;
+    for (const auto &[old_pos, block] : live) {
+        lastPos_[block] = pos + 1;
+        add(pos + 1, +1);
+        ++pos;
+    }
+    next_ = pos;
+    ++compactions_;
+}
+
+std::uint64_t
+ReuseDistanceTracker::access(std::uint32_t block)
+{
+    if (block >= lastPos_.size())
+        lastPos_.resize(std::size_t(block) + 1, 0);
+    if (next_ == cap_)
+        compact();
+
+    std::uint64_t distance = kCold;
+    if (lastPos_[block] != 0) {
+        const std::uint32_t p = lastPos_[block];
+        // Markers strictly after p = live markers - markers at <= p.
+        distance = live_ - prefix(p);
+        add(p, -1);
+        --live_;
+    }
+    add(next_ + 1, +1);
+    ++live_;
+    lastPos_[block] = next_ + 1;
+    ++next_;
+    return distance;
+}
+
+// ---------------------------------------------------------------------------
+// CacheStatsRecorder.
+
+CacheStatsRecorder::CacheStatsRecorder(const CacheConfig &cache,
+                                       std::uint64_t expectedEvents,
+                                       const CacheStatsConfig &options)
+    : options_(options), expectedEvents_(expectedEvents),
+      // Seed the position space with the shadow capacity: the
+      // distinct-block count is unknown here and the tracker grows
+      // itself on compaction anyway.
+      reuse_(std::size_t(cache.sets) * cache.ways)
+{
+    options_.heatmapEpochs = std::max(1u, options_.heatmapEpochs);
+    stats_.sets = cache.sets;
+    stats_.ways = cache.ways;
+    stats_.lineBytes = cache.lineBytes;
+    stats_.heatmapEpochs = options_.heatmapEpochs;
+    stats_.setAccesses.assign(cache.sets, 0);
+    stats_.setHits.assign(cache.sets, 0);
+    stats_.setFills.assign(cache.sets, 0);
+    stats_.setEvictions.assign(cache.sets, 0);
+    stats_.setDeadOnFill.assign(cache.sets, 0);
+    const std::size_t cells =
+        std::size_t(options_.heatmapEpochs) * cache.sets;
+    stats_.heatAccesses.assign(cells, 0);
+    stats_.heatFills.assign(cells, 0);
+    stats_.heatEvictions.assign(cells, 0);
+    shadowCapacity_ = cache.sets * cache.ways;
+}
+
+void
+CacheStatsRecorder::ensureLine(std::uint64_t lineId)
+{
+    if (lineId >= touched_.size()) {
+        touched_.resize(std::size_t(lineId) + 1, false);
+        shadow_.resize(std::size_t(lineId) + 1);
+    }
+}
+
+bool
+CacheStatsRecorder::shadowResident(std::uint64_t lineId) const
+{
+    return lineId < shadow_.size() && shadow_[lineId].resident;
+}
+
+void
+CacheStatsRecorder::shadowUnlink(std::uint32_t line)
+{
+    ShadowNode &node = shadow_[line];
+    if (node.prev != kNil)
+        shadow_[node.prev].next = node.next;
+    else
+        shadowHead_ = node.next;
+    if (node.next != kNil)
+        shadow_[node.next].prev = node.prev;
+    else
+        shadowTail_ = node.prev;
+    node.prev = node.next = kNil;
+}
+
+void
+CacheStatsRecorder::shadowPushFront(std::uint32_t line)
+{
+    ShadowNode &node = shadow_[line];
+    node.prev = kNil;
+    node.next = shadowHead_;
+    if (shadowHead_ != kNil)
+        shadow_[shadowHead_].prev = line;
+    shadowHead_ = line;
+    if (shadowTail_ == kNil)
+        shadowTail_ = line;
+}
+
+void
+CacheStatsRecorder::shadowTouch(std::uint64_t lineId)
+{
+    const auto line = std::uint32_t(lineId);
+    ShadowNode &node = shadow_[line];
+    if (node.resident) {
+        shadowUnlink(line);
+        shadowPushFront(line);
+        return;
+    }
+    if (shadowResident_ == shadowCapacity_) {
+        const std::uint32_t victim = shadowTail_;
+        shadow_[victim].resident = false;
+        shadowUnlink(victim);
+        --shadowResident_;
+    }
+    node.resident = true;
+    shadowPushFront(line);
+    ++shadowResident_;
+}
+
+void
+CacheStatsRecorder::onFetch(std::uint32_t block)
+{
+    // Epoch of *this* event, from its trace index (never wall clock:
+    // the heatmaps must be bit-identical across --jobs).
+    if (expectedEvents_ > 0) {
+        epoch_ = unsigned(std::min<std::uint64_t>(
+            stats_.heatmapEpochs - 1,
+            events_ * stats_.heatmapEpochs / expectedEvents_));
+    }
+    ++stats_.fetches;
+    if (options_.reuseSampleEvery <= 1 ||
+        events_ % options_.reuseSampleEvery == 0) {
+        const std::uint64_t distance = reuse_.access(block);
+        ++stats_.reuseSamples;
+        if (distance == ReuseDistanceTracker::kCold) {
+            ++stats_.reuseCold;
+        } else {
+            stats_.reuseMax = std::max(stats_.reuseMax, distance);
+            const std::int64_t key =
+                distance == 0
+                    ? 0
+                    : std::int64_t(std::bit_width(distance));
+            stats_.reuseLog2Histogram.sample(key);
+        }
+    }
+    ++events_;
+}
+
+void
+CacheStatsRecorder::onAtbAccess(bool hit)
+{
+    if (hit)
+        ++stats_.atbHits;
+    else
+        ++stats_.atbMisses;
+}
+
+void
+CacheStatsRecorder::onL0Bypass()
+{
+    ++stats_.l0Bypasses;
+}
+
+void
+CacheStatsRecorder::onL1Block(std::uint32_t addr, std::uint32_t size,
+                              bool hit)
+{
+    TEPIC_ASSERT(size > 0, "zero-size block access");
+    const std::uint64_t first = addr / stats_.lineBytes;
+    const std::uint64_t last =
+        (std::uint64_t(addr) + size - 1) / stats_.lineBytes;
+    ensureLine(last);
+
+    // Probe first (pre-access state), then update: a block's own
+    // earlier lines must not satisfy its later ones.
+    bool first_touch = false;
+    bool shadow_all = true;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        if (!touched_[line])
+            first_touch = true;
+        if (!shadow_[line].resident)
+            shadow_all = false;
+    }
+    for (std::uint64_t line = first; line <= last; ++line) {
+        touched_[line] = true;
+        shadowTouch(line);
+    }
+
+    ++stats_.accesses;
+    if (hit) {
+        ++stats_.hits;
+        return;
+    }
+    ++stats_.misses;
+    if (first_touch)
+        ++stats_.compulsory;
+    else if (shadow_all)
+        ++stats_.conflict;
+    else
+        ++stats_.capacity;
+}
+
+void
+CacheStatsRecorder::onLineHit(std::uint64_t, std::uint32_t set)
+{
+    ++stats_.setAccesses[set];
+    ++stats_.setHits[set];
+    ++stats_.heatAccesses[std::size_t(epoch_) * stats_.sets + set];
+}
+
+void
+CacheStatsRecorder::onLineFill(std::uint64_t, std::uint32_t set)
+{
+    ++stats_.lineFills;
+    ++stats_.setAccesses[set];
+    ++stats_.setFills[set];
+    const std::size_t cell = std::size_t(epoch_) * stats_.sets + set;
+    ++stats_.heatAccesses[cell];
+    ++stats_.heatFills[cell];
+}
+
+void
+CacheStatsRecorder::onLineEvict(std::uint64_t, std::uint32_t set,
+                                std::uint64_t uses)
+{
+    ++stats_.lineEvictions;
+    ++stats_.setEvictions[set];
+    ++stats_.heatEvictions[std::size_t(epoch_) * stats_.sets + set];
+    if (uses == 0) {
+        ++stats_.deadOnFill;
+        ++stats_.setDeadOnFill[set];
+    }
+    stats_.evictionUseHistogram.sample(std::int64_t(
+        std::min<std::uint64_t>(uses, std::uint64_t(1) << 62)));
+}
+
+CacheStats
+CacheStatsRecorder::finish()
+{
+    stats_.recorded = true;
+    stats_.residentAtEnd = stats_.lineFills - stats_.lineEvictions;
+    TEPIC_ASSERT(stats_.residentAtEnd <=
+                     std::uint64_t(stats_.sets) * stats_.ways,
+                 "more resident lines than the cache holds");
+    stats_.assertTiling();
+    return std::move(stats_);
+}
+
+#endif // TEPIC_CACHESTATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Session store (compiled unconditionally, like support::sched).
+
+namespace cachestats {
+
+namespace {
+
+struct Store
+{
+    std::atomic<bool> enabled{false};
+    std::mutex mutex;
+    // workload -> scheme name -> merged record; std::map so report
+    // iteration order is deterministic.
+    std::map<std::string, std::map<std::string, CacheStats>> workloads;
+};
+
+Store &
+store()
+{
+    static Store s;
+    return s;
+}
+
+std::string
+geometryKey(const CacheStats &stats)
+{
+    return "@" + std::to_string(stats.sets) + "x" +
+           std::to_string(stats.ways) + "x" +
+           std::to_string(stats.lineBytes);
+}
+
+void
+appendArray(std::string &out, const std::vector<std::uint64_t> &values,
+            std::size_t begin, std::size_t count)
+{
+    out += "[";
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(values[begin + i]);
+    }
+    out += "]";
+}
+
+void
+appendHistogram(std::string &out, const support::Histogram &hist)
+{
+    out += "{\"total\": " + std::to_string(hist.total()) +
+           ", \"overflow\": " + std::to_string(hist.overflow()) +
+           ", \"bins\": [";
+    bool first = true;
+    for (const auto &[key, weight] : hist.bins()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "[" + std::to_string(key) + ", " +
+               std::to_string(weight) + "]";
+    }
+    out += "]}";
+}
+
+void
+appendScheme(std::string &out, const CacheStats &s,
+             const std::string &indent)
+{
+    const std::string in2 = indent + "  ";
+    out += "{\n";
+    out += in2 + "\"config\": {\"sets\": " + std::to_string(s.sets) +
+           ", \"ways\": " + std::to_string(s.ways) +
+           ", \"line_bytes\": " + std::to_string(s.lineBytes) +
+           ", \"heatmap_epochs\": " +
+           std::to_string(s.heatmapEpochs) + "},\n";
+    out += in2 + "\"blocks\": {\"fetches\": " +
+           std::to_string(s.fetches) + ", \"l0_bypasses\": " +
+           std::to_string(s.l0Bypasses) + "},\n";
+    out += in2 + "\"atb\": {\"hits\": " + std::to_string(s.atbHits) +
+           ", \"misses\": " + std::to_string(s.atbMisses) + "},\n";
+    out += in2 + "\"l1\": {\"accesses\": " +
+           std::to_string(s.accesses) +
+           ", \"hits\": " + std::to_string(s.hits) +
+           ", \"misses\": " + std::to_string(s.misses) +
+           ", \"miss_classes\": {\"compulsory\": " +
+           std::to_string(s.compulsory) +
+           ", \"capacity\": " + std::to_string(s.capacity) +
+           ", \"conflict\": " + std::to_string(s.conflict) + "}},\n";
+    out += in2 + "\"lines\": {\"fills\": " +
+           std::to_string(s.lineFills) +
+           ", \"evictions\": " + std::to_string(s.lineEvictions) +
+           ", \"dead_on_fill\": " + std::to_string(s.deadOnFill) +
+           ", \"resident_at_end\": " +
+           std::to_string(s.residentAtEnd) +
+           ", \"eviction_use_hist\": ";
+    appendHistogram(out, s.evictionUseHistogram);
+    out += "},\n";
+    out += in2 + "\"reuse\": {\"samples\": " +
+           std::to_string(s.reuseSamples) +
+           ", \"cold\": " + std::to_string(s.reuseCold) +
+           ", \"max\": " + std::to_string(s.reuseMax) +
+           ", \"log2_hist\": ";
+    appendHistogram(out, s.reuseLog2Histogram);
+    out += "},\n";
+    out += in2 + "\"sets\": {\n";
+    const auto named = {
+        std::make_pair("accesses", &s.setAccesses),
+        std::make_pair("hits", &s.setHits),
+        std::make_pair("fills", &s.setFills),
+        std::make_pair("evictions", &s.setEvictions),
+        std::make_pair("dead_on_fill", &s.setDeadOnFill)};
+    bool first = true;
+    for (const auto &[label, vec] : named) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += in2 + "  \"" + label + "\": ";
+        appendArray(out, *vec, 0, vec->size());
+    }
+    out += "\n" + in2 + "},\n";
+    out += in2 + "\"heatmap\": {\"epochs\": " +
+           std::to_string(s.heatmapEpochs) + ",\n";
+    const auto heat = {std::make_pair("accesses", &s.heatAccesses),
+                       std::make_pair("fills", &s.heatFills),
+                       std::make_pair("evictions", &s.heatEvictions)};
+    first = true;
+    for (const auto &[label, vec] : heat) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += in2 + "  \"" + label + "\": [";
+        for (unsigned e = 0; e < s.heatmapEpochs; ++e) {
+            if (e)
+                out += ",";
+            out += "\n" + in2 + "    ";
+            appendArray(out, *vec, std::size_t(e) * s.sets, s.sets);
+        }
+        out += "]";
+    }
+    out += "\n" + in2 + "}\n";
+    out += indent + "}";
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return store().enabled.load(std::memory_order_relaxed);
+}
+
+void
+startSession()
+{
+    auto &s = store();
+    s.enabled.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.workloads.clear();
+    }
+    s.enabled.store(true, std::memory_order_release);
+}
+
+void
+endSession()
+{
+    store().enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+record(const std::string &workload, SchemeClass scheme,
+       const CacheStats &stats)
+{
+    if (!enabled() || !stats.recorded)
+        return;
+    auto &s = store();
+    const std::string key = workload.empty() ? "-" : workload;
+    const std::string scheme_name = schemeClassName(scheme);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    CacheStats &slot = s.workloads[key][scheme_name];
+    if (slot.recorded && !slot.sameGeometry(stats)) {
+        // Same workload simulated under a different geometry (a
+        // sweep): keep it apart rather than asserting in merge().
+        s.workloads[key + geometryKey(stats)][scheme_name].merge(
+            stats);
+        return;
+    }
+    slot.merge(stats);
+}
+
+std::string
+reportJson(const std::string &name)
+{
+    auto &s = store();
+    std::string out = "{\n";
+    out += "  \"schema\": \"tepic-cache-v1\",\n";
+    out += "  \"name\": " + support::jsonQuote(name) + ",\n";
+    out += "  \"structure\": {\n";
+    out += "    \"workloads\": {";
+    std::lock_guard<std::mutex> lock(s.mutex);
+    bool first_wl = true;
+    for (const auto &[workload, schemes] : s.workloads) {
+        if (!first_wl)
+            out += ",";
+        first_wl = false;
+        out += "\n      " + support::jsonQuote(workload) + ": {";
+        bool first_scheme = true;
+        for (const auto &[scheme, stats] : schemes) {
+            if (!first_scheme)
+                out += ",";
+            first_scheme = false;
+            out += "\n        " + support::jsonQuote(scheme) + ": ";
+            appendScheme(out, stats, "        ");
+        }
+        out += "\n      }";
+    }
+    out += s.workloads.empty() ? "}\n" : "\n    }\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+writeReport(const std::string &path, const std::string &name)
+{
+    const std::string json = reportJson(name);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TEPIC_WARN("cannot open cache report output '", path, "'");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok)
+        TEPIC_WARN("short write to cache report output '", path, "'");
+    return ok;
+}
+
+void
+resetForTest()
+{
+    auto &s = store();
+    s.enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.workloads.clear();
+}
+
+} // namespace cachestats
+
+} // namespace tepic::fetch

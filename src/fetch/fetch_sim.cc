@@ -1,6 +1,7 @@
 #include "fetch/fetch_sim.hh"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "support/logging.hh"
@@ -75,6 +76,19 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
     const bool trace_sink = support::trace::enabled();
     const char *stall_rate_name = stallRateCounterName(config.scheme);
 
+    // Cache-behavior observability (cache_stats.hh): a stub under
+    // -DTEPIC_ENABLE_TRACING=OFF, and the disabled hot loop pays one
+    // null check per path either way.
+    std::optional<CacheStatsRecorder> cache_stats;
+    CacheStatsRecorder *rec = nullptr;
+    if (config.cacheStats.enabled) {
+        cache_stats.emplace(config.cache,
+                            std::uint64_t(trace.events.size()),
+                            config.cacheStats);
+        rec = &*cache_stats;
+        cache.setObserver(rec);
+    }
+
     // Prediction for the very first block: treat as correct (cold
     // start is charged to neither scheme).
     bool next_prediction_correct = true;
@@ -89,6 +103,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         const isa::BlockId block = event.block;
         const AttEntry &entry = att.entry(block);
         ++stats.blocksFetched;
+        if (rec)
+            rec->onFetch(block);
 
         FetchEvent fe;
         fe.predictionCorrect = next_prediction_correct;
@@ -100,6 +116,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         // ATB: translation must be resident before the block can be
         // fetched; a miss costs the ATT upload from ROM.
         const bool atb_hit = atb.access(block);
+        if (rec)
+            rec->onAtbAccess(atb_hit);
         if (!atb_hit) {
             causes.atbMiss += config.penalties.atbMissPenalty;
             // The ATT entry travels over the memory bus.
@@ -121,6 +139,10 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         if (!l0_hit) {
             const CacheAccess access =
                 cache.accessBlock(entry.byteAddress, entry.byteSize);
+            if (rec) {
+                rec->onL1Block(entry.byteAddress, entry.byteSize,
+                               access.hit);
+            }
             fe.l1Hit = access.hit;
             n_lines = access.blockLines;
             if (!access.hit) {
@@ -137,6 +159,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
                 }
             }
         } else {
+            if (rec)
+                rec->onL0Bypass();
             fe.l1Hit = true;
             const std::uint32_t span =
                 (entry.byteAddress % config.cache.lineBytes +
@@ -243,6 +267,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
     stats.busBeats = bus.beats();
     stats.busBitFlips = bus.bitFlips();
     stats.bytesTransferred = bus.bytesTransferred();
+    if (rec)
+        stats.cacheStats = rec->finish();
     return stats;
 }
 

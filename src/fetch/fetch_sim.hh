@@ -21,6 +21,7 @@
 #include "codec/decoder.hh"
 #include "fetch/att.hh"
 #include "fetch/banked_cache.hh"
+#include "fetch/cache_stats.hh"
 #include "fetch/cycle_model.hh"
 #include "fetch/l0_buffer.hh"
 #include "isa/image.hh"
@@ -101,6 +102,15 @@ struct FetchConfig
     unsigned busWidthBytes = 8;
     CyclePenalties penalties;
     FetchTraceOptions trace;      ///< off by default: zero-cost loop
+    /**
+     * Cache-behavior recording (cache_stats.hh): 3C miss
+     * classification, reuse distances, per-set heatmaps. Off by
+     * default — the hot loop pays one null check per path; purely
+     * observational, so stats with and without recording are
+     * identical (asserted by tests). Folds to no-op stubs under
+     * -DTEPIC_ENABLE_TRACING=OFF.
+     */
+    CacheStatsConfig cacheStats;
 
     /**
      * Optional decoded-block cache (codec/decoder.hh): when set, the
@@ -186,6 +196,11 @@ struct FetchStats
     support::Histogram atbHistogram =
         support::Histogram(kStallHistogramOverflow);
     FetchTrace trace;
+
+    /** Cache-behavior record; recorded only when
+     *  FetchConfig::cacheStats.enabled (and the build has tracing
+     *  compiled in). See cache_stats.hh for the tiling contract. */
+    CacheStats cacheStats;
 
     static constexpr std::int64_t kStallHistogramOverflow = 64;
 

@@ -245,6 +245,40 @@ TEST(L0Buffer, HitMissAndCapacity)
     EXPECT_FALSE(buf.access(1, 10));  // was evicted
 }
 
+TEST(L0Buffer, CapacityOneDegeneratesToSingleEntry)
+{
+    // Exactly one 4-op block fits: every distinct access evicts the
+    // sole resident, so only immediate re-accesses hit.
+    fetch::L0Buffer buf(4);
+    EXPECT_FALSE(buf.access(0, 4));
+    EXPECT_TRUE(buf.access(0, 4));
+    EXPECT_EQ(buf.residentOps(), 4u);
+    EXPECT_FALSE(buf.access(1, 4));  // evicts 0
+    EXPECT_FALSE(buf.access(0, 4));  // evicts 1
+    EXPECT_EQ(buf.residentOps(), 4u);
+    EXPECT_EQ(buf.hits(), 1u);
+    EXPECT_EQ(buf.misses(), 3u);
+}
+
+TEST(L0Buffer, ReAccessMovesBlockToMruExactEvictionOrder)
+{
+    // Three 4-op blocks fill the buffer; a hit on the oldest must
+    // move it to MRU so the *next* oldest is the eviction victim.
+    fetch::L0Buffer buf(12);
+    EXPECT_FALSE(buf.access(0, 4));
+    EXPECT_FALSE(buf.access(1, 4));
+    EXPECT_FALSE(buf.access(2, 4));
+    EXPECT_TRUE(buf.access(0, 4));   // LRU order now 1, 2, 0
+    EXPECT_FALSE(buf.access(3, 4));  // evicts 1, not 0
+    EXPECT_TRUE(buf.access(0, 4));   // survived
+    EXPECT_TRUE(buf.access(2, 4));   // survived
+    EXPECT_FALSE(buf.access(1, 4));  // the actual victim; evicts 3
+    EXPECT_FALSE(buf.access(3, 4));
+    EXPECT_EQ(buf.hits(), 3u);
+    EXPECT_EQ(buf.misses(), 6u);
+    EXPECT_EQ(buf.residentOps(), 12u);
+}
+
 TEST(L0Buffer, OversizedBlocksBypass)
 {
     fetch::L0Buffer buf(32);
@@ -333,6 +367,35 @@ TEST(Atb, LruAndPredictorLearning)
     atb2.update(with_fall, false, fall);
     atb2.update(with_fall, false, fall);
     EXPECT_EQ(atb2.predictNext(with_fall), fall);
+}
+
+TEST(Atb, CapacityOneDegeneratesToSingleEntry)
+{
+    AtbFixture fx;
+    ASSERT_GE(fx.att.entries().size(), 2u);
+    fetch::Atb atb(fx.att, 1);
+    EXPECT_FALSE(atb.access(0));
+    EXPECT_TRUE(atb.access(0));
+    EXPECT_FALSE(atb.access(1));  // evicts 0
+    EXPECT_FALSE(atb.access(0));  // evicts 1
+    EXPECT_EQ(atb.hits(), 1u);
+    EXPECT_EQ(atb.misses(), 3u);
+}
+
+TEST(Atb, ReAccessMovesEntryToMruExactEvictionOrder)
+{
+    AtbFixture fx;
+    ASSERT_GE(fx.att.entries().size(), 3u);
+    fetch::Atb atb(fx.att, 2);
+    EXPECT_FALSE(atb.access(0));
+    EXPECT_FALSE(atb.access(1));
+    EXPECT_TRUE(atb.access(0));   // LRU order now 1, 0
+    EXPECT_FALSE(atb.access(2));  // evicts 1, not 0
+    EXPECT_TRUE(atb.access(0));   // survived the eviction
+    EXPECT_FALSE(atb.access(1));  // the actual victim; evicts 2
+    EXPECT_FALSE(atb.access(2));
+    EXPECT_EQ(atb.hits(), 2u);
+    EXPECT_EQ(atb.misses(), 5u);
 }
 
 TEST(FetchSim, InvariantsOnRealWorkload)

@@ -443,4 +443,94 @@ TEST_P(FuzzSizeTiling, LedgersTileUnderRandomStreamCuts)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSizeTiling,
                          ::testing::Range(0, 8));
 
+class FuzzCacheTiling : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * The 3C classification must tile L1 misses exactly for arbitrary
+ * cache geometries and sampling configurations, the recorder's
+ * counters must agree with the simulator's own, and attaching the
+ * recorder must be architecturally invisible.
+ */
+TEST_P(FuzzCacheTiling, ThreeCTilesUnderRandomGeometries)
+{
+    const std::uint64_t seed =
+        std::uint64_t(GetParam()) * 2654435761u + 77;
+    ProgramGen gen(seed);
+    const std::string source = gen.generate();
+    SCOPED_TRACE(source);
+
+    tepic::sim::EmulatorConfig emu_config;
+    emu_config.maxMops = 20'000'000;
+    auto compiled = tepic::compiler::compileSource(source);
+    auto emu = tepic::sim::emulate(compiled.program, compiled.data,
+                                   emu_config);
+    const auto base_image =
+        tepic::isa::buildBaselineImage(compiled.program);
+    const auto full = tepic::schemes::compressFull(compiled.program);
+
+    Rng rng(seed ^ 0x3c3c);
+    using tepic::fetch::SchemeClass;
+    for (auto scheme :
+         {SchemeClass::kBase, SchemeClass::kTailored,
+          SchemeClass::kCompressed}) {
+        SCOPED_TRACE(tepic::fetch::schemeClassName(scheme));
+        auto config = tepic::fetch::FetchConfig::paper(scheme);
+        config.cache.sets = 1u << rng.range(0, 5);
+        config.cache.ways = 1u << rng.range(0, 2);
+        config.cache.lineBytes = 8u << rng.range(0, 3);
+        config.atbEntries = unsigned(rng.range(1, 64));
+        config.l0CapacityOps = unsigned(rng.range(4, 64));
+        config.cacheStats.enabled = true;
+        config.cacheStats.heatmapEpochs = unsigned(rng.range(1, 32));
+        config.cacheStats.reuseSampleEvery = rng.range(1, 8);
+
+        const auto &image = scheme == SchemeClass::kCompressed
+            ? full.image
+            : base_image;
+        const auto stats = tepic::fetch::simulateFetch(
+            image, compiled.program, emu.trace, config);
+
+#if TEPIC_CACHESTATS_ENABLED
+        const auto &cs = stats.cacheStats;
+        ASSERT_TRUE(cs.recorded);
+        cs.assertTiling();
+        EXPECT_EQ(cs.misses,
+                  cs.compulsory + cs.capacity + cs.conflict);
+        EXPECT_EQ(cs.fetches, stats.blocksFetched);
+        EXPECT_EQ(cs.l0Bypasses, stats.l0Hits);
+        EXPECT_EQ(cs.misses, stats.l1Misses);
+        EXPECT_EQ(cs.hits, stats.l1Hits - stats.l0Hits);
+        EXPECT_EQ(cs.atbHits, stats.atbHits);
+        EXPECT_EQ(cs.atbMisses, stats.atbMisses);
+        // A 1-set cache is fully associative: its shadow twin can
+        // never disagree with it, so nothing classifies as conflict.
+        if (config.cache.sets == 1)
+            EXPECT_EQ(cs.conflict, 0u);
+#else
+        EXPECT_FALSE(stats.cacheStats.recorded);
+#endif
+
+        // Recording must not move a single architectural counter.
+        auto off_config = config;
+        off_config.cacheStats.enabled = false;
+        const auto off = tepic::fetch::simulateFetch(
+            image, compiled.program, emu.trace, off_config);
+        EXPECT_EQ(off.cycles, stats.cycles);
+        EXPECT_EQ(off.stallCycles, stats.stallCycles);
+        EXPECT_EQ(off.l1Hits, stats.l1Hits);
+        EXPECT_EQ(off.l1Misses, stats.l1Misses);
+        EXPECT_EQ(off.l0Hits, stats.l0Hits);
+        EXPECT_EQ(off.atbHits, stats.atbHits);
+        EXPECT_EQ(off.atbMisses, stats.atbMisses);
+        EXPECT_EQ(off.busBitFlips, stats.busBitFlips);
+        EXPECT_EQ(off.bytesTransferred, stats.bytesTransferred);
+        EXPECT_EQ(off.predictionsWrong, stats.predictionsWrong);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCacheTiling,
+                         ::testing::Range(0, 8));
+
 } // namespace

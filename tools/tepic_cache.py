@@ -1,0 +1,582 @@
+#!/usr/bin/env python3
+"""Validate and render tepic cache-behavior reports (tepic-cache-v1,
+the CACHE_*.json files every bench binary and `tepicc
+--cache-report=` emit).
+
+Usage:
+  tepic_cache.py REPORT...             validate CACHE_*.json files and
+                                       print a summary
+  tepic_cache.py REPORT --md FILE      also write a Markdown "where
+                                       did compression buy capacity?"
+                                       report for the first REPORT
+  tepic_cache.py REPORT --heatmap FILE also write an SVG per-set
+                                       access heatmap for the first
+                                       REPORT
+  tepic_cache.py --compare A B         require the two reports'
+                                       "structure" sections to be
+                                       byte-identical — the
+                                       determinism contract: every
+                                       recorded counter is a pure
+                                       function of (trace, config)
+                                       and must not depend on --jobs.
+
+Validation re-derives the tiling invariants the C++ recorder asserts:
+
+  * the 3C classes tile L1 misses exactly
+    (misses == compulsory + capacity + conflict),
+  * accesses == hits + misses, fetches == accesses + l0_bypasses, and
+    every fetch makes exactly one ATB access,
+  * fills - evictions == resident lines, dead-on-fill is a subset of
+    evictions, and the eviction-use histogram samples each eviction
+    exactly once,
+  * the reuse histogram plus the cold count tiles the sampled stream,
+  * per set, line accesses tile into hits + fills, and the per-set
+    vectors sum to the line totals,
+  * every heatmap is an epochs x sets matrix whose column sums
+    reproduce the per-set vectors.
+
+Exit codes: 0 = ok, 1 = invariant violation (including --compare
+mismatch), 2 = usage/schema error. Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+CACHE_SCHEMA = "tepic-cache-v1"
+
+SCHEME_KEYS = ("config", "blocks", "atb", "l1", "lines", "reuse",
+               "sets", "heatmap")
+CONFIG_KEYS = ("sets", "ways", "line_bytes", "heatmap_epochs")
+L1_KEYS = ("accesses", "hits", "misses", "miss_classes")
+CLASS_KEYS = ("compulsory", "capacity", "conflict")
+LINE_KEYS = ("fills", "evictions", "dead_on_fill", "resident_at_end",
+             "eviction_use_hist")
+REUSE_KEYS = ("samples", "cold", "max", "log2_hist")
+SET_KEYS = ("accesses", "hits", "fills", "evictions", "dead_on_fill")
+HEAT_KEYS = ("epochs", "accesses", "fills", "evictions")
+HIST_KEYS = ("total", "overflow", "bins")
+
+# Blue ramp for the heatmap cells (light -> dark with load).
+HEAT_LOW = (247, 251, 255)
+HEAT_HIGH = (8, 48, 107)
+
+
+def usage_error(msg):
+    print(f"tepic_cache: error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def invariant_error(msg):
+    print(f"tepic_cache: invariant violated: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        usage_error(f"{path}: {e}")
+
+
+# --- validation ------------------------------------------------------
+
+
+def check_keys(path, what, obj, keys):
+    if not isinstance(obj, dict):
+        usage_error(f"{path}: {what} is not an object")
+    for key in keys:
+        if key not in obj:
+            usage_error(f"{path}: {what} is missing '{key}'")
+
+
+def check_nonneg_int(path, what, value):
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < 0:
+        usage_error(f"{path}: {what} is not a non-negative integer")
+
+
+def check_hist(path, what, hist):
+    check_keys(path, what, hist, HIST_KEYS)
+    check_nonneg_int(path, f"{what}['total']", hist["total"])
+    check_nonneg_int(path, f"{what}['overflow']", hist["overflow"])
+    if not isinstance(hist["bins"], list):
+        usage_error(f"{path}: {what}['bins'] is not an array")
+    for i, bin_ in enumerate(hist["bins"]):
+        if not (isinstance(bin_, list) and len(bin_) == 2):
+            usage_error(f"{path}: {what}['bins'][{i}] is not a "
+                        f"[key, weight] pair")
+        check_nonneg_int(path, f"{what}['bins'][{i}][1]", bin_[1])
+
+
+def validate_schema(path, doc):
+    """Shape checks (exit 2 on failure); returns the workloads map."""
+    if doc.get("schema") != CACHE_SCHEMA:
+        usage_error(f"{path}: schema {doc.get('schema')!r} is not "
+                    f"{CACHE_SCHEMA!r}")
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        usage_error(f"{path}: missing report 'name'")
+    check_keys(path, "report", doc, ("structure",))
+    check_keys(path, "structure", doc["structure"], ("workloads",))
+    workloads = doc["structure"]["workloads"]
+    if not isinstance(workloads, dict):
+        usage_error(f"{path}: structure['workloads'] is not an object")
+    for wl, schemes in workloads.items():
+        if not isinstance(schemes, dict):
+            usage_error(f"{path}: workload '{wl}' is not an object")
+        for scheme, rec in schemes.items():
+            what = f"'{wl}'/'{scheme}'"
+            check_keys(path, what, rec, SCHEME_KEYS)
+            check_keys(path, f"{what} config", rec["config"],
+                       CONFIG_KEYS)
+            for key in CONFIG_KEYS:
+                check_nonneg_int(path, f"{what} config['{key}']",
+                                 rec["config"][key])
+                if rec["config"][key] == 0:
+                    usage_error(f"{path}: {what} config['{key}'] "
+                                f"is zero")
+            check_keys(path, f"{what} blocks", rec["blocks"],
+                       ("fetches", "l0_bypasses"))
+            check_keys(path, f"{what} atb", rec["atb"],
+                       ("hits", "misses"))
+            check_keys(path, f"{what} l1", rec["l1"], L1_KEYS)
+            check_keys(path, f"{what} l1 miss_classes",
+                       rec["l1"]["miss_classes"], CLASS_KEYS)
+            check_keys(path, f"{what} lines", rec["lines"], LINE_KEYS)
+            check_hist(path, f"{what} eviction_use_hist",
+                       rec["lines"]["eviction_use_hist"])
+            check_keys(path, f"{what} reuse", rec["reuse"], REUSE_KEYS)
+            check_hist(path, f"{what} log2_hist",
+                       rec["reuse"]["log2_hist"])
+            check_keys(path, f"{what} sets", rec["sets"], SET_KEYS)
+            sets = rec["config"]["sets"]
+            for key in SET_KEYS:
+                vec = rec["sets"][key]
+                if not isinstance(vec, list) or len(vec) != sets:
+                    usage_error(f"{path}: {what} sets['{key}'] is "
+                                f"not a {sets}-element array")
+            check_keys(path, f"{what} heatmap", rec["heatmap"],
+                       HEAT_KEYS)
+            epochs = rec["config"]["heatmap_epochs"]
+            if rec["heatmap"]["epochs"] != epochs:
+                usage_error(f"{path}: {what} heatmap epochs "
+                            f"{rec['heatmap']['epochs']} != config "
+                            f"heatmap_epochs {epochs}")
+            for key in ("accesses", "fills", "evictions"):
+                rows = rec["heatmap"][key]
+                if not isinstance(rows, list) or len(rows) != epochs:
+                    usage_error(f"{path}: {what} heatmap['{key}'] is "
+                                f"not a {epochs}-row matrix")
+                for e, row in enumerate(rows):
+                    if not isinstance(row, list) or len(row) != sets:
+                        usage_error(
+                            f"{path}: {what} heatmap['{key}'][{e}] "
+                            f"is not a {sets}-element row")
+    return workloads
+
+
+def hist_mass(hist):
+    return sum(w for _, w in hist["bins"]) + hist["overflow"]
+
+
+def validate_invariants(path, workloads):
+    """Semantic checks (exit 1 on failure) — the schema's promises.
+
+    Every message names the counter that broke so CI failures read as
+    "which number drifted", not just "something differs".
+    """
+    for wl, schemes in sorted(workloads.items()):
+        for scheme, rec in sorted(schemes.items()):
+            where = f"{path}: {wl}/{scheme}"
+            l1 = rec["l1"]
+            classes = l1["miss_classes"]
+            class_sum = sum(classes[k] for k in CLASS_KEYS)
+            if l1["misses"] != class_sum:
+                invariant_error(
+                    f"{where}: l1.misses = {l1['misses']} but the 3C "
+                    f"classes sum to {class_sum} (compulsory "
+                    f"{classes['compulsory']} + capacity "
+                    f"{classes['capacity']} + conflict "
+                    f"{classes['conflict']})")
+            if l1["accesses"] != l1["hits"] + l1["misses"]:
+                invariant_error(
+                    f"{where}: l1.accesses = {l1['accesses']} != "
+                    f"l1.hits + l1.misses = "
+                    f"{l1['hits'] + l1['misses']}")
+            blocks = rec["blocks"]
+            if blocks["fetches"] != l1["accesses"] + \
+                    blocks["l0_bypasses"]:
+                invariant_error(
+                    f"{where}: blocks.fetches = {blocks['fetches']} "
+                    f"!= l1.accesses + blocks.l0_bypasses = "
+                    f"{l1['accesses'] + blocks['l0_bypasses']}")
+            atb = rec["atb"]
+            if atb["hits"] + atb["misses"] != blocks["fetches"]:
+                invariant_error(
+                    f"{where}: atb.hits + atb.misses = "
+                    f"{atb['hits'] + atb['misses']} != blocks.fetches "
+                    f"= {blocks['fetches']}")
+            lines = rec["lines"]
+            if lines["fills"] - lines["evictions"] != \
+                    lines["resident_at_end"]:
+                invariant_error(
+                    f"{where}: lines.resident_at_end = "
+                    f"{lines['resident_at_end']} != lines.fills - "
+                    f"lines.evictions = "
+                    f"{lines['fills'] - lines['evictions']}")
+            if lines["dead_on_fill"] > lines["evictions"]:
+                invariant_error(
+                    f"{where}: lines.dead_on_fill = "
+                    f"{lines['dead_on_fill']} > lines.evictions = "
+                    f"{lines['evictions']}")
+            use_hist = lines["eviction_use_hist"]
+            if use_hist["total"] != lines["evictions"]:
+                invariant_error(
+                    f"{where}: eviction_use_hist.total = "
+                    f"{use_hist['total']} != lines.evictions = "
+                    f"{lines['evictions']}")
+            if hist_mass(use_hist) != use_hist["total"]:
+                invariant_error(
+                    f"{where}: eviction_use_hist bins + overflow = "
+                    f"{hist_mass(use_hist)} != its total = "
+                    f"{use_hist['total']}")
+            reuse = rec["reuse"]
+            warm = reuse["log2_hist"]
+            if reuse["samples"] != reuse["cold"] + warm["total"]:
+                invariant_error(
+                    f"{where}: reuse.samples = {reuse['samples']} != "
+                    f"reuse.cold + log2_hist.total = "
+                    f"{reuse['cold'] + warm['total']}")
+            if hist_mass(warm) != warm["total"]:
+                invariant_error(
+                    f"{where}: reuse.log2_hist bins + overflow = "
+                    f"{hist_mass(warm)} != its total = "
+                    f"{warm['total']}")
+
+            vecs = rec["sets"]
+            for s in range(rec["config"]["sets"]):
+                if vecs["accesses"][s] != vecs["hits"][s] + \
+                        vecs["fills"][s]:
+                    invariant_error(
+                        f"{where}: sets.accesses[{s}] = "
+                        f"{vecs['accesses'][s]} != sets.hits[{s}] + "
+                        f"sets.fills[{s}] = "
+                        f"{vecs['hits'][s] + vecs['fills'][s]}")
+            if sum(vecs["fills"]) != lines["fills"]:
+                invariant_error(
+                    f"{where}: sum(sets.fills) = "
+                    f"{sum(vecs['fills'])} != lines.fills = "
+                    f"{lines['fills']}")
+            if sum(vecs["evictions"]) != lines["evictions"]:
+                invariant_error(
+                    f"{where}: sum(sets.evictions) = "
+                    f"{sum(vecs['evictions'])} != lines.evictions = "
+                    f"{lines['evictions']}")
+            if sum(vecs["dead_on_fill"]) != lines["dead_on_fill"]:
+                invariant_error(
+                    f"{where}: sum(sets.dead_on_fill) = "
+                    f"{sum(vecs['dead_on_fill'])} != "
+                    f"lines.dead_on_fill = {lines['dead_on_fill']}")
+
+            for key in ("accesses", "fills", "evictions"):
+                rows = rec["heatmap"][key]
+                for s in range(rec["config"]["sets"]):
+                    col = sum(row[s] for row in rows)
+                    if col != vecs[key][s]:
+                        invariant_error(
+                            f"{where}: heatmap.{key} column {s} sums "
+                            f"to {col} != sets.{key}[{s}] = "
+                            f"{vecs[key][s]}")
+
+
+# --- Markdown "where did compression buy capacity?" report -----------
+
+
+def fmt_pct(num, den):
+    return f"{100.0 * num / den:.1f}%" if den else "-"
+
+
+def fmt_delta(new, old):
+    d = new - old
+    return f"{d:+d}"
+
+
+def reuse_cdf_at(rec, log2_key):
+    """Fraction of warm reuses with distance < 2^log2_key lines."""
+    hist = rec["reuse"]["log2_hist"]
+    if hist["total"] == 0:
+        return 0.0
+    mass = sum(w for k, w in hist["bins"] if k <= log2_key)
+    return mass / hist["total"]
+
+
+def capacity_log2(rec):
+    """log2 bin that covers the cache's line capacity."""
+    lines = rec["config"]["sets"] * rec["config"]["ways"]
+    return max(1, lines.bit_length())
+
+
+def render_markdown(path, doc):
+    workloads = doc["structure"]["workloads"]
+    lines = [f"# Cache behavior: {doc['name']}", ""]
+    lines.append(
+        "Where did compression buy capacity? For each workload, the "
+        "L1 miss column of every fetch organisation is split into "
+        "the classic 3C classes: **compulsory** (first touch — no "
+        "cache holds it), **capacity** (a fully-associative cache of "
+        "the same size misses it too) and **conflict** (only the "
+        "set mapping loses it). A compressed image packs more blocks "
+        "per line, so capacity misses are where its wins show up; "
+        "the reuse-distance CDF shift says the same thing from the "
+        "access stream's side.")
+    lines.append("")
+
+    for wl, schemes in sorted(workloads.items()):
+        lines.append(f"## {wl}")
+        lines.append("")
+        lines.append("| scheme | geometry | L1 accesses | miss rate "
+                     "| compulsory | capacity | conflict "
+                     "| dead-on-fill | reuse fits cache |")
+        lines.append("|---|---|---:|---:|---:|---:|---:|---:|---:|")
+        base = schemes.get("base")
+        for scheme, rec in sorted(schemes.items()):
+            cfg = rec["config"]
+            l1 = rec["l1"]
+            cls = l1["miss_classes"]
+            ln = rec["lines"]
+            geometry = (f"{cfg['sets']}x{cfg['ways']}x"
+                        f"{cfg['line_bytes']}B")
+            fits = reuse_cdf_at(rec, capacity_log2(rec))
+            lines.append(
+                f"| {scheme} | {geometry} | {l1['accesses']} "
+                f"| {fmt_pct(l1['misses'], l1['accesses'])} "
+                f"| {cls['compulsory']} | {cls['capacity']} "
+                f"| {cls['conflict']} "
+                f"| {fmt_pct(ln['dead_on_fill'], ln['evictions'])} "
+                f"| {100.0 * fits:.1f}% |")
+        lines.append("")
+        if base is not None:
+            base_cls = base["l1"]["miss_classes"]
+            deltas = []
+            for scheme, rec in sorted(schemes.items()):
+                if scheme == "base":
+                    continue
+                cls = rec["l1"]["miss_classes"]
+                deltas.append(
+                    f"**{scheme}** vs base: "
+                    f"{fmt_delta(rec['l1']['misses'], base['l1']['misses'])} "
+                    f"misses ("
+                    f"compulsory {fmt_delta(cls['compulsory'], base_cls['compulsory'])}, "
+                    f"capacity {fmt_delta(cls['capacity'], base_cls['capacity'])}, "
+                    f"conflict {fmt_delta(cls['conflict'], base_cls['conflict'])})"
+                )
+            if deltas:
+                lines.append("Miss-class deltas — the capacity "
+                             "column is the compression story:")
+                lines.append("")
+                for d in deltas:
+                    lines.append(f"- {d}")
+                lines.append("")
+            # Reuse-distance CDF shift vs base at a few distances.
+            others = [s for s in sorted(schemes) if s != "base"]
+            if others:
+                lines.append("Reuse-distance CDF (fraction of warm "
+                             "reuses within 2^k distinct blocks):")
+                lines.append("")
+                header = "| k | base |"
+                rule = "|---:|---:|"
+                for s in others:
+                    header += f" {s} |"
+                    rule += "---:|"
+                lines.append(header)
+                lines.append(rule)
+                for k in (0, 2, 4, 6, 8, 10):
+                    row = (f"| {k} "
+                           f"| {reuse_cdf_at(base, k):.3f} |")
+                    for s in others:
+                        row += f" {reuse_cdf_at(schemes[s], k):.3f} |"
+                    lines.append(row)
+                lines.append("")
+
+    lines.append(f"*(generated by tools/tepic_cache.py from "
+                 f"`{path}`)*")
+    return "\n".join(lines) + "\n"
+
+
+# --- SVG per-set heatmap ---------------------------------------------
+
+
+def svg_escape(text):
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def heat_color(value, peak):
+    t = value / peak if peak else 0.0
+    r = round(HEAT_LOW[0] + (HEAT_HIGH[0] - HEAT_LOW[0]) * t)
+    g = round(HEAT_LOW[1] + (HEAT_HIGH[1] - HEAT_LOW[1]) * t)
+    b = round(HEAT_LOW[2] + (HEAT_HIGH[2] - HEAT_LOW[2]) * t)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_heatmap(doc, max_width=1200):
+    """One epochs x sets access matrix per (workload, scheme)."""
+    workloads = doc["structure"]["workloads"]
+    panels = []
+    for wl, schemes in sorted(workloads.items()):
+        for scheme, rec in sorted(schemes.items()):
+            panels.append((f"{wl} / {scheme}", rec))
+
+    cell = 10
+    label_h = 18
+    pad = 14
+    width = max_width
+    y = pad
+    body = []
+    for title, rec in panels:
+        rows = rec["heatmap"]["accesses"]
+        sets = rec["config"]["sets"]
+        epochs = rec["config"]["heatmap_epochs"]
+        c = max(2, min(cell, (width - 2 * pad) // max(1, sets)))
+        peak = max((v for row in rows for v in row), default=0)
+        body.append(f'<text x="{pad}" y="{y + 12}" font-size="12">'
+                    f'{svg_escape(title)} — {sets} sets x {epochs} '
+                    f'epochs, peak {peak} line accesses</text>')
+        y += label_h
+        for e, row in enumerate(rows):
+            for s, v in enumerate(row):
+                body.append(
+                    f'<rect x="{pad + s * c}" y="{y + e * c}" '
+                    f'width="{c}" height="{c}" '
+                    f'fill="{heat_color(v, peak)}"/>')
+        y += epochs * c + pad
+    height = y + pad
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="#ffffff"/>',
+        f'<text x="{pad}" y="{pad}" font-size="13">'
+        f'{svg_escape(doc["name"])} — per-set L1 line accesses over '
+        f'time (rows = epochs, columns = sets)</text>',
+    ]
+    out.extend(body)
+    out.append('</svg>')
+    return "\n".join(out) + "\n"
+
+
+# --- determinism compare ---------------------------------------------
+
+
+def first_divergence(a, b, crumb):
+    """Depth-first search for the first differing JSON path."""
+    if type(a) is not type(b):
+        return crumb, f"{a!r} vs {b!r}"
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                return f"{crumb}.{key}", "missing on the left"
+            if key not in b:
+                return f"{crumb}.{key}", "missing on the right"
+            hit = first_divergence(a[key], b[key], f"{crumb}.{key}")
+            if hit:
+                return hit
+        return None
+    if isinstance(a, list):
+        if len(a) != len(b):
+            return crumb, f"{len(a)} vs {len(b)} elements"
+        for i, (va, vb) in enumerate(zip(a, b)):
+            hit = first_divergence(va, vb, f"{crumb}[{i}]")
+            if hit:
+                return hit
+        return None
+    if a != b:
+        return crumb, f"{a!r} vs {b!r}"
+    return None
+
+
+def compare(path_a, path_b):
+    a, b = load(path_a), load(path_b)
+    for path, doc in ((path_a, a), (path_b, b)):
+        validate_invariants(path, validate_schema(path, doc))
+    if a["structure"] == b["structure"]:
+        n = sum(len(s) for s in a["structure"]["workloads"].values())
+        print(f"tepic_cache: {path_a} and {path_b} have identical "
+              f"structure ({n} workload/scheme records)")
+        return
+    hit = first_divergence(a["structure"], b["structure"],
+                           "structure")
+    where, detail = hit if hit else ("structure", "unknown")
+    invariant_error(
+        f"{path_a} and {path_b} disagree at {where}: {detail} — "
+        f"every CACHE counter must be identical for any --jobs value")
+
+
+# --- entry point -----------------------------------------------------
+
+
+def write_file(path, text):
+    try:
+        with open(path, "w") as f:
+            f.write(text)
+    except OSError as e:
+        usage_error(f"{path}: {e}")
+
+
+def summarize(path, workloads):
+    records = sum(len(s) for s in workloads.values())
+    misses = sum(rec["l1"]["misses"]
+                 for schemes in workloads.values()
+                 for rec in schemes.values())
+    conflict = sum(rec["l1"]["miss_classes"]["conflict"]
+                   for schemes in workloads.values()
+                   for rec in schemes.values())
+    print(f"tepic_cache: {path}: ok ({len(workloads)} workloads, "
+          f"{records} records; {misses} L1 misses tiled into 3C "
+          f"classes, {conflict} conflict)")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="tepic_cache",
+        description="Validate and render tepic-cache-v1 reports.")
+    parser.add_argument("reports", nargs="*",
+                        help="CACHE_*.json files to validate")
+    parser.add_argument("--md", default=None, metavar="FILE",
+                        help="write a Markdown miss-class report for "
+                             "the first REPORT")
+    parser.add_argument("--heatmap", default=None, metavar="FILE",
+                        help="write an SVG per-set heatmap for the "
+                             "first REPORT")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="check two reports for structural "
+                             "identity")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit:
+        sys.exit(2)
+
+    if args.compare:
+        if args.reports or args.md or args.heatmap:
+            usage_error("--compare takes no other inputs")
+        compare(*args.compare)
+        return
+
+    if not args.reports:
+        usage_error("no CACHE report given (see module docstring)")
+    for i, path in enumerate(args.reports):
+        doc = load(path)
+        workloads = validate_schema(path, doc)
+        validate_invariants(path, workloads)
+        summarize(path, workloads)
+        if i == 0 and args.md:
+            write_file(args.md, render_markdown(path, doc))
+            print(f"tepic_cache: wrote {args.md}")
+        if i == 0 and args.heatmap:
+            write_file(args.heatmap, render_heatmap(doc))
+            print(f"tepic_cache: wrote {args.heatmap}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -20,9 +20,11 @@ ranked tables so the top-ranked row is always the most specific leaf
 
 --append-trend FILE appends one JSON line to FILE (created if absent)
 recording the NEW side's headline totals: label, UTC timestamp,
-per-scheme total_bits, and the host-throughput gauges ("prof."
-gauges, averaged across the snapshots that report them). Run it after
-every bench sweep to maintain bench/trend.jsonl.
+per-scheme total_bits, the host-throughput gauges ("prof." gauges,
+averaged across the snapshots that report them), and the per-scheme
+3C miss-class totals ("cache.<scheme>.miss.*" counters, summed across
+snapshots — the cache-behavior headline). Run it after every bench
+sweep to maintain bench/trend.jsonl.
 
 "prof." gauges are host throughput rates (wall-clock data): they are
 excluded from the diff/ranking itself — a machine being 5% faster is
@@ -238,11 +240,29 @@ def headline_totals(flat):
     return totals
 
 
+def cache_miss_totals(flat):
+    """Per-scheme 3C miss-class counters from one flattened snapshot:
+    "counter cache.<scheme>.miss.<class>" -> {"<scheme>.<class>": n}.
+    """
+    totals = {}
+    for key, value in flat.items():
+        if not key.startswith("counter cache."):
+            continue
+        parts = key[len("counter "):].split(".")
+        if len(parts) == 4 and parts[2] == "miss":
+            slot = f"{parts[1]}.{parts[3]}"
+            totals[slot] = totals.get(slot, 0) + value
+    return totals
+
+
 def append_trend(trend_path, label, new_flats, new_throughput):
     totals = {}
+    misses = {}
     for flat in new_flats.values():
         for scheme, bits in headline_totals(flat).items():
             totals[scheme] = totals.get(scheme, 0) + bits
+        for slot, count in cache_miss_totals(flat).items():
+            misses[slot] = misses.get(slot, 0) + count
     # Mean across the snapshots that measured each rate (a binary
     # that did no fetch work reports no fetch gauge at all).
     rates = {}
@@ -257,6 +277,7 @@ def append_trend(trend_path, label, new_flats, new_throughput):
         "total_bits": dict(sorted(totals.items())),
         "throughput": {key: round(sum(vs) / len(vs), 3)
                        for key, vs in sorted(rates.items())},
+        "cache_misses": dict(sorted(misses.items())),
     }
     try:
         with open(trend_path, "a") as f:

@@ -34,6 +34,7 @@
 #include "compiler/parser.hh"
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
+#include "fetch/cache_stats.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
@@ -61,6 +62,10 @@ usage()
         "       --prof-collapse=<file> (FlameGraph collapsed stacks),\n"
         "       --sched-report=<file> (task-graph scheduling report, "
         "schema tepic-sched-v1),\n"
+        "       --cache-report=<file> (cache-behavior report: 3C miss "
+        "classes,\n"
+        "         reuse distances, per-set heatmaps; schema "
+        "tepic-cache-v1),\n"
         "       --log-level=debug|info|warn|error|none (overrides "
         "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
@@ -95,6 +100,7 @@ struct Options
     std::string profReportPath;
     std::string profCollapsePath;
     std::string schedReportPath;
+    std::string cacheReportPath;
     std::vector<std::string> positional;
 };
 
@@ -139,6 +145,8 @@ parseArgs(int argc, char **argv)
             opts.profCollapsePath = argv[i] + 16;
         else if (std::strncmp(argv[i], "--sched-report=", 15) == 0)
             opts.schedReportPath = argv[i] + 15;
+        else if (std::strncmp(argv[i], "--cache-report=", 15) == 0)
+            opts.cacheReportPath = argv[i] + 15;
         else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
             const char *level = argv[i] + 12;
             if (!support::isLogLevelName(level)) {
@@ -293,7 +301,8 @@ cmdFetch(const Options &opts)
     support::TextTable table;
     table.setHeader({"scheme", "IPC", "ideal", "L1 hit", "pred"});
     for (auto scheme : schemes) {
-        const auto stats = core::runFetch(artifacts, scheme);
+        const auto stats = core::runFetch(
+            artifacts, scheme, std::nullopt, opts.positional[1]);
         table.addRow({fetch::schemeClassName(scheme),
                       support::TextTable::num(stats.ipc(), 3),
                       support::TextTable::num(stats.idealIpc(), 3),
@@ -322,11 +331,14 @@ cmdVerify(const Options &opts)
     std::printf("round trips: ok (base, byte, 6 streams, full, "
                 "tailored)\n");
     const auto base =
-        core::runFetch(artifacts, fetch::SchemeClass::kBase);
+        core::runFetch(artifacts, fetch::SchemeClass::kBase,
+                       std::nullopt, opts.positional[1]);
     const auto comp =
-        core::runFetch(artifacts, fetch::SchemeClass::kCompressed);
+        core::runFetch(artifacts, fetch::SchemeClass::kCompressed,
+                       std::nullopt, opts.positional[1]);
     const auto tail =
-        core::runFetch(artifacts, fetch::SchemeClass::kTailored);
+        core::runFetch(artifacts, fetch::SchemeClass::kTailored,
+                       std::nullopt, opts.positional[1]);
     if (base.opsDelivered != comp.opsDelivered ||
         base.opsDelivered != tail.opsDelivered) {
         std::printf("FAIL: fetch organisations disagree on the op "
@@ -423,6 +435,10 @@ finalizeObservability(const Options &opts)
     if (!opts.schedReportPath.empty()) {
         support::sched::writeReport(opts.schedReportPath, "tepicc");
     }
+    if (!opts.cacheReportPath.empty()) {
+        fetch::cachestats::writeReport(opts.cacheReportPath,
+                                       "tepicc");
+    }
     if (!opts.metricsPath.empty() || !opts.profReportPath.empty()) {
         auto &metrics = support::MetricsRegistry::global();
         core::ArtifactEngine::global().exportMetrics(metrics);
@@ -467,6 +483,10 @@ main(int argc, char **argv)
     // handful of task events per build); the report is written only
     // when --sched-report= asks for it.
     support::sched::startSession(0);
+    // Cache-behavior recording costs the fetch sims real time, so it
+    // is switched on only when the report was requested.
+    if (!opts.cacheReportPath.empty())
+        fetch::cachestats::startSession();
     if (!opts.profCollapsePath.empty())
         support::prof::startSampling();
     if (!opts.tracePath.empty())

@@ -174,6 +174,50 @@ class TepicDiffTest(TempDirs):
         self.assertEqual(records[0]["total_bits"]["base"], 5840)
         self.assertIn("timestamp", records[0])
 
+    def test_trend_harvests_cache_miss_class_totals(self):
+        doc = metrics_doc()
+        doc["counters"].update({
+            "cache.base.miss.compulsory": 40,
+            "cache.base.miss.capacity": 25,
+            "cache.base.miss.conflict": 5,
+            "cache.compressed.miss.compulsory": 30,
+            "cache.compressed.miss.capacity": 4,
+            "cache.compressed.miss.conflict": 2,
+            "cache.compressed.misses": 36,  # not a class: ignored
+        })
+        a = self.write(self.old_dir, "BENCH_x.json", doc)
+        b = self.write(self.new_dir, "BENCH_x.json", doc)
+        # A second snapshot contributes to the same per-scheme sums.
+        doc2 = metrics_doc()
+        doc2["counters"]["cache.base.miss.capacity"] = 10
+        self.write(self.old_dir, "BENCH_y.json", doc2)
+        self.write(self.new_dir, "BENCH_y.json", doc2)
+        trend = os.path.join(self.new_dir, "trend.jsonl")
+        result = self.run_diff(self.old_dir, self.new_dir,
+                               "--append-trend", trend,
+                               "--label", "run1")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            record = json.loads(f.readline())
+        self.assertEqual(record["cache_misses"], {
+            "base.compulsory": 40,
+            "base.capacity": 35,
+            "base.conflict": 5,
+            "compressed.compulsory": 30,
+            "compressed.capacity": 4,
+            "compressed.conflict": 2,
+        })
+        # Snapshots without cache counters produce an empty map, not
+        # a missing key.
+        a = self.write(self.old_dir, "BENCH_z.json", metrics_doc())
+        b = self.write(self.new_dir, "BENCH_z.json", metrics_doc())
+        result = self.run_diff(a, b, "--append-trend", trend,
+                               "--label", "run2")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            records = [json.loads(line) for line in f]
+        self.assertEqual(records[1]["cache_misses"], {})
+
     def test_prof_gauges_excluded_from_diff_but_in_trend(self):
         doc = metrics_doc()
         doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0

@@ -91,6 +91,27 @@ class ValidateMetricsTest(unittest.TestCase):
         self.assertNotEqual(result.returncode, 0)
         self.assertIn("gauges", result.stderr)
 
+    def test_compare_masks_cache_rate_gauge_values_not_keys(self):
+        doc_a = valid_doc()
+        doc_a["gauges"]["cache.compressed.miss_rate"] = 0.125
+        doc_b = valid_doc()
+        doc_b["gauges"]["cache.compressed.miss_rate"] = 0.250
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        # Non-rate cache gauges stay exact...
+        doc_a["gauges"]["cache.compressed.depth"] = 1.0
+        doc_b["gauges"]["cache.compressed.depth"] = 2.0
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        # ...and a rate gauge on only one side is key-set drift.
+        doc_b = valid_doc()
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("gauges", result.stderr)
+
     def test_compare_counter_drift_rejected(self):
         doc = valid_doc()
         doc["counters"]["a.b"] = 4

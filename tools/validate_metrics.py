@@ -20,7 +20,12 @@ Usage:
                                          their values are wall-clock
                                          rates, but which gauges a
                                          binary emits is part of the
-                                         contract
+                                         contract. "cache.*_rate"
+                                         gauges (derived miss-rate
+                                         ratios) are masked the same
+                                         way: their numerator and
+                                         denominator counters are
+                                         already compared exactly
 
 Exits non-zero with a diagnostic on the first violation. Only the
 standard library is used.
@@ -96,16 +101,28 @@ def check_trace(path, doc):
     print(f"validate_metrics: {path}: ok ({len(events)} trace events)")
 
 
+def masked_gauge(key):
+    """Gauges whose values are compared as mere presence.
+
+    prof.* gauges are host throughput rates (wall-clock data).
+    cache.*_rate gauges are derived ratios of exact counters — the
+    counters themselves are compared exactly, so re-comparing the
+    float quotient only adds a formatting-sensitive duplicate; like
+    prof.*, their key set stays part of the contract.
+    """
+    return key.startswith("prof.") or \
+        (key.startswith("cache.") and key.endswith("_rate"))
+
+
 def comparable_section(doc, section):
     """The section with env-dependent values masked out.
 
-    prof.* gauges are host throughput rates: the key set is part of
-    the determinism contract (it must not depend on --jobs), the
-    values are wall-clock data and compared as mere presence.
+    The key set of a masked gauge is part of the determinism contract
+    (it must not depend on --jobs); only its value is exempt.
     """
     if section != "gauges":
         return doc[section]
-    return {k: (None if k.startswith("prof.") else v)
+    return {k: (None if masked_gauge(k) else v)
             for k, v in doc[section].items()}
 
 
