@@ -44,6 +44,7 @@
 #include "core/artifact_engine.hh"
 #include "core/pipeline.hh"
 #include "fetch/cache_stats.hh"
+#include "fetch/hot_stats.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
@@ -350,6 +351,16 @@ reportBenchSummary(const BenchOptions &options)
     }
     fetch::cachestats::endSession();
 
+    // Dynamic-behavior observability: same lifecycle as the CACHE
+    // report above — HOT_<name>.json is written (tools/tepic_hot.py
+    // validates, renders and --compare-gates it) and the session
+    // ends before the timed loops so they run unrecorded.
+    const std::string hot_json = "HOT_" + options.benchName + ".json";
+    if (fetch::hotstats::writeReport(hot_json, options.benchName)) {
+        TEPIC_INFORM("[bench] wrote hot report to ", hot_json);
+    }
+    fetch::hotstats::endSession();
+
     if (!options.metricsPath.empty()) {
         metrics.writeJsonFile(options.metricsPath);
         TEPIC_INFORM("[bench] wrote metrics to ", options.metricsPath);
@@ -401,6 +412,7 @@ findArtifacts(const std::string &name)
         ::tepic::support::prof::startSession();                        \
         ::tepic::support::sched::startSession(bench_options.jobs);     \
         ::tepic::fetch::cachestats::startSession();                    \
+        ::tepic::fetch::hotstats::startSession();                      \
         if (!bench_options.profCollapsePath.empty())                   \
             ::tepic::support::prof::startSampling();                   \
         if (!bench_options.tracePath.empty())                          \

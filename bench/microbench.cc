@@ -283,6 +283,7 @@ main(int argc, char **argv)
     support::prof::startSession();
     support::sched::startSession(options.jobs);
     fetch::cachestats::startSession();
+    fetch::hotstats::startSession();
     if (!options.profCollapsePath.empty())
         support::prof::startSampling();
     recordMicroSentinels();
@@ -308,6 +309,13 @@ main(int argc, char **argv)
         TEPIC_INFORM("[bench] wrote cache report to ", cache_json);
     }
     fetch::cachestats::endSession();
+    const std::string hot_json =
+        "HOT_" + options.benchName + ".json";
+    if (fetch::hotstats::writeReport(hot_json,
+                                     options.benchName)) {
+        TEPIC_INFORM("[bench] wrote hot report to ", hot_json);
+    }
+    fetch::hotstats::endSession();
     if (!options.metricsPath.empty())
         metrics.writeJsonFile(options.metricsPath);
     const std::string bench_json =

@@ -280,6 +280,45 @@ recordCacheMetrics(fetch::SchemeClass scheme,
     m.setGauge(prefix + "dead_on_fill_rate", cs.deadOnFillRate());
 }
 
+/**
+ * Fold one simulation's dynamic-behavior record into the process
+ * metrics. Counters are pure functions of (trace, config) —
+ * deterministic, exact-gated. The *_rate gauges are derived ratios
+ * and masked by naming convention (tools/validate_metrics.py treats
+ * `hot.*_rate` like `cache.*_rate`).
+ */
+void
+recordHotMetrics(fetch::SchemeClass scheme, const fetch::HotStats &hs)
+{
+    hs.assertTiling();
+    auto &m = support::MetricsRegistry::global();
+    const std::string prefix =
+        std::string("hot.") + fetch::schemeClassName(scheme) + ".";
+    m.addCounter(prefix + "blocks_simulated", hs.blocksSimulated);
+    m.addCounter(prefix + "cycles", hs.cycles);
+    m.addCounter(prefix + "stall_cycles", hs.stallCycles);
+    m.addCounter(prefix + "static_blocks", hs.staticBlocks);
+    m.addCounter(prefix + "executed_blocks", hs.executedBlocks());
+    // Dynamic-fetch concentration: how much of the trace the hottest
+    // 1/10 static blocks cover (tepic_diff.py harvests the trend).
+    m.addCounter(prefix + "coverage.top1_fetches", hs.topCoverage(1));
+    m.addCounter(prefix + "coverage.top10_fetches",
+                 hs.topCoverage(10));
+    // Branch-site totals; the per-site split lives in the HOT report.
+    m.addCounter(prefix + "branch.taken", hs.taken);
+    m.addCounter(prefix + "branch.not_taken", hs.notTaken);
+    m.addCounter(prefix + "branch.mispredicts", hs.mispredicts);
+    m.addCounter(prefix + "branch.mispredict_stall_cycles",
+                 hs.mispredictStallCycles);
+    m.addCounter(prefix + "branch.unconsumed_mispredicts",
+                 hs.unconsumedMispredicts);
+    m.setGauge(prefix + "top10_coverage_rate",
+               hs.blocksSimulated ? double(hs.topCoverage(10)) /
+                                        double(hs.blocksSimulated)
+                                  : 0.0);
+    m.setGauge(prefix + "mispredict_rate", hs.mispredictRate());
+}
+
 } // namespace
 
 fetch::FetchStats
@@ -296,6 +335,8 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
     // their own config are honored as-is.
     if (fetch::cachestats::enabled())
         fetch_config.cacheStats.enabled = true;
+    if (fetch::hotstats::enabled())
+        fetch_config.hotStats.enabled = true;
 
     // Attach a decoded-block cache unless the caller brought one.
     // Decoder construction happens here, *before* the profiled fetch
@@ -341,6 +382,39 @@ runFetch(const Artifacts &artifacts, fetch::SchemeClass scheme,
     if (stats.cacheStats.recorded) {
         recordCacheMetrics(scheme, stats.cacheStats);
         fetch::cachestats::record(label, scheme, stats.cacheStats);
+    }
+    if (stats.hotStats.recorded) {
+        fetch::HotStats &hs = stats.hotStats;
+        // The recorder's totals must reproduce the architectural
+        // counters exactly — the tiling sums below it are then
+        // anchored to the simulation itself.
+        TEPIC_ASSERT(hs.blocksSimulated == stats.blocksFetched,
+                     "hot record disagrees with blocks fetched");
+        TEPIC_ASSERT(hs.cycles == stats.cycles &&
+                         hs.stallCycles == stats.stallCycles,
+                     "hot record disagrees with the cycle totals");
+        TEPIC_ASSERT(hs.mispredictStallCycles ==
+                         stats.mispredictStallCycles,
+                     "per-site stalls must tile the mispredict stall "
+                     "counter");
+        TEPIC_ASSERT(hs.mispredicts == stats.predictionsWrong +
+                                           hs.unconsumedMispredicts,
+                     "per-site mispredicts must tile predictionsWrong "
+                     "(+ the final unconsumed prediction)");
+        // Attach function attribution (blockSource is the compiler's
+        // global-block -> (function, local block) map) so the HOT
+        // report can roll hotness up per function.
+        const auto &sources = artifacts.compiled.blockSource;
+        if (sources.size() == hs.staticBlocks) {
+            hs.functionNames.clear();
+            for (const auto &fn : artifacts.compiled.emitted.functions)
+                hs.functionNames.push_back(fn.name);
+            hs.blockFunction.resize(sources.size());
+            for (std::size_t b = 0; b < sources.size(); ++b)
+                hs.blockFunction[b] = sources[b].first;
+        }
+        recordHotMetrics(scheme, hs);
+        fetch::hotstats::record(label, scheme, hs);
     }
     // Deterministic work units feeding prof.blocks_simulated_per_sec
     // and the per-scheme prof.fetch.<scheme>.blocks_per_sec gauges;

@@ -89,6 +89,17 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         cache.setObserver(rec);
     }
 
+    // Dynamic-behavior observability (hot_stats.hh): same stub/null
+    // check contract as the cache recorder above.
+    std::optional<HotStatsRecorder> hot_stats;
+    HotStatsRecorder *hot = nullptr;
+    if (config.hotStats.enabled) {
+        hot_stats.emplace(std::uint32_t(att.entries().size()),
+                          std::uint64_t(trace.events.size()),
+                          config.hotStats);
+        hot = &*hot_stats;
+    }
+
     // Prediction for the very first block: treat as correct (cold
     // start is charged to neither scheme).
     bool next_prediction_correct = true;
@@ -185,6 +196,13 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         }
         const std::uint64_t stall = causes.total();
         const std::uint64_t block_cycles = entry.numMops + stall;
+        if (hot) {
+            // The mispredict component is charged back to the site
+            // that made the wrong prediction (the recorder remembers
+            // the previous event's block).
+            hot->onBlock(block, block_cycles, stall,
+                         causes.mispredict);
+        }
         stats.cycles += block_cycles;
         stats.idealCycles += entry.numMops;
         stats.opsDelivered += entry.numOps;
@@ -259,6 +277,10 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
         // Predict the follower, then train with the actual outcome.
         const isa::BlockId predicted = atb.predictNext(block);
         next_prediction_correct = predicted == event.next;
+        if (hot) {
+            hot->onBranchSite(block, event.branchTaken,
+                              next_prediction_correct);
+        }
         atb.update(block, event.branchTaken, event.next);
     }
 
@@ -269,6 +291,8 @@ simulateFetch(const isa::Image &image, const isa::VliwProgram &program,
     stats.bytesTransferred = bus.bytesTransferred();
     if (rec)
         stats.cacheStats = rec->finish();
+    if (hot)
+        stats.hotStats = hot->finish();
     return stats;
 }
 

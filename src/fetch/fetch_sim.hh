@@ -23,6 +23,7 @@
 #include "fetch/banked_cache.hh"
 #include "fetch/cache_stats.hh"
 #include "fetch/cycle_model.hh"
+#include "fetch/hot_stats.hh"
 #include "fetch/l0_buffer.hh"
 #include "isa/image.hh"
 #include "isa/program.hh"
@@ -113,6 +114,16 @@ struct FetchConfig
     CacheStatsConfig cacheStats;
 
     /**
+     * Dynamic program-behavior recording (hot_stats.hh): per-block
+     * hotness, branch-site accuracy, phase profile. Off by default —
+     * the hot loop pays one null check per event; purely
+     * observational, so stats with and without recording are
+     * identical (asserted by tests). Folds to no-op stubs under
+     * -DTEPIC_ENABLE_TRACING=OFF.
+     */
+    HotStatsConfig hotStats;
+
+    /**
      * Optional decoded-block cache (codec/decoder.hh): when set, the
      * simulator touches it once per fetched block, so each static
      * block is host-decoded exactly once per simulation and replayed
@@ -201,6 +212,11 @@ struct FetchStats
      *  FetchConfig::cacheStats.enabled (and the build has tracing
      *  compiled in). See cache_stats.hh for the tiling contract. */
     CacheStats cacheStats;
+
+    /** Dynamic-behavior record; recorded only when
+     *  FetchConfig::hotStats.enabled (and the build has tracing
+     *  compiled in). See hot_stats.hh for the tiling contract. */
+    HotStats hotStats;
 
     static constexpr std::int64_t kStallHistogramOverflow = 64;
 

@@ -1,0 +1,612 @@
+#include "fetch/hot_stats.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "support/logging.hh"
+#include "support/metrics.hh"
+
+namespace tepic::fetch {
+
+// ---------------------------------------------------------------------------
+// HotStats: merge + invariants (compiled unconditionally).
+
+std::uint64_t
+HotStats::executedBlocks() const
+{
+    std::uint64_t executed = 0;
+    for (const std::uint64_t fetches : blockFetches)
+        if (fetches > 0)
+            ++executed;
+    return executed;
+}
+
+std::vector<std::uint32_t>
+HotStats::hotOrder() const
+{
+    std::vector<std::uint32_t> order(blockFetches.size());
+    for (std::uint32_t b = 0; b < order.size(); ++b)
+        order[b] = b;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         if (blockFetches[a] != blockFetches[b])
+                             return blockFetches[a] > blockFetches[b];
+                         return a < b;
+                     });
+    return order;
+}
+
+std::uint64_t
+HotStats::topCoverage(std::size_t k) const
+{
+    const auto order = hotOrder();
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < std::min(k, order.size()); ++i)
+        covered += blockFetches[order[i]];
+    return covered;
+}
+
+void
+HotStats::merge(const HotStats &other)
+{
+    if (!other.recorded)
+        return;
+    if (!recorded) {
+        *this = other;
+        return;
+    }
+    TEPIC_ASSERT(sameShape(other),
+                 "HotStats::merge across program shapes (the session "
+                 "layer must key these apart)");
+    topBlocks = std::max(topBlocks, other.topBlocks);
+    blocksSimulated += other.blocksSimulated;
+    cycles += other.cycles;
+    stallCycles += other.stallCycles;
+    taken += other.taken;
+    notTaken += other.notTaken;
+    mispredicts += other.mispredicts;
+    mispredictStallCycles += other.mispredictStallCycles;
+    unconsumedMispredicts += other.unconsumedMispredicts;
+
+    auto add_vec = [](std::vector<std::uint64_t> &into,
+                      const std::vector<std::uint64_t> &from) {
+        TEPIC_ASSERT(into.size() == from.size(),
+                     "HotStats::merge with mismatched vectors");
+        for (std::size_t i = 0; i < into.size(); ++i)
+            into[i] += from[i];
+    };
+    add_vec(blockFetches, other.blockFetches);
+    add_vec(blockCycles, other.blockCycles);
+    add_vec(blockStalls, other.blockStalls);
+    add_vec(siteTaken, other.siteTaken);
+    add_vec(siteNotTaken, other.siteNotTaken);
+    add_vec(siteMispredicts, other.siteMispredicts);
+    add_vec(siteMispredictStall, other.siteMispredictStall);
+    add_vec(phaseFetches, other.phaseFetches);
+
+    // Function attribution describes the static program, not the
+    // run: adopt whichever side has it.
+    if (functionNames.empty() && !other.functionNames.empty()) {
+        functionNames = other.functionNames;
+        blockFunction = other.blockFunction;
+    }
+}
+
+void
+HotStats::assertTiling() const
+{
+    if (!recorded)
+        return;
+    TEPIC_ASSERT(blockFetches.size() == staticBlocks &&
+                     blockCycles.size() == staticBlocks &&
+                     blockStalls.size() == staticBlocks,
+                 "per-block vectors must span the static blocks");
+    std::uint64_t fetch_sum = 0, cycle_sum = 0, stall_sum = 0;
+    for (std::uint32_t b = 0; b < staticBlocks; ++b) {
+        TEPIC_ASSERT(blockStalls[b] <= blockCycles[b],
+                     "per-block stall exceeds per-block cycles "
+                     "(block ", b, ")");
+        fetch_sum += blockFetches[b];
+        cycle_sum += blockCycles[b];
+        stall_sum += blockStalls[b];
+    }
+    TEPIC_ASSERT(fetch_sum == blocksSimulated,
+                 "per-block fetches must tile blocks_simulated: ",
+                 fetch_sum, " != ", blocksSimulated);
+    TEPIC_ASSERT(cycle_sum == cycles,
+                 "per-block cycles must tile the cycle total: ",
+                 cycle_sum, " != ", cycles);
+    TEPIC_ASSERT(stall_sum == stallCycles,
+                 "per-block stalls must tile stall_cycles: ",
+                 stall_sum, " != ", stallCycles);
+    TEPIC_ASSERT(stallCycles <= cycles,
+                 "more stall cycles than cycles");
+
+    TEPIC_ASSERT(taken + notTaken == blocksSimulated,
+                 "every event trains the predictor exactly once: ",
+                 taken, " + ", notTaken, " != ", blocksSimulated);
+    std::uint64_t taken_sum = 0, not_taken_sum = 0;
+    std::uint64_t mispredict_sum = 0, stall_site_sum = 0;
+    for (std::uint32_t b = 0; b < staticBlocks; ++b) {
+        TEPIC_ASSERT(siteMispredicts[b] <=
+                         siteTaken[b] + siteNotTaken[b],
+                     "more mispredicts than predictions at site ", b);
+        TEPIC_ASSERT(siteMispredictStall[b] == 0 ||
+                         siteMispredicts[b] > 0,
+                     "mispredict stall charged to a site without a "
+                     "mispredict (site ", b, ")");
+        taken_sum += siteTaken[b];
+        not_taken_sum += siteNotTaken[b];
+        mispredict_sum += siteMispredicts[b];
+        stall_site_sum += siteMispredictStall[b];
+    }
+    TEPIC_ASSERT(taken_sum == taken && not_taken_sum == notTaken,
+                 "per-site outcomes must tile the direction totals");
+    TEPIC_ASSERT(mispredict_sum == mispredicts,
+                 "per-site mispredicts must tile the mispredict "
+                 "total: ", mispredict_sum, " != ", mispredicts);
+    TEPIC_ASSERT(stall_site_sum == mispredictStallCycles,
+                 "per-site mispredict stalls must tile the mispredict "
+                 "stall counter: ", stall_site_sum,
+                 " != ", mispredictStallCycles);
+    TEPIC_ASSERT(mispredictStallCycles <= stallCycles,
+                 "mispredict stall exceeds the stall total");
+    TEPIC_ASSERT(unconsumedMispredicts <= mispredicts,
+                 "unconsumed mispredicts are a subset of mispredicts");
+
+    // Phase columns reproduce the per-block fetch counts.
+    TEPIC_ASSERT(phaseFetches.size() ==
+                     std::size_t(phaseEpochs) * staticBlocks,
+                 "phase matrix must be epochs x static blocks");
+    for (std::uint32_t b = 0; b < staticBlocks; ++b) {
+        std::uint64_t col = 0;
+        for (unsigned e = 0; e < phaseEpochs; ++e)
+            col += phaseFetches[std::size_t(e) * staticBlocks + b];
+        TEPIC_ASSERT(col == blockFetches[b],
+                     "phase column must sum to the per-block fetch "
+                     "count (block ", b, ")");
+    }
+
+    if (!blockFunction.empty()) {
+        TEPIC_ASSERT(blockFunction.size() == staticBlocks,
+                     "function attribution must span the static "
+                     "blocks");
+        for (const std::uint32_t func : blockFunction)
+            TEPIC_ASSERT(func < functionNames.size(),
+                         "block mapped to an unnamed function");
+    }
+}
+
+#if TEPIC_HOTSTATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// HotStatsRecorder.
+
+HotStatsRecorder::HotStatsRecorder(std::uint32_t staticBlocks,
+                                   std::uint64_t expectedEvents,
+                                   const HotStatsConfig &options)
+    : options_(options), expectedEvents_(expectedEvents)
+{
+    options_.phaseEpochs = std::max(1u, options_.phaseEpochs);
+    stats_.staticBlocks = staticBlocks;
+    stats_.phaseEpochs = options_.phaseEpochs;
+    stats_.topBlocks = options_.topBlocks;
+    stats_.blockFetches.assign(staticBlocks, 0);
+    stats_.blockCycles.assign(staticBlocks, 0);
+    stats_.blockStalls.assign(staticBlocks, 0);
+    stats_.siteTaken.assign(staticBlocks, 0);
+    stats_.siteNotTaken.assign(staticBlocks, 0);
+    stats_.siteMispredicts.assign(staticBlocks, 0);
+    stats_.siteMispredictStall.assign(staticBlocks, 0);
+    stats_.phaseFetches.assign(
+        std::size_t(options_.phaseEpochs) * staticBlocks, 0);
+}
+
+void
+HotStatsRecorder::onBlock(std::uint32_t block, std::uint64_t cycles,
+                          std::uint64_t stall,
+                          std::uint64_t mispredictStall)
+{
+    TEPIC_ASSERT(block < stats_.staticBlocks,
+                 "fetch of an unknown static block");
+    // Epoch of *this* event, from its trace index (never wall clock:
+    // the phase matrix must be bit-identical across --jobs).
+    if (expectedEvents_ > 0) {
+        epoch_ = unsigned(std::min<std::uint64_t>(
+            stats_.phaseEpochs - 1,
+            events_ * stats_.phaseEpochs / expectedEvents_));
+    }
+    ++stats_.blocksSimulated;
+    stats_.cycles += cycles;
+    stats_.stallCycles += stall;
+    ++stats_.blockFetches[block];
+    stats_.blockCycles[block] += cycles;
+    stats_.blockStalls[block] += stall;
+    ++stats_.phaseFetches[std::size_t(epoch_) * stats_.staticBlocks +
+                          block];
+    if (mispredictStall > 0) {
+        // The repair stall of a wrong prediction is charged at the
+        // *following* event; the responsible site made the prediction
+        // one event earlier (the cold-start event charges none).
+        TEPIC_ASSERT(lastSite_ != kNoSite,
+                     "mispredict stall before any prediction");
+        stats_.siteMispredictStall[lastSite_] += mispredictStall;
+        stats_.mispredictStallCycles += mispredictStall;
+    }
+    ++events_;
+}
+
+void
+HotStatsRecorder::onBranchSite(std::uint32_t block, bool taken,
+                               bool predictionCorrect)
+{
+    TEPIC_ASSERT(block < stats_.staticBlocks,
+                 "prediction at an unknown static block");
+    if (taken) {
+        ++stats_.siteTaken[block];
+        ++stats_.taken;
+    } else {
+        ++stats_.siteNotTaken[block];
+        ++stats_.notTaken;
+    }
+    if (!predictionCorrect) {
+        ++stats_.siteMispredicts[block];
+        ++stats_.mispredicts;
+    }
+    lastSite_ = block;
+    lastPredictionWrong_ = !predictionCorrect;
+}
+
+HotStats
+HotStatsRecorder::finish()
+{
+    stats_.recorded = true;
+    // The final prediction of a run is made (and counted per-site)
+    // but never consumed by a following event.
+    stats_.unconsumedMispredicts =
+        lastPredictionWrong_ ? 1 : 0;
+    stats_.assertTiling();
+    return std::move(stats_);
+}
+
+#endif // TEPIC_HOTSTATS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Session store (compiled unconditionally, like fetch::cachestats).
+
+namespace hotstats {
+
+namespace {
+
+struct Store
+{
+    std::atomic<bool> enabled{false};
+    std::mutex mutex;
+    // workload -> scheme name -> merged record; std::map so report
+    // iteration order is deterministic.
+    std::map<std::string, std::map<std::string, HotStats>> workloads;
+};
+
+Store &
+store()
+{
+    static Store s;
+    return s;
+}
+
+std::string
+shapeKey(const HotStats &stats)
+{
+    return "@B" + std::to_string(stats.staticBlocks) + "xE" +
+           std::to_string(stats.phaseEpochs);
+}
+
+/** Top-K export width: everything beyond folds into "rest". */
+std::size_t
+exportWidth(const HotStats &s)
+{
+    return std::min<std::size_t>(std::max(1u, s.topBlocks),
+                                 s.blockFetches.size());
+}
+
+void
+appendScheme(std::string &out, const HotStats &s,
+             const std::string &indent)
+{
+    const std::string in2 = indent + "  ";
+    const std::size_t k = exportWidth(s);
+    const auto order = s.hotOrder();
+
+    out += "{\n";
+    out += in2 + "\"config\": {\"static_blocks\": " +
+           std::to_string(s.staticBlocks) +
+           ", \"phase_epochs\": " + std::to_string(s.phaseEpochs) +
+           ", \"top_blocks\": " + std::to_string(k) + "},\n";
+    out += in2 + "\"totals\": {\"blocks_simulated\": " +
+           std::to_string(s.blocksSimulated) +
+           ", \"cycles\": " + std::to_string(s.cycles) +
+           ", \"stall_cycles\": " + std::to_string(s.stallCycles) +
+           ", \"executed_blocks\": " +
+           std::to_string(s.executedBlocks()) + "},\n";
+
+    // Hottest blocks individually; the exact residual keeps every
+    // total re-derivable (top + rest tiles totals).
+    out += in2 + "\"blocks\": {\n";
+    out += in2 + "  \"top\": [";
+    std::uint64_t rest_fetches = s.blocksSimulated;
+    std::uint64_t rest_cycles = s.cycles;
+    std::uint64_t rest_stall = s.stallCycles;
+    std::string coverage;
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::uint32_t b = order[i];
+        if (i) {
+            out += ",";
+            coverage += ", ";
+        }
+        out += "\n" + in2 + "    [" + std::to_string(b) + ", " +
+               std::to_string(s.blockFetches[b]) + ", " +
+               std::to_string(s.blockCycles[b]) + ", " +
+               std::to_string(s.blockStalls[b]) + "]";
+        rest_fetches -= s.blockFetches[b];
+        rest_cycles -= s.blockCycles[b];
+        rest_stall -= s.blockStalls[b];
+        covered += s.blockFetches[b];
+        coverage += std::to_string(covered);
+    }
+    out += k ? "\n" + in2 + "  ],\n" : "],\n";
+    out += in2 + "  \"rest\": {\"fetches\": " +
+           std::to_string(rest_fetches) +
+           ", \"cycles\": " + std::to_string(rest_cycles) +
+           ", \"stall\": " + std::to_string(rest_stall) + "},\n";
+    // Monotone hot/cold coverage curve: cumulative fetches of the i
+    // hottest blocks, as exact counts (the tooling derives ratios).
+    out += in2 + "  \"coverage\": [" + coverage + "]\n";
+    out += in2 + "},\n";
+
+    // Per-function rollup of the same per-block vectors — the input
+    // profile-guided selective compression consumes. Tiles the
+    // totals exactly when attribution is attached.
+    out += in2 + "\"functions\": {";
+    if (!s.blockFunction.empty()) {
+        struct FuncAgg
+        {
+            std::uint64_t staticBlocks = 0;
+            std::uint64_t executed = 0;
+            std::uint64_t fetches = 0;
+            std::uint64_t cycles = 0;
+            std::uint64_t stall = 0;
+        };
+        // std::map over names for deterministic iteration.
+        std::map<std::string, FuncAgg> funcs;
+        for (std::uint32_t b = 0; b < s.staticBlocks; ++b) {
+            FuncAgg &agg = funcs[s.functionNames[s.blockFunction[b]]];
+            ++agg.staticBlocks;
+            if (s.blockFetches[b] > 0)
+                ++agg.executed;
+            agg.fetches += s.blockFetches[b];
+            agg.cycles += s.blockCycles[b];
+            agg.stall += s.blockStalls[b];
+        }
+        bool first = true;
+        for (const auto &[name, agg] : funcs) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\n" + in2 + "  " + support::jsonQuote(name) +
+                   ": {\"static_blocks\": " +
+                   std::to_string(agg.staticBlocks) +
+                   ", \"executed_blocks\": " +
+                   std::to_string(agg.executed) +
+                   ", \"fetches\": " + std::to_string(agg.fetches) +
+                   ", \"cycles\": " + std::to_string(agg.cycles) +
+                   ", \"stall\": " + std::to_string(agg.stall) + "}";
+        }
+        out += funcs.empty() ? "" : "\n" + in2;
+    }
+    out += "},\n";
+
+    // Branch sites: worst predicted first (mispredict stall desc,
+    // mispredicts desc, id asc), with the same exact-residual shape.
+    out += in2 + "\"branch_sites\": {\n";
+    out += in2 + "  \"totals\": {\"predictions\": " +
+           std::to_string(s.predictions()) +
+           ", \"taken\": " + std::to_string(s.taken) +
+           ", \"not_taken\": " + std::to_string(s.notTaken) +
+           ", \"mispredicts\": " + std::to_string(s.mispredicts) +
+           ", \"mispredict_stall_cycles\": " +
+           std::to_string(s.mispredictStallCycles) +
+           ", \"unconsumed_mispredicts\": " +
+           std::to_string(s.unconsumedMispredicts) + "},\n";
+    std::vector<std::uint32_t> sites(s.siteTaken.size());
+    for (std::uint32_t b = 0; b < sites.size(); ++b)
+        sites[b] = b;
+    std::stable_sort(
+        sites.begin(), sites.end(),
+        [&s](std::uint32_t a, std::uint32_t b) {
+            if (s.siteMispredictStall[a] != s.siteMispredictStall[b])
+                return s.siteMispredictStall[a] >
+                       s.siteMispredictStall[b];
+            if (s.siteMispredicts[a] != s.siteMispredicts[b])
+                return s.siteMispredicts[a] > s.siteMispredicts[b];
+            return a < b;
+        });
+    out += in2 + "  \"top\": [";
+    std::uint64_t rest_taken = s.taken;
+    std::uint64_t rest_not_taken = s.notTaken;
+    std::uint64_t rest_mispredicts = s.mispredicts;
+    std::uint64_t rest_mp_stall = s.mispredictStallCycles;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::uint32_t b = sites[i];
+        if (i)
+            out += ",";
+        out += "\n" + in2 + "    [" + std::to_string(b) + ", " +
+               std::to_string(s.siteTaken[b]) + ", " +
+               std::to_string(s.siteNotTaken[b]) + ", " +
+               std::to_string(s.siteMispredicts[b]) + ", " +
+               std::to_string(s.siteMispredictStall[b]) + "]";
+        rest_taken -= s.siteTaken[b];
+        rest_not_taken -= s.siteNotTaken[b];
+        rest_mispredicts -= s.siteMispredicts[b];
+        rest_mp_stall -= s.siteMispredictStall[b];
+    }
+    out += k ? "\n" + in2 + "  ],\n" : "],\n";
+    out += in2 + "  \"rest\": {\"taken\": " +
+           std::to_string(rest_taken) +
+           ", \"not_taken\": " + std::to_string(rest_not_taken) +
+           ", \"mispredicts\": " + std::to_string(rest_mispredicts) +
+           ", \"mispredict_stall\": " +
+           std::to_string(rest_mp_stall) + "}\n";
+    out += in2 + "},\n";
+
+    // Phase profile over the same top blocks; per-epoch "rest"
+    // completes each row so rows tile the epoch's fetches.
+    out += in2 + "\"phase\": {\n";
+    out += in2 + "  \"block_ids\": [";
+    for (std::size_t i = 0; i < k; ++i) {
+        if (i)
+            out += ", ";
+        out += std::to_string(order[i]);
+    }
+    out += "],\n";
+    out += in2 + "  \"matrix\": [";
+    std::string rest_row;
+    for (unsigned e = 0; e < s.phaseEpochs; ++e) {
+        const std::size_t row = std::size_t(e) * s.staticBlocks;
+        std::uint64_t row_total = 0;
+        for (std::uint32_t b = 0; b < s.staticBlocks; ++b)
+            row_total += s.phaseFetches[row + b];
+        if (e) {
+            out += ",";
+            rest_row += ", ";
+        }
+        out += "\n" + in2 + "    [";
+        for (std::size_t i = 0; i < k; ++i) {
+            if (i)
+                out += ", ";
+            const std::uint64_t cell =
+                s.phaseFetches[row + order[i]];
+            out += std::to_string(cell);
+            row_total -= cell;
+        }
+        out += "]";
+        rest_row += std::to_string(row_total);
+    }
+    out += "],\n";
+    out += in2 + "  \"rest\": [" + rest_row + "]\n";
+    out += in2 + "}\n";
+    out += indent + "}";
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return store().enabled.load(std::memory_order_relaxed);
+}
+
+void
+startSession()
+{
+    auto &s = store();
+    s.enabled.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.workloads.clear();
+    }
+    s.enabled.store(true, std::memory_order_release);
+}
+
+void
+endSession()
+{
+    store().enabled.store(false, std::memory_order_relaxed);
+}
+
+void
+record(const std::string &workload, SchemeClass scheme,
+       const HotStats &stats)
+{
+    if (!enabled() || !stats.recorded)
+        return;
+    auto &s = store();
+    const std::string key = workload.empty() ? "-" : workload;
+    const std::string scheme_name = schemeClassName(scheme);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    HotStats &slot = s.workloads[key][scheme_name];
+    if (slot.recorded && !slot.sameShape(stats)) {
+        // Same workload simulated over a different program shape
+        // (profile-guided relayout, a sweep): keep it apart rather
+        // than asserting in merge().
+        s.workloads[key + shapeKey(stats)][scheme_name].merge(stats);
+        return;
+    }
+    slot.merge(stats);
+}
+
+std::string
+reportJson(const std::string &name)
+{
+    auto &s = store();
+    std::string out = "{\n";
+    out += "  \"schema\": \"tepic-hot-v1\",\n";
+    out += "  \"name\": " + support::jsonQuote(name) + ",\n";
+    out += "  \"structure\": {\n";
+    out += "    \"workloads\": {";
+    std::lock_guard<std::mutex> lock(s.mutex);
+    bool first_wl = true;
+    for (const auto &[workload, schemes] : s.workloads) {
+        if (!first_wl)
+            out += ",";
+        first_wl = false;
+        out += "\n      " + support::jsonQuote(workload) + ": {";
+        bool first_scheme = true;
+        for (const auto &[scheme, stats] : schemes) {
+            if (!first_scheme)
+                out += ",";
+            first_scheme = false;
+            out += "\n        " + support::jsonQuote(scheme) + ": ";
+            appendScheme(out, stats, "        ");
+        }
+        out += "\n      }";
+    }
+    out += s.workloads.empty() ? "}\n" : "\n    }\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+writeReport(const std::string &path, const std::string &name)
+{
+    const std::string json = reportJson(name);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        TEPIC_WARN("cannot open hot report output '", path, "'");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok)
+        TEPIC_WARN("short write to hot report output '", path, "'");
+    return ok;
+}
+
+void
+resetForTest()
+{
+    auto &s = store();
+    s.enabled.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.workloads.clear();
+}
+
+} // namespace hotstats
+
+} // namespace tepic::fetch

@@ -398,6 +398,110 @@ TEST(Atb, ReAccessMovesEntryToMruExactEvictionOrder)
     EXPECT_EQ(atb.misses(), 5u);
 }
 
+/**
+ * The per-entry 2-bit counter must saturate at both ends (§3.4): from
+ * strongly-taken it takes exactly two not-taken outcomes to flip the
+ * prediction, however long the taken streak was — and symmetrically
+ * from strongly-not-taken. A wrapping counter would flip after one.
+ */
+TEST(Atb, TwoBitCounterSaturatesAtBothEnds)
+{
+    AtbFixture fx;
+    fetch::Atb atb(fx.att, 8);
+    isa::BlockId site = isa::kNoBlock;
+    for (const auto &blk : fx.compiled.program.blocks()) {
+        if (blk.fallthrough != isa::kNoBlock) {
+            site = blk.id;
+            break;
+        }
+    }
+    ASSERT_NE(site, isa::kNoBlock);
+    const isa::BlockId fall = fx.att.entry(site).fallthrough;
+    atb.access(site);
+
+    for (int i = 0; i < 6; ++i)  // drive to strongly taken; saturate
+        atb.update(site, true, 2);
+    EXPECT_EQ(atb.predictNext(site), 2u);
+    atb.update(site, false, fall);  // strongly -> weakly taken
+    EXPECT_EQ(atb.predictNext(site), 2u);  // hysteresis holds
+    atb.update(site, false, fall);  // weakly taken -> weakly n-t
+    EXPECT_EQ(atb.predictNext(site), fall);
+
+    for (int i = 0; i < 6; ++i)  // saturate at the bottom
+        atb.update(site, false, fall);
+    atb.update(site, true, 2);  // strongly -> weakly not-taken
+    EXPECT_EQ(atb.predictNext(site), fall);  // hysteresis again
+    atb.update(site, true, 2);
+    EXPECT_EQ(atb.predictNext(site), 2u);
+}
+
+/**
+ * Bimodal direction state is keyed by ATB entry, i.e. by static block
+ * (§3.4) — two sites trained to opposite outcomes in lockstep must
+ * never perturb each other's counters.
+ */
+TEST(Atb, SiteKeyingIsAliasFree)
+{
+    AtbFixture fx;
+    std::vector<isa::BlockId> sites;
+    for (const auto &blk : fx.compiled.program.blocks())
+        if (blk.fallthrough != isa::kNoBlock)
+            sites.push_back(blk.id);
+    ASSERT_GE(sites.size(), 2u);
+    const isa::BlockId a = sites[0], b = sites[1];
+    fetch::Atb atb(fx.att, 8);  // both resident; nothing evicts
+    atb.access(a);
+    atb.access(b);
+    for (int round = 0; round < 10; ++round) {
+        atb.update(a, true, 2);
+        atb.update(b, false, fx.att.entry(b).fallthrough);
+    }
+    EXPECT_EQ(atb.predictNext(a), 2u);
+    EXPECT_EQ(atb.predictNext(b), fx.att.entry(b).fallthrough);
+}
+
+#if TEPIC_HOTSTATS_ENABLED
+/**
+ * The hot-stats site ledger against the architectural counters: the
+ * per-site direction totals tile the fetch count (one prediction per
+ * event) and the per-site mispredict deltas tile predictionsWrong
+ * once the unconsumed final prediction is added back.
+ */
+TEST(FetchSim, SiteCounterDeltasTileMispredicts)
+{
+    auto compiled = compiler::compileSource(R"(
+        func main(): int {
+            var s = 0;
+            for (var i = 0; i < 300; i = i + 1) {
+                if (i % 7 < 3) { s = s + i; } else { s = s - 1; }
+            }
+            return s;
+        }
+    )");
+    auto emu = sim::emulate(compiled.program, compiled.data);
+    const auto image = isa::buildBaselineImage(compiled.program);
+    auto config = fetch::FetchConfig::paper(SchemeClass::kBase);
+    config.hotStats.enabled = true;
+    const auto stats = fetch::simulateFetch(image, compiled.program,
+                                            emu.trace, config);
+    const fetch::HotStats &hs = stats.hotStats;
+    ASSERT_TRUE(hs.recorded);
+    std::uint64_t site_predictions = 0, site_mispredicts = 0;
+    for (std::uint32_t blk = 0; blk < hs.staticBlocks; ++blk) {
+        site_predictions += hs.siteTaken[blk] + hs.siteNotTaken[blk];
+        site_mispredicts += hs.siteMispredicts[blk];
+        // A site only accumulates direction outcomes if it ran.
+        if (hs.siteTaken[blk] + hs.siteNotTaken[blk] > 0) {
+            EXPECT_GT(hs.blockFetches[blk], 0u) << "block " << blk;
+        }
+    }
+    EXPECT_EQ(site_predictions, stats.blocksFetched);
+    EXPECT_EQ(site_mispredicts,
+              stats.predictionsWrong + hs.unconsumedMispredicts);
+    EXPECT_GT(site_mispredicts, 0u);  // the if() ping-pongs
+}
+#endif // TEPIC_HOTSTATS_ENABLED
+
 TEST(FetchSim, InvariantsOnRealWorkload)
 {
     auto compiled = compiler::compileSource(R"(

@@ -23,7 +23,10 @@ recording the NEW side's headline totals: label, UTC timestamp,
 per-scheme total_bits, the host-throughput gauges ("prof." gauges,
 averaged across the snapshots that report them), and the per-scheme
 3C miss-class totals ("cache.<scheme>.miss.*" counters, summed across
-snapshots — the cache-behavior headline). Run it after every bench
+snapshots — the cache-behavior headline), and the per-scheme
+dynamic-fetch concentration ("hot.<scheme>.blocks_simulated" and
+"hot.<scheme>.coverage.top10_fetches" counters, summed — their ratio
+is the top-10 hot/cold coverage headline). Run it after every bench
 sweep to maintain bench/trend.jsonl.
 
 "prof." gauges are host throughput rates (wall-clock data): they are
@@ -255,14 +258,39 @@ def cache_miss_totals(flat):
     return totals
 
 
+def hotness_totals(flat):
+    """Per-scheme dynamic-fetch concentration from one flattened
+    snapshot: "counter hot.<scheme>.blocks_simulated" and
+    "counter hot.<scheme>.coverage.top10_fetches" ->
+    {"<scheme>.blocks_simulated": n, "<scheme>.top10_fetches": n}.
+    The ratio is the top-10 hot/cold coverage headline."""
+    totals = {}
+    for key, value in flat.items():
+        if not key.startswith("counter hot."):
+            continue
+        parts = key[len("counter "):].split(".")
+        if len(parts) == 3 and parts[2] == "blocks_simulated":
+            slot = f"{parts[1]}.blocks_simulated"
+        elif len(parts) == 4 and parts[2] == "coverage" \
+                and parts[3] == "top10_fetches":
+            slot = f"{parts[1]}.top10_fetches"
+        else:
+            continue
+        totals[slot] = totals.get(slot, 0) + value
+    return totals
+
+
 def append_trend(trend_path, label, new_flats, new_throughput):
     totals = {}
     misses = {}
+    hotness = {}
     for flat in new_flats.values():
         for scheme, bits in headline_totals(flat).items():
             totals[scheme] = totals.get(scheme, 0) + bits
         for slot, count in cache_miss_totals(flat).items():
             misses[slot] = misses.get(slot, 0) + count
+        for slot, count in hotness_totals(flat).items():
+            hotness[slot] = hotness.get(slot, 0) + count
     # Mean across the snapshots that measured each rate (a binary
     # that did no fetch work reports no fetch gauge at all).
     rates = {}
@@ -278,6 +306,7 @@ def append_trend(trend_path, label, new_flats, new_throughput):
         "throughput": {key: round(sum(vs) / len(vs), 3)
                        for key, vs in sorted(rates.items())},
         "cache_misses": dict(sorted(misses.items())),
+        "hotness": dict(sorted(hotness.items())),
     }
     try:
         with open(trend_path, "a") as f:

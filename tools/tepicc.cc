@@ -35,6 +35,7 @@
 #include "core/artifact_engine.hh"
 #include "decoder/complexity.hh"
 #include "fetch/cache_stats.hh"
+#include "fetch/hot_stats.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/profiler.hh"
@@ -66,6 +67,10 @@ usage()
         "classes,\n"
         "         reuse distances, per-set heatmaps; schema "
         "tepic-cache-v1),\n"
+        "       --hot-report=<file> (dynamic-behavior report: "
+        "per-block hotness,\n"
+        "         branch-site accuracy, phase profile; schema "
+        "tepic-hot-v1),\n"
         "       --log-level=debug|info|warn|error|none (overrides "
         "TEPIC_LOG)\n"
         "<prog> = tinkerc file or built-in workload name\n");
@@ -101,6 +106,7 @@ struct Options
     std::string profCollapsePath;
     std::string schedReportPath;
     std::string cacheReportPath;
+    std::string hotReportPath;
     std::vector<std::string> positional;
 };
 
@@ -147,6 +153,8 @@ parseArgs(int argc, char **argv)
             opts.schedReportPath = argv[i] + 15;
         else if (std::strncmp(argv[i], "--cache-report=", 15) == 0)
             opts.cacheReportPath = argv[i] + 15;
+        else if (std::strncmp(argv[i], "--hot-report=", 13) == 0)
+            opts.hotReportPath = argv[i] + 13;
         else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
             const char *level = argv[i] + 12;
             if (!support::isLogLevelName(level)) {
@@ -439,6 +447,9 @@ finalizeObservability(const Options &opts)
         fetch::cachestats::writeReport(opts.cacheReportPath,
                                        "tepicc");
     }
+    if (!opts.hotReportPath.empty()) {
+        fetch::hotstats::writeReport(opts.hotReportPath, "tepicc");
+    }
     if (!opts.metricsPath.empty() || !opts.profReportPath.empty()) {
         auto &metrics = support::MetricsRegistry::global();
         core::ArtifactEngine::global().exportMetrics(metrics);
@@ -487,6 +498,9 @@ main(int argc, char **argv)
     // is switched on only when the report was requested.
     if (!opts.cacheReportPath.empty())
         fetch::cachestats::startSession();
+    // Likewise for dynamic-behavior recording.
+    if (!opts.hotReportPath.empty())
+        fetch::hotstats::startSession();
     if (!opts.profCollapsePath.empty())
         support::prof::startSampling();
     if (!opts.tracePath.empty())

@@ -218,6 +218,49 @@ class TepicDiffTest(TempDirs):
             records = [json.loads(line) for line in f]
         self.assertEqual(records[1]["cache_misses"], {})
 
+    def test_trend_harvests_hotness_concentration(self):
+        doc = metrics_doc()
+        doc["counters"].update({
+            "hot.base.blocks_simulated": 1000,
+            "hot.base.coverage.top10_fetches": 900,
+            "hot.compressed.blocks_simulated": 1000,
+            "hot.compressed.coverage.top10_fetches": 950,
+            # Not headline keys: must not be harvested.
+            "hot.base.coverage.top1_fetches": 400,
+            "hot.base.branch.mispredicts": 7,
+        })
+        self.write(self.old_dir, "BENCH_x.json", doc)
+        self.write(self.new_dir, "BENCH_x.json", doc)
+        # A second snapshot contributes to the same per-scheme sums.
+        doc2 = metrics_doc()
+        doc2["counters"]["hot.base.blocks_simulated"] = 500
+        doc2["counters"]["hot.base.coverage.top10_fetches"] = 100
+        self.write(self.old_dir, "BENCH_y.json", doc2)
+        self.write(self.new_dir, "BENCH_y.json", doc2)
+        trend = os.path.join(self.new_dir, "trend.jsonl")
+        result = self.run_diff(self.old_dir, self.new_dir,
+                               "--append-trend", trend,
+                               "--label", "run1")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            record = json.loads(f.readline())
+        self.assertEqual(record["hotness"], {
+            "base.blocks_simulated": 1500,
+            "base.top10_fetches": 1000,
+            "compressed.blocks_simulated": 1000,
+            "compressed.top10_fetches": 950,
+        })
+        # Snapshots without hot counters produce an empty map, not a
+        # missing key.
+        a = self.write(self.old_dir, "BENCH_z.json", metrics_doc())
+        b = self.write(self.new_dir, "BENCH_z.json", metrics_doc())
+        result = self.run_diff(a, b, "--append-trend", trend,
+                               "--label", "run2")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            records = [json.loads(line) for line in f]
+        self.assertEqual(records[1]["hotness"], {})
+
     def test_prof_gauges_excluded_from_diff_but_in_trend(self):
         doc = metrics_doc()
         doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0

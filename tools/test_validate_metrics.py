@@ -112,6 +112,29 @@ class ValidateMetricsTest(unittest.TestCase):
         self.assertNotEqual(result.returncode, 0)
         self.assertIn("gauges", result.stderr)
 
+    def test_compare_masks_hot_rate_gauge_values_not_keys(self):
+        doc_a = valid_doc()
+        doc_a["gauges"]["hot.compressed.top10_coverage_rate"] = 0.96
+        doc_a["gauges"]["hot.compressed.mispredict_rate"] = 0.007
+        doc_b = valid_doc()
+        doc_b["gauges"]["hot.compressed.top10_coverage_rate"] = 0.50
+        doc_b["gauges"]["hot.compressed.mispredict_rate"] = 0.100
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        # Non-rate hot gauges stay exact...
+        doc_a["gauges"]["hot.compressed.epochs"] = 16.0
+        doc_b["gauges"]["hot.compressed.epochs"] = 8.0
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        # ...and a rate gauge on only one side is key-set drift.
+        doc_b = valid_doc()
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("gauges", result.stderr)
+
     def test_compare_counter_drift_rejected(self):
         doc = valid_doc()
         doc["counters"]["a.b"] = 4

@@ -20,12 +20,13 @@ Usage:
                                          their values are wall-clock
                                          rates, but which gauges a
                                          binary emits is part of the
-                                         contract. "cache.*_rate"
-                                         gauges (derived miss-rate
-                                         ratios) are masked the same
-                                         way: their numerator and
-                                         denominator counters are
-                                         already compared exactly
+                                         contract. "cache.*_rate" and
+                                         "hot.*_rate" gauges (derived
+                                         miss/coverage ratios) are
+                                         masked the same way: their
+                                         numerator and denominator
+                                         counters are already
+                                         compared exactly
 
 Exits non-zero with a diagnostic on the first violation. Only the
 standard library is used.
@@ -105,13 +106,15 @@ def masked_gauge(key):
     """Gauges whose values are compared as mere presence.
 
     prof.* gauges are host throughput rates (wall-clock data).
-    cache.*_rate gauges are derived ratios of exact counters — the
-    counters themselves are compared exactly, so re-comparing the
-    float quotient only adds a formatting-sensitive duplicate; like
-    prof.*, their key set stays part of the contract.
+    cache.*_rate and hot.*_rate gauges are derived ratios of exact
+    counters — the counters themselves are compared exactly, so
+    re-comparing the float quotient only adds a formatting-sensitive
+    duplicate; like prof.*, their key set stays part of the contract.
     """
-    return key.startswith("prof.") or \
-        (key.startswith("cache.") and key.endswith("_rate"))
+    if key.startswith("prof."):
+        return True
+    return key.endswith("_rate") and \
+        (key.startswith("cache.") or key.startswith("hot."))
 
 
 def comparable_section(doc, section):
