@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "support/keys.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -458,9 +459,8 @@ store()
 std::string
 geometryKey(const CacheStats &stats)
 {
-    return "@" + std::to_string(stats.sets) + "x" +
-           std::to_string(stats.ways) + "x" +
-           std::to_string(stats.lineBytes);
+    return support::shapeSuffix(
+        {{"", stats.sets}, {"", stats.ways}, {"", stats.lineBytes}});
 }
 
 void

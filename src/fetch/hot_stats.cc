@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "support/keys.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -301,8 +302,8 @@ store()
 std::string
 shapeKey(const HotStats &stats)
 {
-    return "@B" + std::to_string(stats.staticBlocks) + "xE" +
-           std::to_string(stats.phaseEpochs);
+    return support::shapeSuffix(
+        {{"B", stats.staticBlocks}, {"E", stats.phaseEpochs}});
 }
 
 /** Top-K export width: everything beyond folds into "rest". */

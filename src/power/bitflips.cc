@@ -2,23 +2,51 @@
 
 #include <bit>
 
+#include "support/logging.hh"
+
 namespace tepic::power {
+
+BusModel::BusModel(unsigned width_bytes)
+    : widthBytes_(width_bytes)
+{
+    TEPIC_ASSERT(width_bytes > 0, "bus width must be positive");
+    if (widthBytes_ > 8)
+        lastWide_.assign(widthBytes_, 0);
+}
 
 void
 BusModel::transfer(std::span<const std::uint8_t> bytes)
 {
     std::size_t i = 0;
-    while (i < bytes.size()) {
-        std::uint64_t beat = 0;
-        for (unsigned b = 0; b < widthBytes_ && b < 8; ++b) {
-            const std::uint8_t byte =
-                i + b < bytes.size() ? bytes[i + b] : 0;
-            beat |= std::uint64_t(byte) << (8 * b);
+    if (widthBytes_ <= 8) {
+        // Narrow path: the whole previous beat fits one word.
+        while (i < bytes.size()) {
+            std::uint64_t beat = 0;
+            for (unsigned b = 0; b < widthBytes_; ++b) {
+                const std::uint8_t byte =
+                    i + b < bytes.size() ? bytes[i + b] : 0;
+                beat |= std::uint64_t(byte) << (8 * b);
+            }
+            bitFlips_ += std::uint64_t(std::popcount(beat ^ last_));
+            last_ = beat;
+            ++beats_;
+            i += widthBytes_;
         }
-        bitFlips_ += std::uint64_t(std::popcount(beat ^ last_));
-        last_ = beat;
-        ++beats_;
-        i += widthBytes_;
+    } else {
+        // Wide path: per-lane previous state, so every lane of a
+        // >8-byte bus is accounted (lanes 8.. were silently dropped
+        // before this path existed).
+        while (i < bytes.size()) {
+            for (unsigned b = 0; b < widthBytes_; ++b) {
+                const std::uint8_t byte =
+                    i + b < bytes.size() ? bytes[i + b] : 0;
+                bitFlips_ += std::uint64_t(
+                    std::popcount(std::uint8_t(byte ^ lastWide_[b])));
+                lastWide_[b] = byte;
+            }
+            ++beats_;
+            i += widthBytes_;
+        }
     }
     bytes_ += bytes.size();
 }

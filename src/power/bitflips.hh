@@ -13,15 +13,21 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace tepic::power {
 
-/** A fixed-width memory bus with transition counting. */
+/**
+ * A fixed-width memory bus with transition counting. Any positive
+ * width is supported: buses up to 8 bytes keep the previous beat in
+ * one machine word (the hot path), wider buses keep it as a byte
+ * vector so no lane is silently dropped. A zero width is a checked
+ * error.
+ */
 class BusModel
 {
   public:
-    explicit BusModel(unsigned width_bytes = 8)
-        : widthBytes_(width_bytes) {}
+    explicit BusModel(unsigned width_bytes = 8);
 
     /**
      * Transfer @p bytes over the bus (padded to whole beats with
@@ -36,7 +42,8 @@ class BusModel
 
   private:
     unsigned widthBytes_;
-    std::uint64_t last_ = 0;  ///< previous bus state (low widthBytes_)
+    std::uint64_t last_ = 0;  ///< previous bus state (width <= 8)
+    std::vector<std::uint8_t> lastWide_;  ///< previous beat (width > 8)
     std::uint64_t bitFlips_ = 0;
     std::uint64_t beats_ = 0;
     std::uint64_t bytes_ = 0;

@@ -1,0 +1,98 @@
+#include "support/sweep.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace tepic::support::sweep {
+
+const char *
+senseName(Sense sense)
+{
+    return sense == Sense::kMax ? "max" : "min";
+}
+
+bool
+dominates(const Point &a, const Point &b,
+          const std::vector<Objective> &objectives)
+{
+    TEPIC_ASSERT(a.values.size() == objectives.size()
+                     && b.values.size() == objectives.size(),
+                 "point arity must match the objective list");
+    bool strictlyBetter = false;
+    for (std::size_t i = 0; i < objectives.size(); ++i) {
+        const std::int64_t va = oriented(a.values[i], objectives[i].sense);
+        const std::int64_t vb = oriented(b.values[i], objectives[i].sense);
+        if (va > vb)
+            return false;
+        if (va < vb)
+            strictlyBetter = true;
+    }
+    return strictlyBetter;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<Point> &points,
+            const std::vector<Objective> &objectives)
+{
+    // Sort indices into dominance order first: oriented tuple
+    // ascending, key as the stable tie-break. Dominance-order output
+    // falls out for free, and the classic cull below stays O(n * f)
+    // because a sorted point can only be dominated by an earlier one.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    auto orientedLess = [&](std::size_t lhs, std::size_t rhs) {
+        const Point &a = points[lhs];
+        const Point &b = points[rhs];
+        for (std::size_t i = 0; i < objectives.size(); ++i) {
+            const std::int64_t va =
+                oriented(a.values[i], objectives[i].sense);
+            const std::int64_t vb =
+                oriented(b.values[i], objectives[i].sense);
+            if (va != vb)
+                return va < vb;
+        }
+        return a.key < b.key;
+    };
+    std::sort(order.begin(), order.end(), orientedLess);
+
+    std::vector<std::size_t> front;
+    for (std::size_t idx : order) {
+        bool dominated = false;
+        for (std::size_t keep : front) {
+            if (dominates(points[keep], points[idx], objectives)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(idx);
+    }
+    return front;
+}
+
+std::vector<std::vector<std::size_t>>
+expandGrid(const std::vector<std::size_t> &dimSizes)
+{
+    std::size_t total = 1;
+    for (std::size_t size : dimSizes) {
+        if (size == 0)
+            return {};
+        total *= size;
+    }
+    std::vector<std::vector<std::size_t>> tuples;
+    tuples.reserve(total);
+    std::vector<std::size_t> tuple(dimSizes.size(), 0);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+        tuples.push_back(tuple);
+        for (std::size_t d = dimSizes.size(); d-- > 0;) {
+            if (++tuple[d] < dimSizes[d])
+                break;
+            tuple[d] = 0;
+        }
+    }
+    return tuples;
+}
+
+} // namespace tepic::support::sweep

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Generic design-space sweep machinery: grid expansion and Pareto
+ * dominance over integer objective vectors.
+ *
+ * The sweep driver (core/sweep.hh) evaluates a configuration grid and
+ * wants two pure, deterministic primitives out of it:
+ *
+ *  - expandGrid(): enumerate every index tuple of an N-dimensional
+ *    grid in row-major order (last dimension fastest), so point order
+ *    is a function of the grid alone and never of evaluation order;
+ *  - paretoFront(): the non-dominated subset of a point set under a
+ *    per-objective min/max sense, returned in *dominance order* —
+ *    sorted by the objective tuple with each axis oriented so better
+ *    comes first, keys as the final tie-break.
+ *
+ * Everything here is integer-only on purpose. The sweep's exact-gated
+ * "structure" report section must be byte-identical across --jobs
+ * values and across machines; integer objectives (sizes in bits,
+ * IPC scaled by 1e6, transistor counts, bit flips) make every
+ * dominance comparison exact, with no floating-point rounding to
+ * drift between platforms. Determinism contracts:
+ *
+ *  - paretoFront() is a pure function of the point *set*: shuffling
+ *    the input order permutes nothing in the output keys (tested);
+ *  - duplicate objective vectors do not dominate each other, so equal
+ *    points all stay on the front (dominance requires strict
+ *    improvement in at least one objective).
+ */
+
+#ifndef TEPIC_SUPPORT_SWEEP_HH
+#define TEPIC_SUPPORT_SWEEP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tepic::support::sweep {
+
+/** Direction of improvement for one objective. */
+enum class Sense : std::uint8_t {
+    kMin,  ///< smaller is better (size, transistors, flips)
+    kMax,  ///< larger is better (IPC)
+};
+
+const char *senseName(Sense sense);
+
+/** One axis of the objective space. */
+struct Objective
+{
+    std::string name;
+    Sense sense = Sense::kMin;
+};
+
+/** One candidate point: a stable key + one value per objective. */
+struct Point
+{
+    std::string key;
+    std::vector<std::int64_t> values;
+};
+
+/**
+ * True iff @p a dominates @p b: no worse on every objective and
+ * strictly better on at least one. Checked: both points must have
+ * exactly one value per objective.
+ */
+bool dominates(const Point &a, const Point &b,
+               const std::vector<Objective> &objectives);
+
+/**
+ * Orient @p value so that smaller always means better; dominance
+ * order sorts by the oriented tuple ascending.
+ */
+inline std::int64_t
+oriented(std::int64_t value, Sense sense)
+{
+    return sense == Sense::kMax ? -value : value;
+}
+
+/**
+ * Indices (into @p points) of the non-dominated points, in dominance
+ * order: ascending by oriented objective tuple, then by key. The
+ * result is invariant under permutations of @p points up to the index
+ * mapping — the *keys* in front order are a pure function of the
+ * point set.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<Point> &points,
+            const std::vector<Objective> &objectives);
+
+/**
+ * All index tuples of a grid with the given per-dimension sizes, in
+ * row-major order (last dimension varies fastest). An empty dimension
+ * yields an empty grid; no dimensions yield the single empty tuple.
+ */
+std::vector<std::vector<std::size_t>>
+expandGrid(const std::vector<std::size_t> &dimSizes);
+
+} // namespace tepic::support::sweep
+
+#endif // TEPIC_SUPPORT_SWEEP_HH

@@ -57,6 +57,69 @@ TEST(BusModel, StatePersistsAcrossTransfers)
     EXPECT_EQ(bus.bitFlips() - after_a, 16u);  // full toggle
 }
 
+TEST(BusModel, WideBusCountsEveryLane)
+{
+    // Regression: widths beyond 8 bytes once silently truncated to
+    // the first 8 lanes. A 16-byte bus must see flips in lanes 8..15.
+    power::BusModel bus(16);
+    std::uint8_t beat[16] = {0};
+    beat[0] = 0xff;   // lane 0:  8 flips from idle
+    beat[8] = 0xff;   // lane 8:  8 flips — lost before the fix
+    beat[15] = 0x0f;  // lane 15: 4 flips — likewise
+    bus.transfer(beat);
+    EXPECT_EQ(bus.beats(), 1u);
+    EXPECT_EQ(bus.bitFlips(), 20u);
+
+    // Repeating the beat toggles nothing: the wide lanes keep state.
+    bus.transfer(beat);
+    EXPECT_EQ(bus.bitFlips(), 20u);
+
+    // Clearing only the high lanes flips exactly those bits back.
+    std::uint8_t clear[16] = {0};
+    clear[0] = 0xff;
+    bus.transfer(clear);
+    EXPECT_EQ(bus.bitFlips(), 32u);  // lanes 8 and 15 return to zero
+}
+
+TEST(BusModel, WideBusPadsShortTailWithZeros)
+{
+    power::BusModel bus(12);  // non-power-of-two width
+    std::uint8_t ones[12];
+    for (std::uint8_t &byte : ones)
+        byte = 0xff;
+    bus.transfer(ones);
+    EXPECT_EQ(bus.beats(), 1u);
+    EXPECT_EQ(bus.bitFlips(), 96u);
+
+    // A 4-byte transfer is one beat with 8 zero-padded tail lanes —
+    // the pad clears the ones left on lanes 4..11.
+    const std::uint8_t tail[4] = {0xff, 0xff, 0xff, 0xff};
+    bus.transfer(tail);
+    EXPECT_EQ(bus.beats(), 2u);
+    EXPECT_EQ(bus.bitFlips(), 96u + 64u);
+    EXPECT_EQ(bus.bytesTransferred(), 16u);
+}
+
+TEST(BusModel, NarrowAndWidePathsAgreeAtTheBoundary)
+{
+    // The 8-byte word path and the per-lane vector path must count
+    // identically; drive both with the same beat sequence.
+    power::BusModel narrow(8);
+    power::BusModel wide(9);
+    const std::uint8_t a[] = {0x12, 0x34, 0x56, 0x78,
+                              0x9a, 0xbc, 0xde, 0xf0};
+    const std::uint8_t b[] = {0x0f, 0xf0, 0xaa, 0x55,
+                              0x00, 0xff, 0x33, 0xcc};
+    narrow.transfer(a);
+    narrow.transfer(b);
+    // The 9-byte bus fits each 8-byte transfer in one beat; lane 8
+    // stays zero throughout, so the flip count must match exactly.
+    wide.transfer(a);
+    wide.transfer(b);
+    EXPECT_EQ(narrow.bitFlips(), wide.bitFlips());
+    EXPECT_EQ(narrow.beats(), wide.beats());
+}
+
 TEST(DecoderCost, FormulaAtKnownPoints)
 {
     // T = 2m(2^n - 1) + 4m(2^n - 2^(n-1) - 1) + 2n

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "support/bitstream.hh"
+#include "support/keys.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -15,6 +16,34 @@ namespace {
 
 using tepic::support::BitReader;
 using tepic::support::BitWriter;
+
+// Key stability: these suffixes appear in committed report baselines
+// (cache/hot session stores) and in sweep configuration keys — the
+// exact spelling is a contract, not a formatting choice.
+TEST(ShapeKeys, UntaggedGeometrySuffix)
+{
+    EXPECT_EQ(tepic::support::shapeSuffix({{"", 256}, {"", 2},
+                                           {"", 32}}),
+              "@256x2x32");
+    EXPECT_EQ(tepic::support::shapeSuffix({{"", 64}, {"", 1},
+                                           {"", 64}}),
+              "@64x1x64");
+}
+
+TEST(ShapeKeys, TaggedShapeSuffix)
+{
+    EXPECT_EQ(tepic::support::shapeSuffix({{"B", 12}, {"E", 16}}),
+              "@B12xE16");
+    EXPECT_EQ(tepic::support::shapeSuffix({{"S", 128}, {"W", 4},
+                                           {"L", 64}}),
+              "@S128xW4xL64");
+}
+
+TEST(ShapeKeys, DegenerateDimensions)
+{
+    EXPECT_EQ(tepic::support::shapeSuffix({}), "@");
+    EXPECT_EQ(tepic::support::shapeSuffix({{"N", 0}}), "@N0");
+}
 
 TEST(BitStream, SingleBits)
 {

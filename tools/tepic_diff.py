@@ -280,7 +280,41 @@ def hotness_totals(flat):
     return totals
 
 
-def append_trend(trend_path, label, new_flats, new_throughput):
+def sweep_summary(path):
+    """Pareto-front extrema from SWEEP_*.json files next to the
+    snapshots (tepic-sweep-v1). The sweep answers "what should this
+    core look like?"; the trend records whether that answer moved:
+    per report, the configuration count, the front size, and the
+    front's best size / best aggregate IPC."""
+    if not os.path.isdir(path):
+        return {}
+    out = {}
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("SWEEP_") and name.endswith(".json")):
+            continue
+        doc = load(os.path.join(path, name))
+        structure = doc.get("structure")
+        if doc.get("schema") != "tepic-sweep-v1" \
+                or not isinstance(structure, dict):
+            continue
+        aggregates = structure.get("aggregates", {})
+        front = [key for key in structure.get("front", [])
+                 if key in aggregates]
+        if not front:
+            continue
+        metrics = [aggregates[key]["metrics"] for key in front]
+        out[doc.get("name") or name] = {
+            "configs": len(aggregates),
+            "front_size": len(front),
+            "front_min_size_bits": min(m["size_bits"]
+                                       for m in metrics),
+            "front_max_ipc_e6": max(m["ipc_e6"] for m in metrics),
+        }
+    return out
+
+
+def append_trend(trend_path, label, new_flats, new_throughput,
+                 sweeps):
     totals = {}
     misses = {}
     hotness = {}
@@ -307,6 +341,7 @@ def append_trend(trend_path, label, new_flats, new_throughput):
                        for key, vs in sorted(rates.items())},
         "cache_misses": dict(sorted(misses.items())),
         "hotness": dict(sorted(hotness.items())),
+        "sweep": dict(sorted(sweeps.items())),
     }
     try:
         with open(trend_path, "a") as f:
@@ -422,7 +457,7 @@ def main(argv):
         label = args.label or os.path.basename(
             os.path.abspath(args.new))
         record = append_trend(args.append_trend, label, new_flats,
-                              new_throughput)
+                              new_throughput, sweep_summary(args.new))
         print(f"tepic_diff: appended trend record for "
               f"'{record['label']}' to {args.append_trend}",
               file=sys.stderr)

@@ -261,6 +261,50 @@ class TepicDiffTest(TempDirs):
             records = [json.loads(line) for line in f]
         self.assertEqual(records[1]["hotness"], {})
 
+    def test_trend_harvests_sweep_front_extrema(self):
+        self.write(self.old_dir, "BENCH_x.json", metrics_doc())
+        self.write(self.new_dir, "BENCH_x.json", metrics_doc())
+        # A sweep report next to the snapshots: two aggregates on the
+        # front, one dominated straggler that must not contribute.
+        self.write(self.new_dir, "SWEEP_ci.json", {
+            "schema": "tepic-sweep-v1",
+            "name": "ci",
+            "structure": {
+                "aggregates": {
+                    "small": {"metrics": {"size_bits": 2000,
+                                          "ipc_e6": 700000}},
+                    "fast": {"metrics": {"size_bits": 3000,
+                                         "ipc_e6": 900000}},
+                    "dominated": {"metrics": {"size_bits": 9000,
+                                              "ipc_e6": 100000}},
+                },
+                "front": ["small", "fast"],
+            },
+            "timing": {"jobs": 1, "wall_ms": 4},
+        })
+        trend = os.path.join(self.new_dir, "trend.jsonl")
+        result = self.run_diff(self.old_dir, self.new_dir,
+                               "--append-trend", trend,
+                               "--label", "run1")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            record = json.loads(f.readline())
+        self.assertEqual(record["sweep"], {
+            "ci": {"configs": 3, "front_size": 2,
+                   "front_min_size_bits": 2000,
+                   "front_max_ipc_e6": 900000},
+        })
+        # Runs with no SWEEP report produce an empty map, not a
+        # missing key.
+        a = self.write(self.old_dir, "BENCH_z.json", metrics_doc())
+        b = self.write(self.new_dir, "BENCH_z.json", metrics_doc())
+        result = self.run_diff(a, b, "--append-trend", trend,
+                               "--label", "run2")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(trend) as f:
+            records = [json.loads(line) for line in f]
+        self.assertEqual(records[1]["sweep"], {})
+
     def test_prof_gauges_excluded_from_diff_but_in_trend(self):
         doc = metrics_doc()
         doc["gauges"]["prof.ops_encoded_per_sec"] = 500000.0

@@ -135,6 +135,27 @@ class ValidateMetricsTest(unittest.TestCase):
         self.assertNotEqual(result.returncode, 0)
         self.assertIn("gauges", result.stderr)
 
+    def test_compare_masks_sweep_rate_gauge_values_not_keys(self):
+        doc_a = valid_doc()
+        doc_a["gauges"]["sweep.points_rate"] = 9.43
+        doc_b = valid_doc()
+        doc_b["gauges"]["sweep.points_rate"] = 188.6
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertEqual(result.returncode, 0, result.stderr)
+        # Non-rate sweep gauges stay exact...
+        doc_a["gauges"]["sweep.front_share"] = 0.5
+        doc_b["gauges"]["sweep.front_share"] = 0.25
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        # ...and a rate gauge on only one side is key-set drift.
+        doc_b = valid_doc()
+        result = self.run_tool("--compare", self.write_doc(doc_a),
+                               self.write_doc(doc_b))
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("gauges", result.stderr)
+
     def test_compare_counter_drift_rejected(self):
         doc = valid_doc()
         doc["counters"]["a.b"] = 4

@@ -106,15 +106,17 @@ def masked_gauge(key):
     """Gauges whose values are compared as mere presence.
 
     prof.* gauges are host throughput rates (wall-clock data).
-    cache.*_rate and hot.*_rate gauges are derived ratios of exact
-    counters — the counters themselves are compared exactly, so
-    re-comparing the float quotient only adds a formatting-sensitive
-    duplicate; like prof.*, their key set stays part of the contract.
+    cache.*_rate, hot.*_rate and sweep.*_rate gauges are derived
+    ratios of exact counters (or, for the sweep, of wall time) — the
+    counters themselves are compared exactly, so re-comparing the
+    float quotient only adds a formatting-sensitive duplicate; like
+    prof.*, their key set stays part of the contract.
     """
     if key.startswith("prof."):
         return True
     return key.endswith("_rate") and \
-        (key.startswith("cache.") or key.startswith("hot."))
+        (key.startswith("cache.") or key.startswith("hot.") or
+         key.startswith("sweep."))
 
 
 def comparable_section(doc, section):
